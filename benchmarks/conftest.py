@@ -1,0 +1,19 @@
+"""Benchmark-harness fixtures.
+
+Every benchmark regenerates one of the paper's tables or figures: the
+``benchmark`` fixture times the regeneration, the test body then asserts
+the published shape and prints the rows (run pytest with ``-s`` to see
+them).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.harness import run_sweep
+
+
+@pytest.fixture(scope="session")
+def sweep():
+    """The shared four-pair, sixteen-app migration sweep."""
+    return run_sweep()

@@ -1,0 +1,194 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+1. **Selective vs. naive record** — §3.2 argues a record-everything log
+   wastes resources and replay latency; we measure log entries/bytes
+   with pruning on and off under a notification/alarm-churny workload.
+2. **Post-copy transfer** — §4 suggests post-copy with adaptive
+   pre-paging could overlap transfer with restore/reintegration; we
+   bound the improvement with an overlap estimator over the sweep.
+3. **802.11ac scaling** — §4 predicts better radios shrink migration
+   toward the non-transfer floor; we migrate between Nexus 5-class
+   devices and compare against the Nexus 7 pair.
+"""
+
+import pytest
+
+from repro.android.app.intent import Intent, PendingIntent
+from repro.android.app.notification import Notification
+from repro.android.device import Device
+from repro.android.hardware.profiles import NEXUS_5, NEXUS_7_2012, NEXUS_7_2013
+from repro.apps import app_by_title
+from repro.experiments.harness import format_table
+from repro.sim import SimClock
+from repro.sim.rng import RngFactory
+
+
+def churny_workload(device, package="com.bench.churn", rounds=40):
+    """An app that posts/acknowledges notifications and re-arms alarms."""
+    from tests.conftest import DemoActivity, install_demo
+    install_demo(device, package)
+    thread = device.launch_app(package, DemoActivity)
+    nm = thread.context.get_system_service("notification")
+    alarm = thread.context.get_system_service("alarm")
+    pi = PendingIntent(package, Intent("com.bench.TICK"))
+    for i in range(rounds):
+        nm.notify(i % 4, Notification(f"msg {i}"))
+        if i % 2:
+            nm.cancel(i % 4)
+        alarm.set(alarm.RTC, device.clock.now + 1e6 + i, pi)
+    return thread
+
+
+class TestSelectiveRecordAblation:
+    def _log_stats(self, prune: bool):
+        device = Device(NEXUS_7_2013, SimClock(), RngFactory(31),
+                        name="ablate")
+        device.recorder.prune = prune
+        churny_workload(device)
+        entries = device.recorder.extract_app_log("com.bench.churn")
+        return len(entries), device.call_log.size_bytes("com.bench.churn")
+
+    def test_selective_record_shrinks_log(self, benchmark):
+        selective = benchmark(self._log_stats, True)
+        naive_entries, naive_bytes = self._log_stats(False)
+        selective_entries, selective_bytes = selective
+        # The churny workload's live state is 1-2 notifications + 1 alarm.
+        assert selective_entries <= 4
+        assert naive_entries >= 80
+        assert selective_bytes < naive_bytes / 10
+        print()
+        print(format_table(
+            ("design", "log entries", "log bytes"),
+            [("selective record (Flux)", selective_entries, selective_bytes),
+             ("record everything", naive_entries, naive_bytes)],
+            title="Ablation: selective vs naive recording"))
+
+
+class TestPostCopyAblation:
+    def test_overlap_estimator(self, sweep, benchmark):
+        """Upper-bounds §4's post-copy idea: transfer overlapped with
+        restore + reintegration instead of serialized before them."""
+        def estimate():
+            now = post = 0.0
+            for report in sweep.all_reports():
+                serialized = report.total_seconds
+                overlapped = (report.stages["preparation"]
+                              + report.stages["checkpoint"]
+                              + max(report.stages["transfer"],
+                                    report.stages["restore"]
+                                    + report.stages["reintegration"]))
+                now += serialized
+                post += overlapped
+            return now, post
+
+        total_now, total_post = benchmark(estimate)
+        n = len(sweep.all_reports())
+        improvement = 1 - (total_post / total_now)
+        assert 0.05 < improvement < 0.5
+        print()
+        print(f"post-copy overlap estimate: {total_now / n:.2f}s -> "
+              f"{total_post / n:.2f}s ({improvement:.0%} faster)")
+
+
+class TestWifiScalingAblation:
+    def _migrate_candy(self, profile):
+        clock = SimClock()
+        factory = RngFactory(37)
+        home = Device(profile, clock, factory, name="home")
+        guest = Device(profile, clock, factory, name="guest")
+        spec = app_by_title("Candy Crush Saga")
+        spec.install_and_launch(home)
+        home.pairing_service.pair(guest)
+        return home.migration_service.migrate(guest, spec.package)
+
+    def test_80211ac_shrinks_toward_non_transfer_floor(self, benchmark):
+        report_ac = benchmark.pedantic(self._migrate_candy, args=(NEXUS_5,),
+                                       rounds=1, iterations=1)
+        report_n = self._migrate_candy(NEXUS_7_2012)
+        assert report_ac.total_seconds < report_n.total_seconds / 2
+        # Transfer no longer dominates on 802.11ac.
+        assert report_ac.stage_fraction("transfer") < 0.5 < \
+            report_n.stage_fraction("transfer")
+        print()
+        print(format_table(
+            ("radio", "total s", "transfer share"),
+            [("802.11n 2.4GHz congested (Nexus 7 2012)",
+              f"{report_n.total_seconds:.2f}",
+              f"{report_n.stage_fraction('transfer') * 100:.0f}%"),
+             ("802.11ac (Nexus 5)", f"{report_ac.total_seconds:.2f}",
+              f"{report_ac.stage_fraction('transfer') * 100:.0f}%")],
+            title="Ablation: radio scaling (paper §4 projection)"))
+
+
+class TestAdhocAblation:
+    """Disconnected operation (§1): migration over ad-hoc WiFi."""
+
+    def _migrate(self, adhoc: bool):
+        from repro.android.net.link import link_between
+        clock = SimClock()
+        factory = RngFactory(53)
+        home = Device(NEXUS_7_2013, clock, factory, name="home")
+        guest = Device(NEXUS_7_2013, clock, factory, name="guest")
+        spec = app_by_title("Netflix")
+        spec.install_and_launch(home)
+        home.pairing_service.pair(guest)
+        link = link_between(home.profile, guest.profile, home.rng_factory,
+                            adhoc=adhoc)
+        return home.migration_service.migrate(guest, spec.package,
+                                              link=link)
+
+    def test_adhoc_works_with_modest_slowdown(self, benchmark):
+        adhoc = benchmark.pedantic(self._migrate, args=(True,),
+                                   rounds=1, iterations=1)
+        infra = self._migrate(False)
+        assert adhoc.success and infra.success
+        assert infra.total_seconds < adhoc.total_seconds \
+            < 2.5 * infra.total_seconds
+        print()
+        print(format_table(
+            ("network", "total s", "transfer s"),
+            [("infrastructure", f"{infra.total_seconds:.2f}",
+              f"{infra.stages['transfer']:.2f}"),
+             ("ad-hoc (no AP)", f"{adhoc.total_seconds:.2f}",
+              f"{adhoc.stages['transfer']:.2f}")],
+            title="Ablation: ad-hoc vs infrastructure WiFi"))
+
+
+class TestExtensionsCoverage:
+    """With every §3.4 extension on, app support rises from 16/18 to
+    18/18 — the quantified payoff of the paper's sketched future work."""
+
+    def _support_count(self, extensions):
+        from repro.apps import TOP_APPS
+        from repro.core.cria.errors import MigrationError
+        clock = SimClock()
+        factory = RngFactory(59)
+        home = Device(NEXUS_7_2013, clock, factory, name="home")
+        guest = Device(NEXUS_7_2013, clock, factory, name="guest")
+        for spec in TOP_APPS:
+            spec.install(home)
+        home.pairing_service.pair(guest)
+        migrated = 0
+        for spec in TOP_APPS:
+            spec.install_and_launch(home)
+            try:
+                home.migration_service.migrate(guest, spec.package,
+                                               extensions=extensions)
+                migrated += 1
+            except MigrationError:
+                home.terminate_app(spec.package)
+        return migrated
+
+    def test_extensions_lift_coverage_to_18_of_18(self, benchmark):
+        from repro.core.extensions import FluxExtensions
+        full = benchmark.pedantic(self._support_count,
+                                  args=(FluxExtensions.all(),),
+                                  rounds=1, iterations=1)
+        base = self._support_count(FluxExtensions.none())
+        assert (base, full) == (16, 18)
+        print()
+        print(format_table(
+            ("configuration", "apps migrated"),
+            [("prototype (paper)", f"{base}/18"),
+             ("+ all extensions", f"{full}/18")],
+            title="Ablation: extension coverage"))

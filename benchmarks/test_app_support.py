@@ -1,0 +1,17 @@
+"""App-support bench: migrate all 18 apps, expect exactly 2 refusals."""
+
+from repro.apps import TOP_APPS
+from repro.experiments import app_support
+from repro.experiments.harness import run_sweep
+
+
+def full_support_sweep():
+    return run_sweep(apps=TOP_APPS, include_failures=True)
+
+
+def test_app_support(benchmark):
+    result = benchmark.pedantic(full_support_sweep, rounds=1, iterations=1)
+    refused = {pkg for (_, pkg) in result.refusals}
+    assert len(refused) == 2
+    print()
+    print(app_support.render())

@@ -1,0 +1,12 @@
+"""Figure 16 bench: Quadrant + SunSpider on Flux vs AOSP."""
+
+from repro.experiments import fig16
+
+
+def test_fig16_recording_overhead(benchmark):
+    scores = benchmark(fig16.run)
+    assert len(scores) == 18
+    worst = max(s.overhead_percent for s in scores)
+    assert worst < fig16.PAPER_MAX_OVERHEAD_PERCENT
+    print()
+    print(fig16.render())

@@ -1,0 +1,22 @@
+"""Figure 17 bench: install-size CDF over the full 488,259-app catalog."""
+
+import pytest
+
+from repro.playstore import PAPER_CATALOG_SIZE, analyze_catalog, generate_catalog
+from repro.sim import units
+
+
+def full_analysis():
+    apps = generate_catalog(PAPER_CATALOG_SIZE)
+    return analyze_catalog(apps)
+
+
+def test_fig17_full_catalog(benchmark):
+    report = benchmark.pedantic(full_analysis, rounds=1, iterations=1)
+    assert report.total_apps == PAPER_CATALOG_SIZE
+    assert report.preserve_egl_count == 3_300
+    assert report.cdf_at(units.MB) == pytest.approx(0.60, abs=0.02)
+    assert report.cdf_at(10 * units.MB) == pytest.approx(0.90, abs=0.02)
+    print()
+    from repro.experiments import fig17
+    print(fig17.render())

@@ -1,0 +1,14 @@
+"""Pairing-cost bench: the one-time device pairing (§4)."""
+
+import pytest
+
+from repro.experiments import pairing_cost
+
+
+def test_pairing_cost(benchmark):
+    result = benchmark(pairing_cost.run)
+    assert result.constant_mb == pytest.approx(215, abs=1)
+    assert result.after_link_mb == pytest.approx(123, abs=1)
+    assert result.compressed_mb == pytest.approx(56, abs=1.5)
+    print()
+    print(pairing_cost.render())

@@ -1,0 +1,74 @@
+"""Parametric sweep: migration time vs. checkpoint image size.
+
+A synthetic workload generator produces apps with heap footprints from
+2 MB to 32 MB; migrating each shows where the transfer stage starts to
+dominate and that total time scales linearly in image size with a fixed
+non-transfer floor — the structural claim behind Figures 12/14/15
+("migration times are generally correlated with the data transfer
+sizes" / the 1.35 s floor).
+"""
+
+import pytest
+
+from repro.android.device import Device
+from repro.android.hardware.profiles import NEXUS_7_2013
+from repro.android.storage import ApkFile
+from repro.experiments.harness import format_table
+from repro.sim import SimClock, units
+from repro.sim.rng import RngFactory
+
+
+HEAP_MB_POINTS = (2, 4, 8, 16, 24, 32)
+
+
+def migrate_with_heap(heap_mb: float):
+    from tests.conftest import DemoActivity
+    clock = SimClock()
+    factory = RngFactory(61)
+    home = Device(NEXUS_7_2013, clock, factory, name="home")
+    guest = Device(NEXUS_7_2013, clock, factory, name="guest")
+    package = f"com.sweep.heap{int(heap_mb)}"
+    home.install_app(ApkFile(package, 1, units.mb(4)))
+    home.launch_app(package, DemoActivity, heap_bytes=units.mb(heap_mb))
+    home.pairing_service.pair(guest)
+    return home.migration_service.migrate(guest, package)
+
+
+def run_sweep_points():
+    return {mb: migrate_with_heap(mb) for mb in HEAP_MB_POINTS}
+
+
+def test_migration_scales_with_image_size(benchmark):
+    points = benchmark.pedantic(run_sweep_points, rounds=1, iterations=1)
+    totals = [points[mb].total_seconds for mb in HEAP_MB_POINTS]
+    transfers = [points[mb].stages["transfer"] for mb in HEAP_MB_POINTS]
+    non_transfer = [points[mb].non_transfer_seconds for mb in HEAP_MB_POINTS]
+
+    # Monotone in image size.
+    assert totals == sorted(totals)
+    assert transfers == sorted(transfers)
+
+    # Linear scaling: time per transferred MB is roughly constant.
+    rates = [transfers[i]
+             / units.to_mb(points[mb].transferred_bytes)
+             for i, mb in enumerate(HEAP_MB_POINTS)]
+    assert max(rates) / min(rates) < 1.4
+
+    # The non-transfer floor grows far slower than transfer does.
+    assert (non_transfer[-1] - non_transfer[0]) < \
+        (transfers[-1] - transfers[0]) / 4
+
+    # Transfer dominance sets in as images grow.
+    small_share = points[2].stage_fraction("transfer")
+    large_share = points[32].stage_fraction("transfer")
+    assert large_share > small_share
+    assert large_share > 0.55
+
+    rows = [(f"{mb} MB",
+             f"{units.to_mb(points[mb].transferred_bytes):.1f} MB",
+             f"{points[mb].total_seconds:.2f}",
+             f"{points[mb].stage_fraction('transfer') * 100:.0f}%")
+            for mb in HEAP_MB_POINTS]
+    print()
+    print(format_table(("heap", "transferred", "total s", "transfer share"),
+                       rows, title="Sweep: migration time vs image size"))

@@ -1,0 +1,21 @@
+"""Table 2 bench: compile every decorated service interface."""
+
+from repro.android.aidl import InterfaceRegistry
+from repro.android.services.aidl_sources import all_sources
+from repro.experiments import table2
+
+
+def compile_all():
+    registry = InterfaceRegistry()
+    registry.compile_source(all_sources())
+    return registry
+
+
+def test_table2_decorations(benchmark):
+    registry = benchmark(compile_all)
+    assert len(registry.names()) == 23   # 22 services + sensor connection
+    rows = table2.run()
+    decorated = [r for r in rows if r.our_decoration_loc is not None]
+    assert len(decorated) == 19          # all but Bluetooth/Serial/Usb
+    print()
+    print(table2.render())

@@ -1,0 +1,22 @@
+"""Table 3 bench: install and run every catalog app's workload."""
+
+from repro.android.device import Device
+from repro.android.hardware.profiles import NEXUS_7_2013
+from repro.apps import TOP_APPS
+from repro.experiments import table3
+from repro.sim import SimClock
+from repro.sim.rng import RngFactory
+
+
+def run_all_workloads():
+    device = Device(NEXUS_7_2013, SimClock(), RngFactory(0), name="bench")
+    for spec in TOP_APPS:
+        spec.install_and_launch(device)
+    return device
+
+
+def test_table3_workloads(benchmark):
+    device = benchmark(run_all_workloads)
+    assert len(device.running_packages()) == 18
+    print()
+    print(table3.render())

@@ -1,0 +1,64 @@
+"""Scenario 3 (paper §1): the tablet battery is dying mid-game.
+
+A 3D-accelerated game (Bubble Witch Saga) is running on a Nexus 7
+(2012).  The battery-low broadcast arrives; the user migrates to a
+Nexus 4 — a device with a *different GPU* (ULP GeForce -> Adreno 320)
+and a different kernel (3.1 -> 3.4).  The GL context cannot travel:
+Flux's preparation tears it down on the source and conditional
+initialization rebuilds it against the guest's vendor library.
+
+Run:  python examples/battery_rescue.py
+"""
+
+from repro.android.app.intent import ACTION_BATTERY_LOW, Intent
+from repro.android.device import Device
+from repro.android.hardware import NEXUS_4, NEXUS_7_2012
+from repro.apps import app_by_title
+from repro.sim import SimClock, units
+
+
+def main() -> None:
+    clock = SimClock()
+    tablet = Device(NEXUS_7_2012, clock, name="tablet")
+    phone = Device(NEXUS_4, clock, name="phone")
+    print(f"playing on: {tablet.profile} / GPU {tablet.profile.gpu_name}")
+
+    game = app_by_title("Bubble Witch Saga")
+    thread = game.install_and_launch(tablet)
+    tablet.pairing_service.pair(phone)
+
+    process = thread.process
+    print(f"  live GL contexts: "
+          f"{tablet.vendor_gl.live_context_count(process.pid)}")
+    print(f"  GPU memory (pmem): "
+          f"{units.format_size(sum(a.size for a in tablet.kernel.pmem.allocations_of(process.pid)))}")
+
+    # The battery-low broadcast is what prompts the user to act.
+    warned = []
+    thread.register_receiver(warned.append, [ACTION_BATTERY_LOW])
+    tablet.activity_service.broadcast(Intent(ACTION_BATTERY_LOW, level=5))
+    assert warned, "battery warning should reach the app"
+    print("\nbattery low! migrating to the phone...")
+
+    report = tablet.migration_service.migrate(phone, game.package)
+    print(f"  done in {report.total_seconds:.2f}s "
+          f"({units.format_size(report.transferred_bytes)})")
+
+    activity = next(iter(thread.activities.values()))
+    gl_views = activity.view_root.gl_surface_views()
+    print(f"\nresumed on: {phone.profile} / GPU {phone.profile.gpu_name}")
+    print(f"  level {activity.saved_state['level']}, "
+          f"score {activity.saved_state['score']} — state intact")
+    print(f"  GL context rebuilt on guest vendor lib: "
+          f"{all(v.has_live_context for v in gl_views)}")
+    print(f"  contexts on phone: "
+          f"{phone.vendor_gl.live_context_count(process.pid)}; "
+          f"left on tablet: "
+          f"{tablet.vendor_gl.live_context_count(process.pid)}")
+    print(f"  kernel {tablet.kernel.version} -> {phone.kernel.version}, "
+          f"pid kept via namespace: "
+          f"{report.replay is not None and process.pid > 0}")
+
+
+if __name__ == "__main__":
+    main()

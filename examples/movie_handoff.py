@@ -1,0 +1,61 @@
+"""Scenario 1 (paper §1): start a movie on the phone, finish on the tablet.
+
+Uses the real Netflix workload app from the Table 3 catalog: it holds a
+wakelock, audio focus, a raised media volume, and a connectivity
+receiver — all of which must survive the hand-off.  The migration is
+triggered the way a user would: a two-finger vertical swipe.
+
+Run:  python examples/movie_handoff.py
+"""
+
+from repro.android.device import Device
+from repro.android.hardware import NEXUS_4, NEXUS_7_2013
+from repro.apps import app_by_title
+from repro.core.migration.gesture import MigrationGestureTrigger
+from repro.sim import SimClock, units
+
+
+def main() -> None:
+    clock = SimClock()
+    phone = Device(NEXUS_4, clock, name="phone")
+    tablet = Device(NEXUS_7_2013, clock, name="tablet")
+
+    netflix = app_by_title("Netflix")
+    thread = netflix.install_and_launch(phone)
+    package = netflix.package
+    phone.pairing_service.pair(tablet)
+
+    audio = thread.context.get_system_service("audio")
+    print("watching on the phone:")
+    print(f"  audio focus: {phone.service('audio').focus_holder()}")
+    print(f"  music volume: {audio.get_stream_volume(audio.STREAM_MUSIC)}"
+          f"/{audio.getStreamMaxVolume(audio.STREAM_MUSIC)}")
+    print(f"  wakelocks: {phone.service('power').snapshot(package)}")
+
+    # Two-finger swipe up -> migrate the foreground app.
+    reports = []
+    trigger = MigrationGestureTrigger(
+        phone, lambda pkg: reports.append(
+            phone.migration_service.migrate(tablet, pkg)))
+    trigger.swipe("up", start_time=clock.now)
+    (report,) = reports
+
+    print(f"\nswiped to the tablet: {report.total_seconds:.2f}s, "
+          f"{units.format_size(report.transferred_bytes)} over WiFi, "
+          f"{report.replay.total_handled} service calls replayed")
+    print("now on the tablet:")
+    print(f"  audio focus: {tablet.service('audio').focus_holder()}")
+    print(f"  music volume: {audio.get_stream_volume(audio.STREAM_MUSIC)}"
+          f"/{audio.getStreamMaxVolume(audio.STREAM_MUSIC)}")
+    print(f"  wakelocks: {tablet.service('power').snapshot(package)}")
+    activity = next(iter(thread.activities.values()))
+    print(f"  browse row restored: {activity.saved_state['browse_row']}")
+    print(f"  display: {activity.window.screen} "
+          f"(was {phone.profile.screen})")
+
+    if report.replay.adaptations:
+        print("  adaptations:", *report.replay.adaptations, sep="\n    ")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,28 @@
+"""flux-repro: 'Flux: Multi-Surface Computing in Android' (EuroSys 2015),
+reproduced on a simulated Android platform.
+
+Quick tour::
+
+    from repro.android.device import Device
+    from repro.android.hardware import NEXUS_4, NEXUS_7_2013
+    from repro.apps import app_by_title
+    from repro.sim import SimClock
+
+    clock = SimClock()
+    phone = Device(NEXUS_4, clock, name="phone")
+    tablet = Device(NEXUS_7_2013, clock, name="tablet")
+    app = app_by_title("Netflix")
+    app.install_and_launch(phone)
+    phone.pairing_service.pair(tablet)
+    report = phone.migration_service.migrate(tablet, app.package)
+
+Subpackages: :mod:`repro.sim` (deterministic substrate),
+:mod:`repro.android` (the simulated platform), :mod:`repro.core` (Flux:
+record/replay, CRIA, migration), :mod:`repro.apps` (Table 3 workloads),
+:mod:`repro.playstore`, :mod:`repro.benchmarksuite`,
+:mod:`repro.experiments` (every table/figure).
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

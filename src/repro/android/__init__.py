@@ -1,0 +1,17 @@
+"""The simulated Android platform.
+
+Everything Flux depends on, modelled faithfully enough that Flux's
+mechanisms run for real: the kernel and its Android drivers
+(:mod:`repro.android.kernel`), Binder IPC (:mod:`repro.android.binder`),
+the AIDL compiler (:mod:`repro.android.aidl`), the system services
+(:mod:`repro.android.services`), the app runtime
+(:mod:`repro.android.app`), graphics (:mod:`repro.android.graphics`),
+hardware profiles (:mod:`repro.android.hardware`), storage
+(:mod:`repro.android.storage`), and networking
+(:mod:`repro.android.net`).  :class:`repro.android.device.Device` boots
+all of it into one coherent device.
+"""
+
+from repro.android.device import Device, DeviceError, FrameworkContext
+
+__all__ = ["Device", "DeviceError", "FrameworkContext"]

@@ -1,0 +1,37 @@
+"""AIDL dialect compiler with Flux decorations: lexer, parser, codegen."""
+
+from repro.android.aidl.ast import (
+    THIS,
+    AidlDocument,
+    Decoration,
+    DropRule,
+    InterfaceDecl,
+    MethodDecl,
+    Param,
+)
+from repro.android.aidl.codegen import (
+    InterfaceMeta,
+    MethodMeta,
+    build_meta,
+    compile_interface,
+    generate_source,
+)
+from repro.android.aidl.errors import AidlError, LexError, ParseError, SemanticError
+from repro.android.aidl.parser import parse, parse_interface
+from repro.android.aidl.printer import (
+    print_document,
+    print_interface,
+    strip_positions,
+)
+from repro.android.aidl.registry import CompiledInterface, InterfaceRegistry
+from repro.android.aidl.tokens import Token, TokenKind, iter_significant_lines, tokenize
+
+__all__ = [
+    "THIS", "AidlDocument", "Decoration", "DropRule", "InterfaceDecl",
+    "MethodDecl", "Param", "InterfaceMeta", "MethodMeta", "build_meta",
+    "compile_interface", "generate_source", "AidlError", "LexError",
+    "ParseError", "SemanticError", "parse", "parse_interface",
+    "CompiledInterface", "InterfaceRegistry", "Token", "TokenKind",
+    "iter_significant_lines", "tokenize", "print_document",
+    "print_interface", "strip_positions",
+]

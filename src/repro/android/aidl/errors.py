@@ -1,0 +1,24 @@
+"""AIDL compiler errors."""
+
+from __future__ import annotations
+
+
+class AidlError(Exception):
+    """Base class for AIDL compilation failures."""
+
+
+class LexError(AidlError):
+    def __init__(self, message: str, line: int, column: int) -> None:
+        super().__init__(f"{message} at line {line}, column {column}")
+        self.line = line
+        self.column = column
+
+
+class ParseError(AidlError):
+    def __init__(self, message: str, line: int) -> None:
+        super().__init__(f"{message} at line {line}")
+        self.line = line
+
+
+class SemanticError(AidlError):
+    """Decoration references an unknown method, duplicate names, etc."""

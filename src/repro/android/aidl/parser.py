@@ -1,0 +1,235 @@
+"""Recursive-descent parser for decorated AIDL.
+
+Grammar (EBNF-ish)::
+
+    document     := interface*
+    interface    := "interface" IDENT "{" method* "}"
+    method       := decoration? "oneway"? type IDENT "(" params? ")" ";"
+    decoration   := "@record" ( ";" | block )?
+    block        := "{" stmt* "}"
+    stmt         := "@drop" namelist ";"
+                  | "@if" namelist ";"
+                  | "@elif" namelist ";"
+                  | "@replayproxy" IDENT ";"
+    params       := param ("," param)*
+    param        := ("in"|"out"|"inout")? type IDENT
+    type         := IDENT generic? array?
+    generic      := "<" type ("," type)* ">"
+    array        := "[" "]"
+
+A bare ``@record`` with no block records unconditionally.  An ``@if``
+or ``@elif`` must follow a ``@drop`` in the same block.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.android.aidl.ast import (
+    THIS,
+    AidlDocument,
+    Decoration,
+    DropRule,
+    InterfaceDecl,
+    MethodDecl,
+    Param,
+)
+from repro.android.aidl.errors import ParseError, SemanticError
+from repro.android.aidl.tokens import Token, TokenKind, tokenize
+
+_DIRECTIONS = ("in", "out", "inout")
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token], source: str) -> None:
+        self._tokens = tokens
+        self._pos = 0
+        self._source = source
+
+    # -- token helpers --------------------------------------------------------
+
+    def _peek(self) -> Token:
+        return self._tokens[self._pos]
+
+    def _next(self) -> Token:
+        token = self._tokens[self._pos]
+        if token.kind is not TokenKind.EOF:
+            self._pos += 1
+        return token
+
+    def _expect(self, kind: TokenKind, text: Optional[str] = None) -> Token:
+        token = self._next()
+        if token.kind is not kind or (text is not None and token.text != text):
+            want = text or kind.value
+            raise ParseError(f"expected {want!r}, got {token.text!r}", token.line)
+        return token
+
+    def _accept(self, kind: TokenKind, text: Optional[str] = None) -> Optional[Token]:
+        token = self._peek()
+        if token.kind is kind and (text is None or token.text == text):
+            return self._next()
+        return None
+
+    # -- grammar --------------------------------------------------------------
+
+    def parse_document(self) -> AidlDocument:
+        interfaces = []
+        while self._peek().kind is not TokenKind.EOF:
+            interfaces.append(self.parse_interface())
+        if not interfaces:
+            raise ParseError("empty document", 1)
+        return AidlDocument(interfaces=tuple(interfaces), source=self._source)
+
+    def parse_interface(self) -> InterfaceDecl:
+        start = self._expect(TokenKind.IDENT, "interface")
+        name = self._expect(TokenKind.IDENT).text
+        self._expect(TokenKind.LBRACE)
+        methods: List[MethodDecl] = []
+        while not self._accept(TokenKind.RBRACE):
+            methods.append(self.parse_method())
+        iface = InterfaceDecl(name=name, methods=tuple(methods), line=start.line)
+        self._check_semantics(iface)
+        return iface
+
+    def parse_method(self) -> MethodDecl:
+        decoration = None
+        if self._peek().kind is TokenKind.DECORATOR:
+            decoration = self.parse_decoration()
+        oneway = bool(self._accept(TokenKind.IDENT, "oneway"))
+        return_type = self.parse_type()
+        name_tok = self._expect(TokenKind.IDENT)
+        self._expect(TokenKind.LPAREN)
+        params: List[Param] = []
+        if not self._accept(TokenKind.RPAREN):
+            params.append(self.parse_param())
+            while self._accept(TokenKind.COMMA):
+                params.append(self.parse_param())
+            self._expect(TokenKind.RPAREN)
+        self._expect(TokenKind.SEMI)
+        return MethodDecl(name=name_tok.text, return_type=return_type,
+                          params=tuple(params), decoration=decoration,
+                          oneway=oneway, line=name_tok.line)
+
+    def parse_decoration(self) -> Decoration:
+        start = self._expect(TokenKind.DECORATOR, "@record")
+        start_line = start.line
+        drop_rules: List[DropRule] = []
+        replay_proxy: Optional[str] = None
+        end_line = start_line
+        if self._accept(TokenKind.LBRACE):
+            pending_targets: Optional[Tuple[str, ...]] = None
+            pending_sigs: List[Tuple[str, ...]] = []
+
+            def flush() -> None:
+                nonlocal pending_targets, pending_sigs
+                if pending_targets is not None:
+                    drop_rules.append(DropRule(targets=pending_targets,
+                                               signatures=tuple(pending_sigs)))
+                pending_targets = None
+                pending_sigs = []
+
+            while True:
+                closing = self._accept(TokenKind.RBRACE)
+                if closing:
+                    end_line = closing.line
+                    break
+                token = self._next()
+                if token.kind is not TokenKind.DECORATOR:
+                    raise ParseError(
+                        f"expected decoration statement, got {token.text!r}",
+                        token.line)
+                if token.text == "@drop":
+                    flush()
+                    pending_targets = self._parse_namelist()
+                elif token.text == "@if":
+                    if pending_targets is None:
+                        raise ParseError("@if without preceding @drop", token.line)
+                    if pending_sigs:
+                        raise ParseError("duplicate @if; use @elif", token.line)
+                    pending_sigs.append(self._parse_namelist())
+                elif token.text == "@elif":
+                    if pending_targets is None or not pending_sigs:
+                        raise ParseError("@elif without preceding @if", token.line)
+                    pending_sigs.append(self._parse_namelist())
+                elif token.text == "@replayproxy":
+                    path = self._expect(TokenKind.IDENT).text
+                    self._expect(TokenKind.SEMI)
+                    if replay_proxy is not None:
+                        raise ParseError("duplicate @replayproxy", token.line)
+                    replay_proxy = path
+                else:
+                    raise ParseError(
+                        f"{token.text} not valid inside a @record block",
+                        token.line)
+            flush()
+        return Decoration(record=True, drop_rules=tuple(drop_rules),
+                          replay_proxy=replay_proxy,
+                          source_lines=end_line - start_line + 1)
+
+    def _parse_namelist(self) -> Tuple[str, ...]:
+        names = [self._expect(TokenKind.IDENT).text]
+        while self._accept(TokenKind.COMMA):
+            names.append(self._expect(TokenKind.IDENT).text)
+        self._expect(TokenKind.SEMI)
+        return tuple(names)
+
+    def parse_param(self) -> Param:
+        direction = "in"
+        token = self._peek()
+        if token.kind is TokenKind.IDENT and token.text in _DIRECTIONS:
+            direction = self._next().text
+        type_name = self.parse_type()
+        name = self._expect(TokenKind.IDENT).text
+        return Param(type_name=type_name, name=name, direction=direction)
+
+    def parse_type(self) -> str:
+        base = self._expect(TokenKind.IDENT).text
+        if self._accept(TokenKind.LT):
+            inner = [self.parse_type()]
+            while self._accept(TokenKind.COMMA):
+                inner.append(self.parse_type())
+            self._expect(TokenKind.GT)
+            base = f"{base}<{', '.join(inner)}>"
+        if self._accept(TokenKind.LBRACKET):
+            self._expect(TokenKind.RBRACKET)
+            base = f"{base}[]"
+        return base
+
+    # -- semantic checks --------------------------------------------------------
+
+    def _check_semantics(self, iface: InterfaceDecl) -> None:
+        names = [m.name for m in iface.methods]
+        dupes = {n for n in names if names.count(n) > 1}
+        if dupes:
+            raise SemanticError(
+                f"interface {iface.name}: duplicate methods {sorted(dupes)}")
+        for method in iface.methods:
+            if method.decoration is None:
+                continue
+            own_params = set(method.param_names())
+            for rule in method.decoration.drop_rules:
+                for target in rule.targets:
+                    if target != THIS and target not in names:
+                        raise SemanticError(
+                            f"{iface.name}.{method.name}: @drop target "
+                            f"{target!r} is not a method of {iface.name}")
+                for sig in rule.signatures:
+                    unknown = set(sig) - own_params
+                    if unknown:
+                        raise SemanticError(
+                            f"{iface.name}.{method.name}: @if argument(s) "
+                            f"{sorted(unknown)} not parameters of the method")
+
+
+def parse(source: str) -> AidlDocument:
+    """Parse decorated AIDL source into an :class:`AidlDocument`."""
+    return _Parser(tokenize(source), source).parse_document()
+
+
+def parse_interface(source: str) -> InterfaceDecl:
+    """Parse a document expected to contain exactly one interface."""
+    document = parse(source)
+    if len(document.interfaces) != 1:
+        raise SemanticError(
+            f"expected one interface, found {len(document.interfaces)}")
+    return document.interfaces[0]

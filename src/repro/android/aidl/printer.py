@@ -1,0 +1,92 @@
+"""AIDL pretty-printer: AST back to canonical decorated-AIDL source.
+
+Round-tripping (``parse(print(ast)) == ast``) is the compiler's
+self-check: it proves the AST captures everything in the grammar and
+the printer emits only valid syntax.  The printer is also what the
+``flux-sim`` tooling uses to show users a service's decorated interface.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.android.aidl.ast import (
+    THIS,
+    AidlDocument,
+    Decoration,
+    DropRule,
+    InterfaceDecl,
+    MethodDecl,
+    Param,
+)
+
+INDENT = "    "
+
+
+def print_param(param: Param) -> str:
+    if param.direction != "in":
+        return f"{param.direction} {param.type_name} {param.name}"
+    # 'in' is implicit for primitives but canonical for parcelables; we
+    # keep the source compact and re-parseable by always omitting it.
+    return f"{param.type_name} {param.name}"
+
+
+def print_decoration(decoration: Decoration, indent: str = INDENT) -> List[str]:
+    """Lines for one @record decoration (without trailing method)."""
+    has_block = bool(decoration.drop_rules or decoration.replay_proxy)
+    if not has_block:
+        return [f"{indent}@record"]
+    lines = [f"{indent}@record {{"]
+    inner = indent + INDENT
+    for rule in decoration.drop_rules:
+        lines.append(f"{inner}@drop {', '.join(rule.targets)};")
+        for i, signature in enumerate(rule.signatures):
+            keyword = "@if" if i == 0 else "@elif"
+            lines.append(f"{inner}{keyword} {', '.join(signature)};")
+    if decoration.replay_proxy:
+        lines.append(f"{inner}@replayproxy {decoration.replay_proxy};")
+    lines.append(f"{indent}}}")
+    return lines
+
+
+def print_method(method: MethodDecl, indent: str = INDENT) -> List[str]:
+    lines: List[str] = []
+    if method.decoration is not None:
+        lines.extend(print_decoration(method.decoration, indent))
+    params = ", ".join(print_param(p) for p in method.params)
+    oneway = "oneway " if method.oneway else ""
+    lines.append(f"{indent}{oneway}{method.return_type} "
+                 f"{method.name}({params});")
+    return lines
+
+
+def print_interface(iface: InterfaceDecl) -> str:
+    lines = [f"interface {iface.name} {{"]
+    for i, method in enumerate(iface.methods):
+        if i:
+            lines.append("")
+        lines.extend(print_method(method))
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def print_document(document: AidlDocument) -> str:
+    return "\n\n".join(print_interface(i) for i in document.interfaces) + "\n"
+
+
+def strip_positions(iface: InterfaceDecl) -> InterfaceDecl:
+    """Drop line numbers and decoration-LOC (layout-dependent) so two
+    differently formatted parses of the same interface compare equal."""
+    methods = []
+    for method in iface.methods:
+        decoration = method.decoration
+        if decoration is not None:
+            decoration = Decoration(record=decoration.record,
+                                    drop_rules=decoration.drop_rules,
+                                    replay_proxy=decoration.replay_proxy,
+                                    source_lines=0)
+        methods.append(MethodDecl(
+            name=method.name, return_type=method.return_type,
+            params=method.params, decoration=decoration,
+            oneway=method.oneway, line=0))
+    return InterfaceDecl(name=iface.name, methods=tuple(methods), line=0)

@@ -1,0 +1,155 @@
+"""Lexer for the AIDL dialect with Flux decorations.
+
+Token kinds are deliberately few: identifiers (which include dotted proxy
+paths like ``flux.recordreplay.Proxies.alarmMgrSet``), decorator names
+(``@record`` etc.), punctuation, and keywords recognized at parse time.
+Line and block comments are skipped but newlines inside them still count
+for error positions and LOC accounting.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from repro.android.aidl.errors import LexError
+
+
+class TokenKind(enum.Enum):
+    IDENT = "ident"          # interface, void, method names, types, dotted paths
+    DECORATOR = "decorator"  # @record, @drop, @if, @elif, @replayproxy
+    LBRACE = "{"
+    RBRACE = "}"
+    LPAREN = "("
+    RPAREN = ")"
+    COMMA = ","
+    SEMI = ";"
+    LT = "<"
+    GT = ">"
+    LBRACKET = "["
+    RBRACKET = "]"
+    EOF = "eof"
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: TokenKind
+    text: str
+    line: int
+    column: int
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind.value}, {self.text!r}, L{self.line})"
+
+
+_PUNCT = {
+    "{": TokenKind.LBRACE,
+    "}": TokenKind.RBRACE,
+    "(": TokenKind.LPAREN,
+    ")": TokenKind.RPAREN,
+    ",": TokenKind.COMMA,
+    ";": TokenKind.SEMI,
+    "<": TokenKind.LT,
+    ">": TokenKind.GT,
+    "[": TokenKind.LBRACKET,
+    "]": TokenKind.RBRACKET,
+}
+
+KNOWN_DECORATORS = frozenset(
+    {"@record", "@drop", "@if", "@elif", "@replayproxy"})
+
+
+def _is_ident_start(ch: str) -> bool:
+    return ch.isalpha() or ch == "_"
+
+
+def _is_ident_char(ch: str) -> bool:
+    return ch.isalnum() or ch in "._"
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenize AIDL ``source``; raises :class:`LexError` on bad input."""
+    tokens: List[Token] = []
+    line = 1
+    col = 1
+    i = 0
+    n = len(source)
+
+    def advance(count: int = 1) -> None:
+        nonlocal i, line, col
+        for _ in range(count):
+            if i < n and source[i] == "\n":
+                line += 1
+                col = 1
+            else:
+                col += 1
+            i += 1
+
+    while i < n:
+        ch = source[i]
+        if ch in " \t\r\n\\":
+            # A backslash continues a statement onto the next line
+            # (used by the paper's @replayproxy example); treat as space.
+            advance()
+            continue
+        if ch == "/" and source[i:i + 2] == "//":
+            while i < n and source[i] != "\n":
+                advance()
+            continue
+        if ch == "/" and source[i:i + 2] == "/*":
+            advance(2)
+            while i < n and source[i:i + 2] != "*/":
+                advance()
+            if i >= n:
+                raise LexError("unterminated block comment", line, col)
+            advance(2)
+            continue
+        if ch == "@":
+            start_line, start_col = line, col
+            j = i + 1
+            while j < n and _is_ident_char(source[j]):
+                j += 1
+            text = source[i:j]
+            if text not in KNOWN_DECORATORS:
+                raise LexError(f"unknown decorator {text!r}", start_line, start_col)
+            tokens.append(Token(TokenKind.DECORATOR, text, start_line, start_col))
+            advance(j - i)
+            continue
+        if ch in _PUNCT:
+            tokens.append(Token(_PUNCT[ch], ch, line, col))
+            advance()
+            continue
+        if _is_ident_start(ch):
+            start_line, start_col = line, col
+            j = i
+            while j < n and _is_ident_char(source[j]):
+                j += 1
+            tokens.append(
+                Token(TokenKind.IDENT, source[i:j], start_line, start_col))
+            advance(j - i)
+            continue
+        raise LexError(f"unexpected character {ch!r}", line, col)
+
+    tokens.append(Token(TokenKind.EOF, "", line, col))
+    return tokens
+
+
+def iter_significant_lines(source: str) -> Iterator[str]:
+    """Non-blank, non-comment source lines (used for LOC accounting)."""
+    in_block = False
+    for raw in source.splitlines():
+        stripped = raw.strip()
+        if in_block:
+            if "*/" in stripped:
+                in_block = False
+                stripped = stripped.split("*/", 1)[1].strip()
+            else:
+                continue
+        if stripped.startswith("/*"):
+            if "*/" not in stripped:
+                in_block = True
+            continue
+        if not stripped or stripped.startswith("//"):
+            continue
+        yield stripped

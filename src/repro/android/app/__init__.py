@@ -1,0 +1,41 @@
+"""App runtime: activities, views, intents, the ActivityThread."""
+
+from repro.android.app.activity import Activity, ActivityState, LifecycleError
+from repro.android.app.activity_thread import (
+    ActivityThread,
+    AppContext,
+    AppRuntimeError,
+    AppService,
+    ContentProvider,
+)
+from repro.android.app.intent import (
+    ACTION_AIRPLANE_MODE,
+    ACTION_BATTERY_LOW,
+    ACTION_CONFIGURATION_CHANGED,
+    ACTION_CONNECTIVITY_CHANGE,
+    ACTION_WIFI_STATE_CHANGED,
+    BroadcastReceiver,
+    Intent,
+    IntentFilter,
+    PendingIntent,
+)
+from repro.android.app.managers import MANAGER_BINDINGS, SystemServiceManager
+from repro.android.app.notification import Notification, Toast
+from repro.android.app.views import (
+    GLSurfaceView,
+    View,
+    ViewError,
+    ViewGroup,
+    ViewRoot,
+)
+
+__all__ = [
+    "Activity", "ActivityState", "LifecycleError", "ActivityThread",
+    "AppContext", "AppRuntimeError", "AppService", "ContentProvider",
+    "ACTION_AIRPLANE_MODE", "ACTION_BATTERY_LOW",
+    "ACTION_CONFIGURATION_CHANGED", "ACTION_CONNECTIVITY_CHANGE",
+    "ACTION_WIFI_STATE_CHANGED", "BroadcastReceiver", "Intent",
+    "IntentFilter", "PendingIntent", "MANAGER_BINDINGS",
+    "SystemServiceManager", "Notification", "Toast", "GLSurfaceView", "View",
+    "ViewError", "ViewGroup", "ViewRoot",
+]

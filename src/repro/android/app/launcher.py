@@ -1,0 +1,80 @@
+"""The launcher: app icons, starting apps, and the migrated-app icon.
+
+Paper §3.4: "until the migrated app is brought back to its home device,
+an icon for the migrated app will exist on the guest device's launcher
+allowing the user to resume the migrated app"; and on the home side,
+starting an app whose live state is on a guest raises the sync-back /
+discard prompt.  The launcher is where both behaviours surface to the
+user, so it is modelled explicitly.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.core.migration.consistency import ConsistencyConflict
+
+
+class IconKind(enum.Enum):
+    NATIVE = "native"
+    MIGRATED = "migrated"    # the Flux wrapper of a migrated-in app
+
+
+@dataclass(frozen=True)
+class LauncherIcon:
+    package: str
+    kind: IconKind
+    running: bool
+
+
+class LauncherError(Exception):
+    pass
+
+
+class Launcher:
+    def __init__(self, device) -> None:
+        self.device = device
+
+    def icons(self) -> List[LauncherIcon]:
+        """Everything with a launchable presence on this device."""
+        icons = []
+        for info in self.device.package_service.installed_packages():
+            kind = IconKind.MIGRATED if info.pseudo else IconKind.NATIVE
+            if kind is IconKind.MIGRATED and not self._has_wrapper_payload(
+                    info.package):
+                continue   # a bare pairing wrapper with nothing migrated in
+            icons.append(LauncherIcon(
+                package=info.package, kind=kind,
+                running=self.device.thread_of(info.package) is not None))
+        return sorted(icons, key=lambda i: i.package)
+
+    def _has_wrapper_payload(self, package: str) -> bool:
+        """Does the wrapper currently hold a migrated instance?"""
+        return self.device.thread_of(package) is not None
+
+    def start(self, package: str):
+        """User taps an icon.
+
+        * A running app (native or migrated) comes to the foreground.
+        * A native app whose live state was migrated away raises the
+          consistency prompt (paper §3.4) instead of starting.
+        """
+        thread = self.device.thread_of(package)
+        if thread is not None:
+            self.device.activity_service.foreground_app(package)
+            return thread
+        info = self.device.package_service.get_package(package)
+        if info.pseudo:
+            raise LauncherError(
+                f"{package}: wrapper holds no migrated instance; migrate "
+                "the app to this device first")
+        # Native start: the consistency manager may veto.
+        self.device.consistency.check_native_start(package)
+        raise LauncherError(
+            f"{package}: cold start requires launching through the app "
+            "runtime (Device.launch_app) in this simulation")
+
+    def migrated_icons(self) -> List[LauncherIcon]:
+        return [i for i in self.icons() if i.kind is IconKind.MIGRATED]

@@ -1,0 +1,33 @@
+"""Notification and Toast parcelables."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from repro.android.app.intent import PendingIntent
+
+
+@dataclass
+class Notification:
+    title: str
+    text: str = ""
+    icon: str = ""
+    ongoing: bool = False
+    content_intent: Optional[PendingIntent] = None
+    extras: Dict[str, Any] = field(default_factory=dict)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Notification):
+            return NotImplemented
+        return (self.title, self.text, self.icon, self.ongoing) == (
+            other.title, other.text, other.icon, other.ongoing)
+
+    def __repr__(self) -> str:
+        return f"Notification(title={self.title!r})"
+
+
+@dataclass
+class Toast:
+    text: str
+    duration: str = "short"   # "short" | "long"

@@ -1,0 +1,192 @@
+"""View hierarchy: Views, ViewGroups, ViewRoot, GLSurfaceView.
+
+A Window's View hierarchy is rooted by a ViewRoot; rendering traverses
+the tree and each View draws its portion (paper §2).  Hardware-
+accelerated Views hold display lists in GPU memory via the
+HardwareRenderer; ``release_display_lists`` is the hook the trim-memory
+chain uses to drop them.  GLSurfaceView owns its own EGL context and is
+where ``setPreserveEGLContextOnPause`` — the feature that makes an app
+unmigratable (paper §3.4) — lives.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional
+
+
+class ViewError(Exception):
+    pass
+
+
+class View:
+    """An interactive UI element."""
+
+    _ids = itertools.count(1)
+    DISPLAY_LIST_BYTES = 16 * 1024
+
+    def __init__(self, name: str = "") -> None:
+        self.view_id = next(self._ids)
+        self.name = name or f"view-{self.view_id}"
+        self.parent: Optional["ViewGroup"] = None
+        self.valid = False          # needs redraw when False
+        self.draw_count = 0
+        self._display_list_res: Optional[int] = None
+
+    def invalidate(self) -> None:
+        self.valid = False
+
+    def draw(self, renderer) -> None:
+        """Draw this view; allocates its display list on first draw."""
+        if self._display_list_res is None and renderer is not None:
+            resource = renderer.allocate_display_list(self.DISPLAY_LIST_BYTES)
+            self._display_list_res = resource.res_id
+        self.valid = True
+        self.draw_count += 1
+
+    def release_display_list(self, renderer) -> None:
+        if self._display_list_res is not None and renderer is not None:
+            renderer.free_display_list(self._display_list_res)
+        self._display_list_res = None
+        self.valid = False
+
+    def iter_tree(self):
+        yield self
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name!r})"
+
+
+class ViewGroup(View):
+    """A View containing child Views."""
+
+    def __init__(self, name: str = "") -> None:
+        super().__init__(name)
+        self.children: List[View] = []
+
+    def add_view(self, child: View) -> View:
+        if child.parent is not None:
+            raise ViewError(f"{child} already has a parent")
+        child.parent = self
+        self.children.append(child)
+        return child
+
+    def remove_view(self, child: View) -> None:
+        if child not in self.children:
+            raise ViewError(f"{child} is not a child of {self}")
+        self.children.remove(child)
+        child.parent = None
+
+    def draw(self, renderer) -> None:
+        super().draw(renderer)
+        for child in self.children:
+            child.draw(renderer)
+
+    def release_display_list(self, renderer) -> None:
+        super().release_display_list(renderer)
+        for child in self.children:
+            child.release_display_list(renderer)
+
+    def iter_tree(self):
+        yield self
+        for child in self.children:
+            yield from child.iter_tree()
+
+
+class GLSurfaceView(View):
+    """A view with its own EGL context for direct GL rendering.
+
+    ``set_preserve_egl_context_on_pause(True)`` keeps the context alive
+    while backgrounded — the texture-cache optimization that defeats
+    Flux's preparation phase (paper §3.4, Subway Surfers).
+    """
+
+    def __init__(self, name: str = "", texture_bytes: int = 8 * 1024 * 1024) -> None:
+        super().__init__(name)
+        self.texture_bytes = texture_bytes
+        self.preserve_egl_context_on_pause = False
+        self._context = None
+        self._gl = None
+        self._process = None
+
+    def set_preserve_egl_context_on_pause(self, preserve: bool) -> None:
+        self.preserve_egl_context_on_pause = preserve
+
+    def attach_gl(self, gl, process) -> None:
+        self._gl = gl
+        self._process = process
+
+    def on_resume_gl(self) -> None:
+        """(Re)create the GL context and upload textures."""
+        if self._gl is None:
+            raise ViewError(f"{self.name}: no GL library attached")
+        if self._context is None or self._context.destroyed:
+            self._gl.egl_initialize(self._process)
+            self._context = self._gl.egl_create_context(self._process)
+            self._context.create_resource("texture", self.texture_bytes)
+
+    def on_pause_gl(self) -> None:
+        """Default behaviour: destroy the context when paused."""
+        if self.preserve_egl_context_on_pause:
+            return
+        if self._context is not None and not self._context.destroyed:
+            self._context.destroy()
+            self._context = None
+
+    @property
+    def has_live_context(self) -> bool:
+        return self._context is not None and not self._context.destroyed
+
+    def draw(self, renderer) -> None:
+        # GL views render through their own context, not the renderer's.
+        if not self.has_live_context:
+            self.on_resume_gl()
+        self.valid = True
+        self.draw_count += 1
+
+    def release_display_list(self, renderer) -> None:
+        self.valid = False
+
+
+class ViewRoot:
+    """Root of a Window's view hierarchy; drives traversal."""
+
+    _ids = itertools.count(1)
+
+    def __init__(self, window, content: ViewGroup) -> None:
+        self.root_id = next(self._ids)
+        self.window = window
+        self.content = content
+        self.destroyed = False
+        self.traversals = 0
+
+    def perform_traversal(self, renderer) -> None:
+        """Render the tree into the window surface."""
+        if self.destroyed:
+            raise ViewError(f"ViewRoot {self.root_id} destroyed")
+        if not self.window.has_surface:
+            raise ViewError(f"window {self.window.window_id} has no surface")
+        self.content.draw(renderer)
+        self.window.surface.render_frame()
+        self.traversals += 1
+
+    def invalidate_all(self) -> None:
+        for view in self.content.iter_tree():
+            view.invalidate()
+
+    def all_views_invalid(self) -> bool:
+        return all(not v.valid for v in self.content.iter_tree())
+
+    def release_display_lists(self, renderer) -> None:
+        """terminateHardwareResources: drop GPU-side view state."""
+        self.content.release_display_list(renderer)
+
+    def gl_surface_views(self) -> List[GLSurfaceView]:
+        return [v for v in self.content.iter_tree()
+                if isinstance(v, GLSurfaceView)]
+
+    def destroy(self) -> None:
+        self.destroyed = True
+
+    def view_count(self) -> int:
+        return sum(1 for _ in self.content.iter_tree())

@@ -1,0 +1,20 @@
+"""Binder IPC: driver, nodes/handles, parcels, ServiceManager."""
+
+from repro.android.binder.driver import (
+    BinderDriver,
+    BinderError,
+    BinderNode,
+    BinderRef,
+    DeadObjectError,
+    ProcessBinderState,
+)
+from repro.android.binder.ibinder import Binder, CallerAwareBinder, IBinder
+from repro.android.binder.parcel import BinderToken, FdToken, Parcel, ParcelError
+from repro.android.binder.service_manager import ServiceManager
+
+__all__ = [
+    "BinderDriver", "BinderError", "BinderNode", "BinderRef",
+    "DeadObjectError", "ProcessBinderState", "Binder", "CallerAwareBinder",
+    "IBinder", "BinderToken", "FdToken", "Parcel", "ParcelError",
+    "ServiceManager",
+]

@@ -1,0 +1,77 @@
+"""Client- and service-side binder object wrappers.
+
+``IBinder`` is what application code holds: a (process, handle) pair bound
+to a driver, with a ``transact`` method.  ``Binder`` is the base class for
+service implementations; subclasses simply define methods and the default
+``on_transact`` dispatches to them.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.android.binder.driver import BinderDriver, BinderNode
+from repro.android.binder.parcel import Parcel
+
+
+class IBinder:
+    """A client-side reference: process-local handle plus driver."""
+
+    def __init__(self, driver: BinderDriver, process, handle: int) -> None:
+        self._driver = driver
+        self._process = process
+        self.handle = handle
+
+    def transact(self, method: str, *args: Any) -> Any:
+        parcel = Parcel().write_all(args)
+        return self._driver.transact(self._process, self.handle, method, parcel)
+
+    def node(self) -> BinderNode:
+        return self._driver.resolve(self._process, self.handle)
+
+    @property
+    def alive(self) -> bool:
+        try:
+            node = self.node()
+        except Exception:
+            return False
+        return node.alive and node.owner.alive
+
+    def __repr__(self) -> str:
+        return f"IBinder(pid={self._process.pid}, handle={self.handle})"
+
+
+class Binder:
+    """Base class for binder service implementations."""
+
+    def __init__(self) -> None:
+        self._node: Optional[BinderNode] = None
+
+    def attach_node(self, node: BinderNode) -> None:
+        self._node = node
+
+    @property
+    def binder_node(self) -> Optional[BinderNode]:
+        return self._node
+
+    def on_transact(self, method: str, parcel: Parcel, caller) -> Any:
+        func = getattr(self, method, None)
+        if func is None or not callable(func) or method.startswith("_"):
+            raise AttributeError(
+                f"{type(self).__name__} has no transaction method {method!r}")
+        return self.dispatch(func, parcel, caller)
+
+    def dispatch(self, func, parcel: Parcel, caller) -> Any:
+        """Unpack the parcel and invoke; subclasses may inject the caller."""
+        return func(*parcel.values())
+
+
+class CallerAwareBinder(Binder):
+    """A service whose methods receive the calling process first.
+
+    System services need the caller identity to key app-specific state
+    (the paper's services track per-app notifications, alarms, etc.).
+    """
+
+    def dispatch(self, func, parcel: Parcel, caller) -> Any:
+        return func(caller, *parcel.values())

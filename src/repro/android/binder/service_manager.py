@@ -1,0 +1,86 @@
+"""The userspace ServiceManager.
+
+Services register name -> node; clients look names up to obtain handles.
+The ServiceManager is itself a binder node, installed as the driver's
+context manager so every process reaches it at handle 0 (paper §2).
+CRIA's restore path asks the *guest* ServiceManager for equivalent
+services by the names recorded in the checkpoint image.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.android.binder.driver import BinderDriver, BinderError, BinderNode
+from repro.android.binder.ibinder import Binder, IBinder
+from repro.android.binder.parcel import Parcel
+
+
+class ServiceManager(Binder):
+    def __init__(self, driver: BinderDriver, owner_process) -> None:
+        super().__init__()
+        self._driver = driver
+        self._process = owner_process
+        self._registry: Dict[str, BinderNode] = {}
+        node = driver.create_node(owner_process, self, "servicemanager",
+                                  system_service=True)
+        self.attach_node(node)
+        driver.set_context_manager(node)
+
+    # -- registration (service side) -----------------------------------------
+
+    def add_service(self, name: str, node: BinderNode) -> None:
+        if name in self._registry and self._registry[name].alive:
+            raise BinderError(f"service {name!r} already registered")
+        self._registry[name] = node
+
+    def add_binder_service(self, name: str, service: Binder, owner_process,
+                           system: bool = True) -> BinderNode:
+        """Convenience: create a node for ``service`` and register it."""
+        node = self._driver.create_node(owner_process, service, name,
+                                        system_service=system)
+        service.attach_node(node)
+        self.add_service(name, node)
+        return node
+
+    # -- lookup (client side) --------------------------------------------------
+
+    def get_service(self, client_process, name: str) -> IBinder:
+        node = self._lookup(name)
+        if node is None:
+            raise BinderError(f"no service registered as {name!r}")
+        handle = self._driver.acquire_ref(client_process, node)
+        return IBinder(self._driver, client_process, handle)
+
+    def check_service(self, name: str) -> bool:
+        return self._lookup(name) is not None
+
+    def list_services(self) -> List[str]:
+        return sorted(n for n, node in self._registry.items() if node.alive)
+
+    def name_of_node(self, node_id: int) -> Optional[str]:
+        for name, node in self._registry.items():
+            if node.node_id == node_id and node.alive:
+                return name
+        return None
+
+    def node_of(self, name: str) -> Optional[BinderNode]:
+        return self._lookup(name)
+
+    def _lookup(self, name: str) -> Optional[BinderNode]:
+        node = self._registry.get(name)
+        if node is not None and node.alive:
+            return node
+        return None
+
+    # ServiceManager RPC interface (when reached via handle 0).
+    def on_transact(self, method: str, parcel: Parcel, caller):
+        if method == "getService":
+            (name,) = parcel.values()
+            return self.get_service(caller, name)
+        if method == "checkService":
+            (name,) = parcel.values()
+            return self.check_service(name)
+        if method == "listServices":
+            return self.list_services()
+        raise BinderError(f"unknown ServiceManager method {method!r}")

@@ -1,0 +1,26 @@
+"""Graphics stack: EGL/GL with vendor-library split, surfaces, renderer."""
+
+from repro.android.graphics.egl import (
+    EGLContext,
+    GenericGlLibrary,
+    GlError,
+    GlResource,
+    VendorGlLibrary,
+)
+from repro.android.graphics.renderer import (
+    TRIM_MEMORY_COMPLETE,
+    TRIM_MEMORY_UI_HIDDEN,
+    HardwareRenderer,
+)
+from repro.android.graphics.surface import (
+    ScreenConfig,
+    Surface,
+    SurfaceError,
+    Window,
+)
+
+__all__ = [
+    "EGLContext", "GenericGlLibrary", "GlError", "GlResource",
+    "VendorGlLibrary", "TRIM_MEMORY_COMPLETE", "TRIM_MEMORY_UI_HIDDEN",
+    "HardwareRenderer", "ScreenConfig", "Surface", "SurfaceError", "Window",
+]

@@ -1,0 +1,111 @@
+"""HardwareRenderer: per-process GPU rendering front end.
+
+Models the chain the paper walks in §3.3: the renderer owns an EGL
+context plus caches of GL resources; ``start_trim_memory`` flushes the
+caches, ``destroy_hardware_resources`` drops per-ViewRoot display lists,
+and ``destroy`` disables the renderer.  Once every context is gone the
+renderer uninitializes OpenGL, after which Flux's ``egl_unload`` can
+remove the vendor library.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.android.graphics.egl import EGLContext, GenericGlLibrary, GlError
+
+
+# Trim levels, mirroring android.content.ComponentCallbacks2.
+TRIM_MEMORY_UI_HIDDEN = 20
+TRIM_MEMORY_COMPLETE = 80      # highest severity; what Flux requests
+
+
+class HardwareRenderer:
+    """One per app process; renders every hardware-accelerated window."""
+
+    CACHE_KINDS = ("texture-cache", "path-cache", "gradient-cache")
+    CACHE_BYTES = {"texture-cache": 2 * 1024 * 1024,
+                   "path-cache": 512 * 1024,
+                   "gradient-cache": 128 * 1024}
+
+    def __init__(self, process, gl: GenericGlLibrary) -> None:
+        self.process = process
+        self.gl = gl
+        self.context: Optional[EGLContext] = None
+        self.enabled = False
+        self._caches: Dict[str, int] = {}        # kind -> res_id
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def initialize(self) -> None:
+        """Conditional initialization: idempotent, as Android relies on."""
+        if self.enabled:
+            return
+        self.gl.egl_initialize(self.process)
+        self.context = self.gl.egl_create_context(self.process)
+        for kind in self.CACHE_KINDS:
+            resource = self.context.create_resource(kind,
+                                                    self.CACHE_BYTES[kind])
+            self._caches[kind] = resource.res_id
+        self.enabled = True
+
+    @property
+    def initialized(self) -> bool:
+        return self.enabled
+
+    # -- rendering -------------------------------------------------------------
+
+    def draw(self, view_root) -> None:
+        if not self.enabled:
+            self.initialize()       # conditional init on first use
+        view_root.perform_traversal(self)
+
+    def allocate_display_list(self, size: int):
+        if self.context is None:
+            raise GlError("renderer has no context")
+        return self.context.create_resource("buffer", size)
+
+    def free_display_list(self, res_id: int) -> None:
+        if self.context is not None and not self.context.destroyed:
+            if res_id in self.context.resources:
+                self.context.delete_resource(res_id)
+
+    # -- trim-memory chain (paper §3.3) -----------------------------------------
+
+    def start_trim_memory(self, level: int) -> None:
+        """Flush caches; at TRIM_MEMORY_COMPLETE everything goes."""
+        if self.context is None or self.context.destroyed:
+            return
+        for kind, res_id in list(self._caches.items()):
+            if res_id in self.context.resources:
+                self.context.delete_resource(res_id)
+            del self._caches[kind]
+
+    def destroy_hardware_resources(self, view_root) -> None:
+        view_root.release_display_lists(self)
+
+    def destroy(self) -> None:
+        """Disable the renderer and drop its context."""
+        if self.context is not None and not self.context.destroyed:
+            self.context.destroy()
+        self.context = None
+        self._caches.clear()
+        self.enabled = False
+
+    def terminate_and_uninitialize(self) -> bool:
+        """End-of-trim step: drop the renderer's own context.
+
+        Returns True when OpenGL is fully uninitialized for the process
+        (no contexts remain, so eglUnload may proceed).  A GLSurfaceView
+        that preserved its context across pause keeps it alive here —
+        exactly the state that defeats Flux's preparation (paper §3.4).
+        """
+        self.destroy()
+        return self.gl.vendor.live_context_count(self.process.pid) == 0
+
+    def cache_bytes(self) -> int:
+        if self.context is None:
+            return 0
+        return sum(self.context.resources[r].size
+                   for r in self._caches.values()
+                   if r in self.context.resources)

@@ -1,0 +1,105 @@
+"""Windows and drawing surfaces.
+
+Each activity gets a Window from the WindowManagerService; a Window
+contains a single Surface into which the View hierarchy renders (paper
+§2).  Surface buffers are device-specific memory sized by the screen, so
+they are destroyed when an activity stops and recreated — sized for the
+*guest* screen — after migration.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.android.kernel.memory import MemoryRegion, RegionKind
+
+
+class SurfaceError(Exception):
+    pass
+
+
+@dataclass(frozen=True)
+class ScreenConfig:
+    width_px: int
+    height_px: int
+    density_dpi: int
+
+    @property
+    def pixels(self) -> int:
+        return self.width_px * self.height_px
+
+    def buffer_bytes(self) -> int:
+        """Double-buffered RGBA surface for a full-screen window."""
+        return self.pixels * 4 * 2
+
+    def __str__(self) -> str:
+        return f"{self.width_px}x{self.height_px}@{self.density_dpi}dpi"
+
+
+class Surface:
+    """A buffer an activity's view hierarchy renders into."""
+
+    _ids = itertools.count(1)
+
+    def __init__(self, process, screen: ScreenConfig) -> None:
+        self.surface_id = next(self._ids)
+        self.process = process
+        self.screen = screen
+        self.valid = True
+        self._region_name = f"surface:{self.surface_id}"
+        process.memory.map(MemoryRegion(
+            name=self._region_name, kind=RegionKind.SURFACE,
+            size=screen.buffer_bytes()))
+        self.frames_rendered = 0
+
+    def render_frame(self) -> None:
+        if not self.valid:
+            raise SurfaceError(f"surface {self.surface_id} destroyed")
+        self.frames_rendered += 1
+
+    def destroy(self) -> None:
+        if not self.valid:
+            return
+        self.process.memory.unmap(self._region_name)
+        self.valid = False
+
+
+class Window:
+    """A WindowManager window hosting one Surface."""
+
+    _ids = itertools.count(1)
+
+    def __init__(self, owner_package: str, process, screen: ScreenConfig,
+                 title: str = "") -> None:
+        self.window_id = next(self._ids)
+        self.owner_package = owner_package
+        self.process = process
+        self.screen = screen
+        self.title = title
+        self.surface: Optional[Surface] = Surface(process, screen)
+        self.visible = True
+
+    def destroy_surface(self) -> None:
+        """Free the drawing surface (activity stopped; paper §2)."""
+        if self.surface is not None:
+            self.surface.destroy()
+            self.surface = None
+
+    def recreate_surface(self, screen: Optional[ScreenConfig] = None) -> Surface:
+        """Recreate the surface, possibly for a different screen (guest)."""
+        if self.surface is not None and self.surface.valid:
+            raise SurfaceError(f"window {self.window_id} already has a surface")
+        if screen is not None:
+            self.screen = screen
+        self.surface = Surface(self.process, self.screen)
+        return self.surface
+
+    @property
+    def has_surface(self) -> bool:
+        return self.surface is not None and self.surface.valid
+
+    def destroy(self) -> None:
+        self.destroy_surface()
+        self.visible = False

@@ -1,0 +1,17 @@
+"""Hardware profiles for the paper's evaluation devices."""
+
+from repro.android.hardware.profiles import (
+    ALL_PROFILES,
+    NEXUS_4,
+    NEXUS_5,
+    NEXUS_7_2012,
+    NEXUS_7_2013,
+    PAPER_DEVICE_PAIRS,
+    DeviceProfile,
+    profile_by_name,
+)
+
+__all__ = [
+    "ALL_PROFILES", "NEXUS_4", "NEXUS_5", "NEXUS_7_2012", "NEXUS_7_2013",
+    "PAPER_DEVICE_PAIRS", "DeviceProfile", "profile_by_name",
+]

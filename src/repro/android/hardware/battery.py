@@ -1,0 +1,109 @@
+"""Battery model.
+
+Motivates the paper's scenario 3 ("switching to a different device when
+the battery is running low", §1).  The battery drains on the virtual
+clock at a base rate plus per-load contributions (screen, GPU, radio);
+crossing the low threshold fires callbacks and a BATTERY_LOW broadcast
+once per discharge cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+
+LOW_BATTERY_THRESHOLD = 0.15
+
+#: Fractional drain per virtual hour, by load component.
+BASE_DRAIN_PER_HOUR = 0.04
+LOAD_DRAIN_PER_HOUR = {
+    "screen": 0.08,
+    "gpu": 0.15,
+    "radio": 0.05,
+    "cpu_burst": 0.10,
+}
+
+
+class Battery:
+    """Lazy-evaluated battery state on a virtual clock."""
+
+    def __init__(self, clock, level: float = 1.0,
+                 check_interval: float = 30.0) -> None:
+        if not 0.0 <= level <= 1.0:
+            raise ValueError(f"bad battery level {level!r}")
+        self._clock = clock
+        self._level = level
+        self._last_update = clock.now
+        self._loads: Dict[str, bool] = {"screen": True}
+        self._low_callbacks: List[Callable[[float], None]] = []
+        self._low_fired = level <= LOW_BATTERY_THRESHOLD
+        self._check_interval = check_interval
+        self._schedule_check()
+
+    # -- level accounting ----------------------------------------------------
+
+    @property
+    def level(self) -> float:
+        self._settle()
+        return self._level
+
+    @property
+    def is_low(self) -> bool:
+        return self.level <= LOW_BATTERY_THRESHOLD
+
+    def drain_per_hour(self) -> float:
+        rate = BASE_DRAIN_PER_HOUR
+        for load, active in self._loads.items():
+            if active:
+                rate += LOAD_DRAIN_PER_HOUR.get(load, 0.0)
+        return rate
+
+    def _settle(self) -> None:
+        now = self._clock.now
+        elapsed_hours = (now - self._last_update) / 3600.0
+        if elapsed_hours > 0:
+            self._level = max(0.0,
+                              self._level
+                              - self.drain_per_hour() * elapsed_hours)
+            self._last_update = now
+
+    # -- loads ---------------------------------------------------------------
+
+    def set_load(self, load: str, active: bool) -> None:
+        self._settle()
+        self._loads[load] = active
+
+    def active_loads(self) -> List[str]:
+        return sorted(l for l, a in self._loads.items() if a)
+
+    # -- charge / discharge ----------------------------------------------------
+
+    def set_level(self, level: float) -> None:
+        """Direct set (tests, 'plugged in'); resets the low-fired latch
+        when charged back above the threshold."""
+        if not 0.0 <= level <= 1.0:
+            raise ValueError(f"bad battery level {level!r}")
+        self._settle()
+        self._level = level
+        if level > LOW_BATTERY_THRESHOLD:
+            self._low_fired = False
+
+    # -- low-battery notification -------------------------------------------------
+
+    def on_low(self, callback: Callable[[float], None]) -> None:
+        self._low_callbacks.append(callback)
+
+    def _schedule_check(self) -> None:
+        self._clock.call_after(self._check_interval, self._check)
+
+    def _check(self) -> None:
+        self._settle()
+        if self._level <= LOW_BATTERY_THRESHOLD and not self._low_fired:
+            self._low_fired = True
+            for callback in list(self._low_callbacks):
+                callback(self._level)
+        self._schedule_check()
+
+    def __repr__(self) -> str:
+        return f"Battery(level={self.level:.2f}, loads={self.active_loads()})"

@@ -1,0 +1,146 @@
+"""Device profiles for the paper's testbed.
+
+Paper §4: a Nexus 4 phone (Snapdragon S4 Pro APQ8064, Adreno 320, 2 GB,
+768x1280), a Nexus 7 (2012) tablet (Tegra 3, ULP GeForce, 1 GB,
+1280x800, kernel 3.1, 2.4 GHz-only 802.11n on a congested campus band),
+and Nexus 7 (2013) tablets (APQ8064, Adreno 320, 2 GB, 1920x1200,
+kernel 3.4).
+
+``cpu_factor`` scales CPU-bound stage costs (1.0 = Nexus 4 reference);
+``wifi_effective_mbps`` is the achievable goodput on the paper's
+congested campus WiFi, not the radio's nominal rate.  These constants
+are the *model parameters* behind Figures 12-15; see EXPERIMENTS.md for
+how they were calibrated against the published averages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional, Tuple
+
+from repro.android.graphics.surface import ScreenConfig
+from repro.android.services.sensor import Sensor
+from repro.sim import units
+
+
+_STANDARD_SENSORS: Tuple[Sensor, ...] = (
+    Sensor(1, "accelerometer", "BMI160 Accelerometer", 200),
+    Sensor(2, "gyroscope", "BMI160 Gyroscope", 200),
+    Sensor(3, "magnetometer", "AK8963 Magnetometer", 100),
+    Sensor(4, "light", "APDS-9930 Light", 10),
+    Sensor(5, "proximity", "APDS-9930 Proximity", 10),
+)
+
+
+@dataclass(frozen=True)
+class DeviceProfile:
+    name: str                      # short id, e.g. "nexus4"
+    model: str                     # marketing name
+    soc: str
+    gpu_name: str
+    ram_bytes: int
+    screen: ScreenConfig
+    kernel_version: str
+    android_version: str
+    api_level: int
+    cpu_factor: float              # relative CPU speed, Nexus 4 == 1.0
+    wifi_band: str                 # "2.4GHz" | "dual"
+    wifi_effective_mbps: float     # congested-campus goodput
+    sensors: Tuple[Sensor, ...] = _STANDARD_SENSORS
+    location_providers: Tuple[str, ...] = ("gps", "network")
+    has_vibrator: bool = True
+    country: str = "US"
+    stream_max_volumes: Optional[Dict[int, int]] = None
+    framework_bytes: int = units.mb(215)   # core frameworks + libs (paper §4)
+    default_ssid: str = "campus-wifi"
+
+    @property
+    def wifi_link_mbps(self) -> float:
+        return self.wifi_effective_mbps
+
+    def __str__(self) -> str:
+        return f"{self.model} ({self.screen}, kernel {self.kernel_version})"
+
+
+NEXUS_4 = DeviceProfile(
+    name="nexus4",
+    model="Nexus 4",
+    soc="Qualcomm Snapdragon S4 Pro APQ8064",
+    gpu_name="Adreno 320",
+    ram_bytes=units.gb(2),
+    screen=ScreenConfig(768, 1280, 320),
+    kernel_version="3.4",
+    android_version="4.4.2",
+    api_level=19,
+    cpu_factor=1.0,
+    wifi_band="dual",
+    wifi_effective_mbps=16.0,
+)
+
+NEXUS_7_2012 = DeviceProfile(
+    name="nexus7",
+    model="Nexus 7 (2012)",
+    soc="NVIDIA Tegra 3 T30L",
+    gpu_name="ULP GeForce",
+    ram_bytes=units.gb(1),
+    screen=ScreenConfig(1280, 800, 213),
+    kernel_version="3.1",
+    android_version="4.4.2",
+    api_level=19,
+    cpu_factor=0.65,
+    wifi_band="2.4GHz",          # only the congested band (paper §4)
+    wifi_effective_mbps=10.0,
+    location_providers=("network",),   # no GPS on the WiFi Nexus 7
+)
+
+NEXUS_7_2013 = DeviceProfile(
+    name="nexus7_2013",
+    model="Nexus 7 (2013)",
+    soc="Qualcomm Snapdragon S4 Pro APQ8064",
+    gpu_name="Adreno 320",
+    ram_bytes=units.gb(2),
+    screen=ScreenConfig(1920, 1200, 323),
+    kernel_version="3.4",
+    android_version="4.4.2",
+    api_level=19,
+    cpu_factor=1.1,
+    wifi_band="dual",
+    wifi_effective_mbps=18.0,
+)
+
+# An 802.11ac device the paper mentions as the future (§4): used by the
+# transfer-scaling ablation benchmark, not by the headline experiments.
+NEXUS_5 = DeviceProfile(
+    name="nexus5",
+    model="Nexus 5",
+    soc="Qualcomm Snapdragon 800",
+    gpu_name="Adreno 330",
+    ram_bytes=units.gb(2),
+    screen=ScreenConfig(1080, 1920, 445),
+    kernel_version="3.4",
+    android_version="4.4.2",
+    api_level=19,
+    cpu_factor=1.4,
+    wifi_band="dual",
+    wifi_effective_mbps=80.0,   # 802.11ac
+)
+
+
+ALL_PROFILES: Tuple[DeviceProfile, ...] = (
+    NEXUS_4, NEXUS_7_2012, NEXUS_7_2013, NEXUS_5)
+
+
+def profile_by_name(name: str) -> DeviceProfile:
+    for profile in ALL_PROFILES:
+        if profile.name == name:
+            return profile
+    raise KeyError(f"no device profile {name!r}")
+
+
+# The four migration pairs evaluated in the paper (§4).
+PAPER_DEVICE_PAIRS: Tuple[Tuple[DeviceProfile, DeviceProfile], ...] = (
+    (NEXUS_7_2013, NEXUS_7_2013),   # same device type
+    (NEXUS_4, NEXUS_7_2013),        # phone -> larger tablet
+    (NEXUS_7_2012, NEXUS_7_2013),   # different GPU + kernel 3.1 -> 3.4
+    (NEXUS_7_2012, NEXUS_4),        # tablet -> smaller phone
+)

@@ -1,0 +1,34 @@
+"""Simulated Android/Linux kernel: processes, memory, fds, namespaces, drivers."""
+
+from repro.android.kernel.files import (
+    DeviceFile,
+    FDTable,
+    FdError,
+    FileObject,
+    OpenFile,
+    Pipe,
+    UnixSocket,
+)
+from repro.android.kernel.kernel import Kernel, KernelError
+from repro.android.kernel.memory import (
+    DEVICE_SPECIFIC_KINDS,
+    AddressSpace,
+    MemoryRegion,
+    RegionKind,
+)
+from repro.android.kernel.namespace import NamespaceError, PIDNamespace
+from repro.android.kernel.process import (
+    Process,
+    ProcessError,
+    ProcessState,
+    Thread,
+    ThreadState,
+)
+
+__all__ = [
+    "DeviceFile", "FDTable", "FdError", "FileObject", "OpenFile", "Pipe",
+    "UnixSocket", "Kernel", "KernelError", "DEVICE_SPECIFIC_KINDS",
+    "AddressSpace", "MemoryRegion", "RegionKind", "NamespaceError",
+    "PIDNamespace", "Process", "ProcessError", "ProcessState", "Thread",
+    "ThreadState",
+]

@@ -1,0 +1,14 @@
+"""Android-specific kernel drivers."""
+
+from repro.android.kernel.drivers.alarm_dev import AlarmDriver, KernelAlarm
+from repro.android.kernel.drivers.ashmem import AshmemDriver, AshmemRegion
+from repro.android.kernel.drivers.base import Driver, DriverError
+from repro.android.kernel.drivers.logger import LogEntry, LoggerDriver
+from repro.android.kernel.drivers.pmem import PmemAllocation, PmemDriver
+from repro.android.kernel.drivers.wakelock import WakelockDriver
+
+__all__ = [
+    "AlarmDriver", "KernelAlarm", "AshmemDriver", "AshmemRegion", "Driver",
+    "DriverError", "LogEntry", "LoggerDriver", "PmemAllocation", "PmemDriver",
+    "WakelockDriver",
+]

@@ -1,0 +1,81 @@
+"""ashmem: Android named shared-memory driver.
+
+The paper notes ashmem is mainly used by Dalvik to name memory regions;
+Flux sidesteps checkpointing it by patching Dalvik to use plain mmap.  We
+implement the driver faithfully anyway — an app that still holds ashmem
+regions at checkpoint time is detected, and CRIA either refuses or the
+runtime is configured in "dalvik-mmap" mode which avoids creating them.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.android.kernel.drivers.base import Driver, DriverError
+from repro.android.kernel.files import DeviceFile
+from repro.android.kernel.memory import MemoryRegion, RegionKind
+
+
+class AshmemRegion:
+    def __init__(self, name: str, size: int, owner_pid: int) -> None:
+        self.name = name
+        self.size = size
+        self.owner_pid = owner_pid
+        self.pinned = True
+        self.mappers: List[int] = []
+
+
+class AshmemDriver(Driver):
+    name = "ashmem"
+
+    def __init__(self, kernel) -> None:
+        super().__init__(kernel)
+        self._regions: Dict[str, AshmemRegion] = {}
+
+    def open(self, process, **kwargs: Any) -> DeviceFile:
+        return DeviceFile(self.name, state={"region": None})
+
+    def create_region(self, process, name: str, size: int) -> AshmemRegion:
+        if name in self._regions:
+            raise DriverError(f"ashmem region {name!r} exists")
+        region = AshmemRegion(name, size, process.pid)
+        self._regions[name] = region
+        return region
+
+    def map_region(self, process, name: str) -> MemoryRegion:
+        region = self._get(name)
+        mapping = process.memory.map(MemoryRegion(
+            name=f"ashmem:{name}", kind=RegionKind.ASHMEM, size=region.size,
+            shared_with=name))
+        region.mappers.append(process.pid)
+        return mapping
+
+    def unmap_region(self, process, name: str) -> None:
+        region = self._get(name)
+        process.memory.unmap(f"ashmem:{name}")
+        if process.pid in region.mappers:
+            region.mappers.remove(process.pid)
+        if not region.mappers and region.owner_pid == process.pid:
+            del self._regions[name]
+
+    def regions_of(self, pid: int) -> List[AshmemRegion]:
+        return [r for r in self._regions.values() if pid in r.mappers]
+
+    def checkpoint_state(self, process) -> Optional[Dict[str, Any]]:
+        regions = self.regions_of(process.pid)
+        if not regions:
+            return None
+        return {"regions": [{"name": r.name, "size": r.size} for r in regions]}
+
+    def restore_state(self, process, state: Dict[str, Any]) -> None:
+        for spec in state["regions"]:
+            if spec["name"] not in self._regions:
+                self.create_region(process, spec["name"], spec["size"])
+            if not process.memory.has(f"ashmem:{spec['name']}"):
+                self.map_region(process, spec["name"])
+
+    def _get(self, name: str) -> AshmemRegion:
+        try:
+            return self._regions[name]
+        except KeyError:
+            raise DriverError(f"no ashmem region {name!r}") from None

@@ -1,0 +1,61 @@
+"""Android Logger driver: ring buffers for log messages.
+
+The paper notes Logger needed little CRIA work because it is used like a
+regular file and keeps no per-process state; our model matches — the
+driver holds global ring buffers and processes merely write into them.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional
+
+from repro.android.kernel.drivers.base import Driver, DriverError
+
+
+LOG_BUFFERS = ("main", "system", "events", "radio")
+DEFAULT_CAPACITY = 4096
+
+
+@dataclass(frozen=True)
+class LogEntry:
+    time: float
+    pid: int
+    tag: str
+    priority: str
+    message: str
+
+
+class LoggerDriver(Driver):
+    name = "logger"
+
+    def __init__(self, kernel, capacity: int = DEFAULT_CAPACITY) -> None:
+        super().__init__(kernel)
+        self._buffers: Dict[str, Deque[LogEntry]] = {
+            b: deque(maxlen=capacity) for b in LOG_BUFFERS
+        }
+
+    def write(self, process, tag: str, message: str,
+              priority: str = "I", buffer: str = "main") -> LogEntry:
+        entry = LogEntry(time=self.kernel.clock.now, pid=process.pid,
+                         tag=tag, priority=priority, message=message)
+        self._buffer(buffer).append(entry)
+        return entry
+
+    def read(self, buffer: str = "main",
+             pid: Optional[int] = None) -> List[LogEntry]:
+        entries = list(self._buffer(buffer))
+        if pid is not None:
+            entries = [e for e in entries if e.pid == pid]
+        return entries
+
+    def checkpoint_state(self, process) -> None:
+        # Like a regular file: nothing per-process to save (paper §3.3).
+        return None
+
+    def _buffer(self, name: str) -> Deque[LogEntry]:
+        try:
+            return self._buffers[name]
+        except KeyError:
+            raise DriverError(f"no log buffer {name!r}") from None

@@ -1,0 +1,66 @@
+"""pmem: physically contiguous memory allocator used by the GPU.
+
+pmem allocations are inherently device specific (they name physical
+addresses on the home SoC), so CRIA never checkpoints them; instead the
+preparation phase must free them.  ``allocations_of`` lets CRIA verify
+none remain at checkpoint time.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, List
+
+from repro.android.kernel.drivers.base import Driver, DriverError
+from repro.android.kernel.memory import MemoryRegion, RegionKind
+
+
+class PmemAllocation:
+    _ids = itertools.count(1)
+
+    def __init__(self, pid: int, size: int, purpose: str) -> None:
+        self.alloc_id = next(self._ids)
+        self.pid = pid
+        self.size = size
+        self.purpose = purpose     # e.g. "gl-texture-pool"
+
+
+class PmemDriver(Driver):
+    name = "pmem"
+
+    def __init__(self, kernel) -> None:
+        super().__init__(kernel)
+        self._allocations: Dict[int, PmemAllocation] = {}
+
+    def allocate(self, process, size: int, purpose: str) -> PmemAllocation:
+        if size <= 0:
+            raise DriverError(f"bad pmem size {size}")
+        alloc = PmemAllocation(process.pid, size, purpose)
+        self._allocations[alloc.alloc_id] = alloc
+        process.memory.map(MemoryRegion(
+            name=f"pmem:{alloc.alloc_id}", kind=RegionKind.PMEM, size=size))
+        return alloc
+
+    def free(self, process, alloc: PmemAllocation) -> None:
+        if alloc.alloc_id not in self._allocations:
+            raise DriverError(f"pmem allocation {alloc.alloc_id} unknown")
+        del self._allocations[alloc.alloc_id]
+        process.memory.unmap(f"pmem:{alloc.alloc_id}")
+
+    def free_all(self, process) -> int:
+        """Free every allocation owned by ``process``; returns bytes freed."""
+        freed = 0
+        for alloc in self.allocations_of(process.pid):
+            freed += alloc.size
+            self.free(process, alloc)
+        return freed
+
+    def allocations_of(self, pid: int) -> List[PmemAllocation]:
+        return [a for a in self._allocations.values() if a.pid == pid]
+
+    def checkpoint_state(self, process) -> None:
+        if self.allocations_of(process.pid):
+            raise DriverError(
+                "pmem allocations present at checkpoint; preparation phase "
+                "must free GPU memory first")
+        return None

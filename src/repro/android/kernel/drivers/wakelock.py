@@ -1,0 +1,51 @@
+"""Wakelock driver: keep-awake accounting.
+
+The device may sleep only when no wakelocks are held.  As with alarms,
+only system services take wakelocks (apps go through the
+PowerManagerService), so CRIA carries no per-process wakelock state; the
+PowerManagerService's app-visible locks migrate via record/replay.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set
+
+from repro.android.kernel.drivers.base import Driver, DriverError
+
+
+class WakelockDriver(Driver):
+    name = "wakelock"
+
+    def __init__(self, kernel) -> None:
+        super().__init__(kernel)
+        self._held: Dict[str, int] = {}   # name -> holder pid
+
+    def acquire(self, process, name: str) -> None:
+        if name in self._held:
+            raise DriverError(f"wakelock {name!r} already held")
+        self._held[name] = process.pid
+
+    def release(self, process, name: str) -> None:
+        holder = self._held.get(name)
+        if holder is None:
+            raise DriverError(f"wakelock {name!r} not held")
+        if holder != process.pid:
+            raise DriverError(
+                f"wakelock {name!r} held by pid {holder}, not {process.pid}")
+        del self._held[name]
+
+    def release_all(self, pid: int) -> int:
+        names = [n for n, holder in self._held.items() if holder == pid]
+        for name in names:
+            del self._held[name]
+        return len(names)
+
+    def held(self) -> Set[str]:
+        return set(self._held)
+
+    @property
+    def can_sleep(self) -> bool:
+        return not self._held
+
+    def checkpoint_state(self, process) -> None:
+        return None

@@ -1,0 +1,116 @@
+"""Process address-space model.
+
+A process owns a set of named memory regions.  Regions carry a *kind* and
+a *device-specific* flag: CRIA may only checkpoint regions that are not
+device specific, so the preparation phase (backgrounding, trim-memory,
+eglUnload) must have removed every device-specific region first.  Region
+contents are modelled as an opaque byte payload plus a size; checkpoint
+images copy the payload so restore can verify integrity.
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+
+class RegionKind(enum.Enum):
+    CODE = "code"            # app executable / dex
+    HEAP = "heap"            # Dalvik + native heap
+    STACK = "stack"
+    MMAP = "mmap"            # plain anonymous or file-backed mapping
+    ASHMEM = "ashmem"        # Android shared memory
+    PMEM = "pmem"            # physically contiguous (GPU) memory
+    GL_VENDOR = "gl_vendor"  # vendor GL library state (device specific)
+    GL_CONTEXT = "gl_context"  # EGL/GL context storage (device specific)
+    SURFACE = "surface"      # window drawing surface buffers
+
+
+DEVICE_SPECIFIC_KINDS = frozenset({
+    RegionKind.PMEM,
+    RegionKind.GL_VENDOR,
+    RegionKind.GL_CONTEXT,
+    RegionKind.SURFACE,
+})
+
+
+class MemoryError_(Exception):
+    """Address-space errors (shadowing builtin MemoryError intentionally avoided)."""
+
+
+@dataclass
+class MemoryRegion:
+    """One mapping in a process address space."""
+
+    name: str
+    kind: RegionKind
+    size: int
+    payload: bytes = b""
+    shared_with: Optional[str] = None  # ashmem name when shared
+
+    def __post_init__(self) -> None:
+        if self.size < 0:
+            raise MemoryError_(f"negative region size for {self.name!r}")
+
+    @property
+    def device_specific(self) -> bool:
+        return self.kind in DEVICE_SPECIFIC_KINDS
+
+    def content_hash(self) -> str:
+        digest = hashlib.sha256()
+        digest.update(self.name.encode("utf-8"))
+        digest.update(self.kind.value.encode("ascii"))
+        digest.update(self.size.to_bytes(8, "big"))
+        digest.update(self.payload)
+        return digest.hexdigest()
+
+    def clone(self) -> "MemoryRegion":
+        return MemoryRegion(name=self.name, kind=self.kind, size=self.size,
+                            payload=self.payload, shared_with=self.shared_with)
+
+
+class AddressSpace:
+    """The set of memory regions mapped into one process."""
+
+    def __init__(self) -> None:
+        self._regions: Dict[str, MemoryRegion] = {}
+
+    def map(self, region: MemoryRegion) -> MemoryRegion:
+        if region.name in self._regions:
+            raise MemoryError_(f"region {region.name!r} already mapped")
+        self._regions[region.name] = region
+        return region
+
+    def unmap(self, name: str) -> MemoryRegion:
+        try:
+            return self._regions.pop(name)
+        except KeyError:
+            raise MemoryError_(f"region {name!r} not mapped") from None
+
+    def get(self, name: str) -> MemoryRegion:
+        try:
+            return self._regions[name]
+        except KeyError:
+            raise MemoryError_(f"region {name!r} not mapped") from None
+
+    def has(self, name: str) -> bool:
+        return name in self._regions
+
+    def regions(self, kind: Optional[RegionKind] = None) -> List[MemoryRegion]:
+        if kind is None:
+            return list(self._regions.values())
+        return [r for r in self._regions.values() if r.kind == kind]
+
+    def device_specific_regions(self) -> List[MemoryRegion]:
+        return [r for r in self._regions.values() if r.device_specific]
+
+    def total_size(self, kind: Optional[RegionKind] = None) -> int:
+        return sum(r.size for r in self.regions(kind))
+
+    def __iter__(self) -> Iterator[MemoryRegion]:
+        return iter(list(self._regions.values()))
+
+    def __len__(self) -> int:
+        return len(self._regions)

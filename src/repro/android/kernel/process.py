@@ -1,0 +1,116 @@
+"""Process and thread model.
+
+Processes are the unit CRIA checkpoints.  Each one has an address space,
+a descriptor table, threads, and an identity (uid / package).  Threads
+carry a run state so checkpoint can require the process be quiesced.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, List, Optional
+
+from repro.android.kernel.files import FDTable
+from repro.android.kernel.memory import AddressSpace
+
+
+class ThreadState(enum.Enum):
+    RUNNING = "running"
+    SLEEPING = "sleeping"
+    FROZEN = "frozen"      # quiesced for checkpoint
+    DEAD = "dead"
+
+
+class ProcessState(enum.Enum):
+    ALIVE = "alive"
+    FROZEN = "frozen"
+    DEAD = "dead"
+
+
+class ProcessError(Exception):
+    """Process lifecycle errors."""
+
+
+class Thread:
+    def __init__(self, tid: int, name: str) -> None:
+        self.tid = tid
+        self.name = name
+        self.state = ThreadState.RUNNING
+        # Opaque register/stack snapshot; carried through checkpoints.
+        self.context: Dict[str, int] = {"pc": 0, "sp": 0}
+
+    def freeze(self) -> None:
+        if self.state is ThreadState.DEAD:
+            raise ProcessError(f"cannot freeze dead thread {self.tid}")
+        self.state = ThreadState.FROZEN
+
+    def thaw(self) -> None:
+        if self.state is not ThreadState.FROZEN:
+            raise ProcessError(f"thread {self.tid} not frozen")
+        self.state = ThreadState.RUNNING
+
+    def __repr__(self) -> str:
+        return f"Thread(tid={self.tid}, name={self.name!r}, state={self.state.value})"
+
+
+class Process:
+    """A running process inside a simulated kernel."""
+
+    def __init__(self, pid: int, name: str, uid: int,
+                 package: Optional[str] = None) -> None:
+        self.pid = pid
+        self.name = name
+        self.uid = uid
+        self.package = package      # Android package this process belongs to
+        self.state = ProcessState.ALIVE
+        self.memory = AddressSpace()
+        self.fds = FDTable()
+        self.threads: List[Thread] = []
+        self._next_tid = pid        # main thread tid == pid, like Linux
+        self.environ: Dict[str, str] = {}
+        self.oom_score = 0
+        self.exit_code: Optional[int] = None
+
+    def spawn_thread(self, name: str) -> Thread:
+        if self.state is ProcessState.DEAD:
+            raise ProcessError(f"process {self.pid} is dead")
+        thread = Thread(self._next_tid, name)
+        self._next_tid += 1
+        self.threads.append(thread)
+        return thread
+
+    @property
+    def main_thread(self) -> Thread:
+        if not self.threads:
+            raise ProcessError(f"process {self.pid} has no threads")
+        return self.threads[0]
+
+    def live_threads(self) -> List[Thread]:
+        return [t for t in self.threads if t.state is not ThreadState.DEAD]
+
+    def freeze(self) -> None:
+        """Quiesce all threads prior to checkpoint."""
+        if self.state is ProcessState.DEAD:
+            raise ProcessError(f"cannot freeze dead process {self.pid}")
+        for thread in self.live_threads():
+            thread.freeze()
+        self.state = ProcessState.FROZEN
+
+    def thaw(self) -> None:
+        if self.state is not ProcessState.FROZEN:
+            raise ProcessError(f"process {self.pid} not frozen")
+        for thread in self.threads:
+            if thread.state is ThreadState.FROZEN:
+                thread.thaw()
+        self.state = ProcessState.ALIVE
+
+    @property
+    def alive(self) -> bool:
+        return self.state is not ProcessState.DEAD
+
+    def memory_footprint(self) -> int:
+        return self.memory.total_size()
+
+    def __repr__(self) -> str:
+        return (f"Process(pid={self.pid}, name={self.name!r}, "
+                f"state={self.state.value})")

@@ -1,0 +1,5 @@
+"""Device-to-device networking: links, transfer timing."""
+
+from repro.android.net.link import Link, LinkError, TransferResult, link_between
+
+__all__ = ["Link", "LinkError", "TransferResult", "link_between"]

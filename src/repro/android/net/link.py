@@ -1,0 +1,89 @@
+"""Network links between devices.
+
+Devices pair and migrate over WiFi (possibly ad-hoc, paper §1).  A link's
+goodput is the minimum of the two endpoints' effective rates, degraded by
+a seeded congestion factor — the paper measured on "a congested, urban
+environment" campus network.  Transfer time is charged on the shared
+virtual clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.sim import units
+from repro.sim.rng import RngFactory
+
+
+class LinkError(Exception):
+    pass
+
+
+@dataclass
+class TransferResult:
+    payload_bytes: int
+    seconds: float
+    effective_mbps: float
+
+
+class Link:
+    """A point-to-point link with latency and congestion jitter."""
+
+    def __init__(self, bandwidth_mbps: float, latency_s: float = 0.004,
+                 congestion: float = 0.85,
+                 rng_factory: Optional[RngFactory] = None,
+                 name: str = "wifi") -> None:
+        if bandwidth_mbps <= 0:
+            raise LinkError(f"bad bandwidth {bandwidth_mbps!r}")
+        self.bandwidth_mbps = bandwidth_mbps
+        self.latency_s = latency_s
+        self.congestion = congestion
+        self.name = name
+        self._rng = (rng_factory or RngFactory()).stream("link", name)
+        self.bytes_transferred = 0
+        self.transfers = 0
+
+    def transfer_time(self, payload_bytes: int) -> float:
+        """Seconds to move ``payload_bytes``, with congestion jitter."""
+        if payload_bytes < 0:
+            raise LinkError(f"negative payload {payload_bytes!r}")
+        # Jitter multiplies goodput by congestion +/- 10%.
+        factor = self.congestion * self._rng.uniform(0.9, 1.1)
+        goodput = units.mbps(self.bandwidth_mbps) * factor
+        return self.latency_s + units.transfer_seconds(payload_bytes, goodput)
+
+    def transfer(self, payload_bytes: int, clock) -> TransferResult:
+        """Move a payload, charging wire time to the clock."""
+        seconds = self.transfer_time(payload_bytes)
+        clock.advance(seconds)
+        self.bytes_transferred += payload_bytes
+        self.transfers += 1
+        effective = (payload_bytes * 8 / seconds / units.MBPS
+                     if seconds > 0 else 0.0)
+        return TransferResult(payload_bytes=payload_bytes, seconds=seconds,
+                              effective_mbps=effective)
+
+
+#: Goodput fraction of infrastructure WiFi achieved in ad-hoc mode
+#: (WiFi Direct / IBSS: no AP aggregation, single spatial stream).
+ADHOC_EFFICIENCY = 0.6
+
+
+def link_between(home_profile, guest_profile,
+                 rng_factory: Optional[RngFactory] = None,
+                 adhoc: bool = False) -> Link:
+    """Link whose goodput is limited by the slower endpoint.
+
+    ``adhoc=True`` models the paper's disconnected-operation mode (§1:
+    "if disconnected from the Internet, devices can use ad-hoc
+    networking"): no access point, lower goodput, lower latency.
+    """
+    bandwidth = min(home_profile.wifi_effective_mbps,
+                    guest_profile.wifi_effective_mbps)
+    name = f"{home_profile.name}->{guest_profile.name}"
+    if adhoc:
+        return Link(bandwidth_mbps=bandwidth * ADHOC_EFFICIENCY,
+                    latency_s=0.002, rng_factory=rng_factory,
+                    name=f"{name}(adhoc)")
+    return Link(bandwidth_mbps=bandwidth, rng_factory=rng_factory, name=name)

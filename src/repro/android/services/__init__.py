@@ -1,0 +1,74 @@
+"""Android system services with Flux-decorated AIDL interfaces."""
+
+from repro.android.services.activity_manager import ActivityManagerService
+from repro.android.services.aidl_sources import (
+    AIDL_SOURCES,
+    SERVICE_SPECS,
+    ServiceSpec,
+    all_sources,
+    spec_for,
+)
+from repro.android.services.alarm import AlarmEntry, AlarmManagerService
+from repro.android.services.audio import (
+    RINGER_NORMAL,
+    RINGER_SILENT,
+    RINGER_VIBRATE,
+    STREAM_MUSIC,
+    STREAM_RING,
+    AudioService,
+)
+from repro.android.services.base import ServiceContext, ServiceError, SystemService
+from repro.android.services.clipboard import ClipboardService
+from repro.android.services.connectivity_net import (
+    ConnectivityManagerService,
+    NetworkInfo,
+    ScanResult,
+    WifiConfiguration,
+    WifiInfo,
+    WifiService,
+)
+from repro.android.services.hardware_misc import (
+    BluetoothService,
+    CameraInfo,
+    CameraManagerService,
+    CountryDetectorService,
+    InputManagerService,
+    InputMethodManagerService,
+    SerialService,
+    UsbService,
+)
+from repro.android.services.location import (
+    GPS_PROVIDER,
+    NETWORK_PROVIDER,
+    Location,
+    LocationManagerService,
+)
+from repro.android.services.notification import NotificationManagerService
+from repro.android.services.package_manager import PackageInfo, PackageManagerService
+from repro.android.services.power import PowerManagerService, VibratorService
+from repro.android.services.sensor import Sensor, SensorEventConnection, SensorService
+from repro.android.services.software_misc import (
+    KeyguardService,
+    NsdService,
+    TextServicesManagerService,
+    UiModeManagerService,
+)
+from repro.android.services.window_manager import WindowManagerService
+
+__all__ = [
+    "ActivityManagerService", "AIDL_SOURCES", "SERVICE_SPECS", "ServiceSpec",
+    "all_sources", "spec_for", "AlarmEntry", "AlarmManagerService",
+    "RINGER_NORMAL", "RINGER_SILENT", "RINGER_VIBRATE", "STREAM_MUSIC",
+    "STREAM_RING", "AudioService", "ServiceContext", "ServiceError",
+    "SystemService", "ClipboardService", "ConnectivityManagerService",
+    "NetworkInfo", "ScanResult", "WifiConfiguration", "WifiInfo",
+    "WifiService", "BluetoothService", "CameraInfo", "CameraManagerService",
+    "CountryDetectorService", "InputManagerService",
+    "InputMethodManagerService", "SerialService", "UsbService",
+    "GPS_PROVIDER", "NETWORK_PROVIDER", "Location", "LocationManagerService",
+    "NotificationManagerService", "PackageInfo", "PackageManagerService",
+    "PowerManagerService", "VibratorService", "Sensor",
+    "SensorEventConnection", "SensorService", "KeyguardService", "NsdService",
+    "TextServicesManagerService", "UiModeManagerService",
+    "WindowManagerService",
+]

@@ -1,0 +1,54 @@
+"""ClipboardService."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.android.services.base import ServiceContext, SystemService
+
+
+class ClipboardService(SystemService):
+    SERVICE_KEY = "clipboard"
+    DESCRIPTOR = "IClipboardService"
+
+    def __init__(self, ctx: ServiceContext) -> None:
+        super().__init__(ctx)
+        self._primary_clip: Optional[Dict[str, Any]] = None
+
+    def new_app_state(self) -> Dict[str, Any]:
+        return {"listeners": []}
+
+    # -- AIDL interface ------------------------------------------------------
+
+    def setPrimaryClip(self, caller, clip: Dict[str, Any]) -> None:
+        self._primary_clip = dict(clip)
+
+    def getPrimaryClip(self, caller) -> Optional[Dict[str, Any]]:
+        return dict(self._primary_clip) if self._primary_clip else None
+
+    def getPrimaryClipDescription(self, caller) -> Optional[Dict[str, Any]]:
+        if self._primary_clip is None:
+            return None
+        return {"mime": "text/plain" if "text" in self._primary_clip
+                else "application/octet-stream"}
+
+    def hasPrimaryClip(self, caller) -> bool:
+        return self._primary_clip is not None
+
+    def addPrimaryClipChangedListener(self, caller, listener_id: str) -> None:
+        listeners = self.app_state(caller)["listeners"]
+        if listener_id not in listeners:
+            listeners.append(listener_id)
+
+    def removePrimaryClipChangedListener(self, caller,
+                                         listener_id: str) -> None:
+        listeners = self.app_state(caller)["listeners"]
+        if listener_id in listeners:
+            listeners.remove(listener_id)
+
+    def hasClipboardText(self, caller) -> bool:
+        return bool(self._primary_clip and self._primary_clip.get("text"))
+
+    def snapshot(self, package: str) -> Dict[str, Any]:
+        state = self.app_state_or_default(package)
+        return {"listeners": sorted(state["listeners"])}

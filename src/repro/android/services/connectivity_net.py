@@ -1,0 +1,235 @@
+"""WifiService and ConnectivityManagerService.
+
+Connectivity is the one piece of state Flux deliberately does *not*
+migrate: after restore the guest's ConnectivityManagerService broadcasts
+a loss of connectivity followed by a new connection, and the app handles
+it like any wireless hand-off (paper §3.1).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.android.app.intent import (
+    ACTION_CONNECTIVITY_CHANGE,
+    ACTION_WIFI_STATE_CHANGED,
+    Intent,
+)
+from repro.android.services.base import ServiceContext, ServiceError, SystemService
+
+
+WIFI_STATE_DISABLED = 1
+WIFI_STATE_ENABLED = 3
+
+TYPE_MOBILE = 0
+TYPE_WIFI = 1
+
+
+@dataclass
+class NetworkInfo:
+    network_type: int
+    connected: bool
+    ssid: Optional[str] = None
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, NetworkInfo):
+            return NotImplemented
+        return (self.network_type, self.connected, self.ssid) == (
+            other.network_type, other.connected, other.ssid)
+
+
+@dataclass
+class WifiConfiguration:
+    ssid: str
+    security: str = "wpa2"
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, WifiConfiguration):
+            return NotImplemented
+        return (self.ssid, self.security) == (other.ssid, other.security)
+
+    def __hash__(self) -> int:
+        return hash((self.ssid, self.security))
+
+
+@dataclass
+class WifiInfo:
+    ssid: Optional[str]
+    link_speed_mbps: float
+    rssi: int = -60
+
+
+@dataclass
+class ScanResult:
+    ssid: str
+    level: int
+
+
+class WifiService(SystemService):
+    SERVICE_KEY = "wifi"
+    DESCRIPTOR = "IWifiService"
+
+    def __init__(self, ctx: ServiceContext) -> None:
+        super().__init__(ctx)
+        self._enabled = True
+        self._connected_ssid: Optional[str] = getattr(
+            ctx.hardware, "default_ssid", "campus-wifi")
+        self._net_ids = itertools.count(1)
+        self._networks: Dict[int, WifiConfiguration] = {}
+        self._network_enabled: Dict[int, bool] = {}
+        self._scan_results: List[ScanResult] = [
+            ScanResult("campus-wifi", -55), ScanResult("guest", -70)]
+
+    def new_app_state(self) -> Dict[str, Any]:
+        return {"locks": {}, "networks": []}
+
+    # -- AIDL interface ------------------------------------------------------
+
+    def setWifiEnabled(self, caller, enabled: bool) -> None:
+        self._enabled = bool(enabled)
+        if not enabled:
+            self._connected_ssid = None
+        self.ctx.send_sticky_broadcast(Intent(ACTION_WIFI_STATE_CHANGED,
+                                              state=self.getWifiState(caller)))
+
+    def getWifiState(self, caller) -> int:
+        return WIFI_STATE_ENABLED if self._enabled else WIFI_STATE_DISABLED
+
+    def startScan(self, caller) -> None:
+        pass
+
+    def getScanResults(self, caller) -> List[ScanResult]:
+        return list(self._scan_results) if self._enabled else []
+
+    def getConnectionInfo(self, caller) -> WifiInfo:
+        speed = getattr(self.ctx.hardware, "wifi_link_mbps", 65.0)
+        return WifiInfo(ssid=self._connected_ssid, link_speed_mbps=speed)
+
+    def addNetwork(self, caller, config: WifiConfiguration) -> int:
+        net_id = next(self._net_ids)
+        self._networks[net_id] = config
+        self._network_enabled[net_id] = False
+        self.app_state(caller)["networks"].append(net_id)
+        return net_id
+
+    def removeNetwork(self, caller, net_id: int) -> None:
+        self._networks.pop(net_id, None)
+        self._network_enabled.pop(net_id, None)
+        state = self.app_state(caller)
+        if net_id in state["networks"]:
+            state["networks"].remove(net_id)
+
+    def enableNetwork(self, caller, net_id: int, disable_others: bool) -> None:
+        if net_id not in self._networks:
+            raise ServiceError(f"no network {net_id}")
+        if disable_others:
+            for other in self._network_enabled:
+                self._network_enabled[other] = False
+        self._network_enabled[net_id] = True
+
+    def disableNetwork(self, caller, net_id: int) -> None:
+        if net_id not in self._networks:
+            raise ServiceError(f"no network {net_id}")
+        self._network_enabled[net_id] = False
+
+    def acquireWifiLock(self, caller, lock_id: str, lock_mode: int) -> None:
+        self.app_state(caller)["locks"][lock_id] = lock_mode
+
+    def releaseWifiLock(self, caller, lock_id: str) -> None:
+        locks = self.app_state(caller)["locks"]
+        if lock_id not in locks:
+            raise ServiceError(f"wifi lock {lock_id!r} not held")
+        del locks[lock_id]
+
+    def reconnect(self, caller) -> None:
+        if self._enabled and self._connected_ssid is None:
+            self._connected_ssid = "campus-wifi"
+
+    def disconnect(self, caller) -> None:
+        self._connected_ssid = None
+
+    def isScanAlwaysAvailable(self, caller) -> bool:
+        return True
+
+    def snapshot(self, package: str) -> Dict[str, Any]:
+        state = self.app_state_or_default(package)
+        return {
+            "locks": dict(state["locks"]),
+            "networks": [self._networks[n].ssid for n in state["networks"]
+                         if n in self._networks],
+        }
+
+
+class ConnectivityManagerService(SystemService):
+    SERVICE_KEY = "connectivity"
+    DESCRIPTOR = "IConnectivityManagerService"
+
+    def __init__(self, ctx: ServiceContext) -> None:
+        super().__init__(ctx)
+        self._airplane = False
+        self._active = NetworkInfo(TYPE_WIFI, True, ssid="campus-wifi")
+
+    def new_app_state(self) -> Dict[str, Any]:
+        return {"callbacks": []}
+
+    # -- AIDL interface ------------------------------------------------------
+
+    def getActiveNetworkInfo(self, caller) -> Optional[NetworkInfo]:
+        if self._airplane or not self._active.connected:
+            return None
+        return self._active
+
+    def getNetworkInfo(self, caller, network_type: int) -> Optional[NetworkInfo]:
+        if network_type == self._active.network_type:
+            return self._active
+        return NetworkInfo(network_type, False)
+
+    def getAllNetworkInfo(self, caller) -> List[NetworkInfo]:
+        return [self._active,
+                NetworkInfo(TYPE_MOBILE, False)]
+
+    def setAirplaneMode(self, caller, enabled: bool) -> None:
+        self._airplane = bool(enabled)
+        self._broadcast_change()
+
+    def isAirplaneModeOn(self, caller) -> bool:
+        return self._airplane
+
+    def registerNetworkCallback(self, caller, callback_id: str) -> None:
+        callbacks = self.app_state(caller)["callbacks"]
+        if callback_id not in callbacks:
+            callbacks.append(callback_id)
+
+    def unregisterNetworkCallback(self, caller, callback_id: str) -> None:
+        callbacks = self.app_state(caller)["callbacks"]
+        if callback_id in callbacks:
+            callbacks.remove(callback_id)
+
+    def reportBadNetwork(self, caller, network_type: int) -> None:
+        pass
+
+    def requestRouteToHost(self, caller, network_type: int, host: str) -> bool:
+        return not self._airplane and self._active.connected
+
+    def isNetworkSupported(self, caller, network_type: int) -> bool:
+        return network_type in (TYPE_MOBILE, TYPE_WIFI)
+
+    # -- migration support ------------------------------------------------------------
+
+    def simulate_connectivity_interrupt(self) -> None:
+        """Loss followed by reconnection, as reintegration signals it."""
+        self._active = NetworkInfo(TYPE_WIFI, False)
+        self._broadcast_change()
+        self._active = NetworkInfo(TYPE_WIFI, True, ssid="campus-wifi")
+        self._broadcast_change()
+
+    def _broadcast_change(self) -> None:
+        connected = not self._airplane and self._active.connected
+        self.ctx.send_sticky_broadcast(Intent(ACTION_CONNECTIVITY_CHANGE,
+                                              connected=connected))
+
+    def snapshot(self, package: str) -> Dict[str, Any]:
+        state = self.app_state_or_default(package)
+        return {"callbacks": sorted(state["callbacks"])}

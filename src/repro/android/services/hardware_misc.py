@@ -1,0 +1,352 @@
+"""Smaller hardware services: Camera, CountryDetector, Input,
+InputMethod, Bluetooth, Serial, Usb.
+
+Bluetooth, Serial, and Usb match the paper's prototype in being
+*undecorated* (Table 2 lists their LOC as TBD): calls to them are not
+recorded, so their app-visible state does not migrate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+from repro.android.app.intent import PendingIntent
+from repro.android.binder.parcel import FdToken
+from repro.android.kernel.files import OpenFile
+from repro.android.services.base import ServiceContext, ServiceError, SystemService
+
+
+@dataclass(frozen=True)
+class CameraInfo:
+    camera_id: int
+    facing: str           # "back" | "front"
+    megapixels: float
+
+
+class CameraManagerService(SystemService):
+    SERVICE_KEY = "camera"
+    DESCRIPTOR = "ICameraManagerService"
+
+    def __init__(self, ctx: ServiceContext) -> None:
+        super().__init__(ctx)
+        self._cameras: List[CameraInfo] = list(
+            getattr(ctx.hardware, "cameras", None)
+            or [CameraInfo(0, "back", 8.0), CameraInfo(1, "front", 1.2)])
+        self._torch: Dict[int, bool] = {}
+        self._connected_by: Dict[int, str] = {}   # camera -> package
+
+    def new_app_state(self) -> Dict[str, Any]:
+        return {"connected": [], "listeners": []}
+
+    def getNumberOfCameras(self, caller) -> int:
+        return len(self._cameras)
+
+    def getCameraInfo(self, caller, camera_id: int) -> CameraInfo:
+        self._check_camera(camera_id)
+        return self._cameras[camera_id]
+
+    def connectCamera(self, caller, camera_id: int) -> None:
+        self._check_camera(camera_id)
+        package = self._package_of(caller)
+        holder = self._connected_by.get(camera_id)
+        if holder is not None and holder != package:
+            raise ServiceError(f"camera {camera_id} in use by {holder}")
+        self._connected_by[camera_id] = package
+        connected = self.app_state(package)["connected"]
+        if camera_id not in connected:
+            connected.append(camera_id)
+
+    def disconnectCamera(self, caller, camera_id: int) -> None:
+        package = self._package_of(caller)
+        if self._connected_by.get(camera_id) == package:
+            del self._connected_by[camera_id]
+        connected = self.app_state(package)["connected"]
+        if camera_id in connected:
+            connected.remove(camera_id)
+
+    def setTorchMode(self, caller, camera_id: int, enabled: bool) -> None:
+        self._check_camera(camera_id)
+        self._torch[camera_id] = bool(enabled)
+        self.app_state(caller)     # torch use is app-visible state
+
+    def addListener(self, caller, listener_id: str) -> None:
+        listeners = self.app_state(caller)["listeners"]
+        if listener_id not in listeners:
+            listeners.append(listener_id)
+
+    def removeListener(self, caller, listener_id: str) -> None:
+        listeners = self.app_state(caller)["listeners"]
+        if listener_id in listeners:
+            listeners.remove(listener_id)
+
+    def supportsCameraApi(self, caller, camera_id: int,
+                          api_version: int) -> bool:
+        self._check_camera(camera_id)
+        return api_version <= 2
+
+    def release_all_for(self, package: str) -> None:
+        for camera_id, holder in list(self._connected_by.items()):
+            if holder == package:
+                del self._connected_by[camera_id]
+
+    def _check_camera(self, camera_id: int) -> None:
+        if not 0 <= camera_id < len(self._cameras):
+            raise ServiceError(f"no camera {camera_id}")
+
+    def snapshot(self, package: str) -> Dict[str, Any]:
+        state = self.app_state_or_default(package)
+        return {"connected": sorted(state["connected"]),
+                "listeners": sorted(state["listeners"]),
+                "torch": dict(self._torch)}
+
+
+class CountryDetectorService(SystemService):
+    SERVICE_KEY = "country_detector"
+    DESCRIPTOR = "ICountryDetectorService"
+
+    def __init__(self, ctx: ServiceContext) -> None:
+        super().__init__(ctx)
+        self.country = getattr(ctx.hardware, "country", "US")
+
+    def new_app_state(self) -> Dict[str, Any]:
+        return {"listeners": []}
+
+    def detectCountry(self, caller) -> str:
+        return self.country
+
+    def addCountryListener(self, caller, listener_id: str) -> None:
+        listeners = self.app_state(caller)["listeners"]
+        if listener_id not in listeners:
+            listeners.append(listener_id)
+
+    def removeCountryListener(self, caller, listener_id: str) -> None:
+        listeners = self.app_state(caller)["listeners"]
+        if listener_id in listeners:
+            listeners.remove(listener_id)
+
+    def snapshot(self, package: str) -> Dict[str, Any]:
+        state = self.app_state_or_default(package)
+        return {"listeners": sorted(state["listeners"])}
+
+
+@dataclass(frozen=True)
+class InputDevice:
+    device_id: int
+    name: str
+    is_touchscreen: bool = True
+
+
+class InputManagerService(SystemService):
+    SERVICE_KEY = "input"
+    DESCRIPTOR = "IInputManagerService"
+
+    def __init__(self, ctx: ServiceContext) -> None:
+        super().__init__(ctx)
+        self._devices = [InputDevice(0, "touchscreen"),
+                         InputDevice(1, "buttons", is_touchscreen=False)]
+        self._pointer_speed = 0
+        self.injected_events: List[Any] = []
+
+    def new_app_state(self) -> Dict[str, Any]:
+        return {"listeners": []}
+
+    def getInputDevice(self, caller, device_id: int) -> Optional[InputDevice]:
+        for device in self._devices:
+            if device.device_id == device_id:
+                return device
+        return None
+
+    def getInputDeviceIds(self, caller) -> List[int]:
+        return [d.device_id for d in self._devices]
+
+    def hasKeys(self, caller, device_id: int, key_codes: List[int]) -> bool:
+        return device_id == 1
+
+    def injectInputEvent(self, caller, event: Any, mode: int) -> bool:
+        self.injected_events.append(event)
+        return True
+
+    def registerInputDevicesChangedListener(self, caller,
+                                            listener_id: str) -> None:
+        listeners = self.app_state(caller)["listeners"]
+        if listener_id not in listeners:
+            listeners.append(listener_id)
+
+    def unregisterInputDevicesChangedListener(self, caller,
+                                              listener_id: str) -> None:
+        listeners = self.app_state(caller)["listeners"]
+        if listener_id in listeners:
+            listeners.remove(listener_id)
+
+    def setPointerSpeed(self, caller, speed: int) -> None:
+        self._pointer_speed = max(-7, min(7, speed))
+
+    def getPointerSpeed(self, caller) -> int:
+        return self._pointer_speed
+
+    def snapshot(self, package: str) -> Dict[str, Any]:
+        state = self.app_state_or_default(package)
+        return {"listeners": sorted(state["listeners"]),
+                "pointer_speed": self._pointer_speed}
+
+
+@dataclass(frozen=True)
+class InputMethodInfo:
+    ime_id: str
+    label: str
+
+
+class InputMethodManagerService(SystemService):
+    SERVICE_KEY = "input_method"
+    DESCRIPTOR = "IInputMethodManagerService"
+
+    def __init__(self, ctx: ServiceContext) -> None:
+        super().__init__(ctx)
+        self._imes = [InputMethodInfo("com.android.latin", "LatinIME")]
+        self._current = self._imes[0].ime_id
+        self._soft_input_shown = False
+
+    def getInputMethodList(self, caller) -> List[InputMethodInfo]:
+        return list(self._imes)
+
+    def getEnabledInputMethodList(self, caller) -> List[InputMethodInfo]:
+        return list(self._imes)
+
+    def showSoftInput(self, caller, flags: int) -> None:
+        self._soft_input_shown = True
+
+    def hideSoftInput(self, caller, flags: int) -> None:
+        self._soft_input_shown = False
+
+    def setInputMethod(self, caller, ime_id: str) -> None:
+        if ime_id not in {i.ime_id for i in self._imes}:
+            raise ServiceError(f"no input method {ime_id!r}")
+        self._current = ime_id
+
+    def getCurrentInputMethod(self, caller) -> str:
+        return self._current
+
+    def startInput(self, caller, client_id: int) -> None:
+        pass
+
+    def finishInput(self, caller, client_id: int) -> None:
+        pass
+
+    def windowGainedFocus(self, caller, client_id: int,
+                          window_id: int) -> None:
+        pass
+
+    def updateStatusIcon(self, caller, package_name: str,
+                         icon_id: int) -> None:
+        pass
+
+    @property
+    def soft_input_shown(self) -> bool:
+        return self._soft_input_shown
+
+    def snapshot(self, package: str) -> Dict[str, Any]:
+        return {"soft_input_shown": self._soft_input_shown}
+
+
+class BluetoothService(SystemService):
+    SERVICE_KEY = "bluetooth"
+    DESCRIPTOR = "IBluetoothService"
+
+    def __init__(self, ctx: ServiceContext) -> None:
+        super().__init__(ctx)
+        self._enabled = False
+        self._name = getattr(ctx.hardware, "model", "android")
+        self._discovering = False
+        self._bonded: List[str] = []
+
+    def isEnabled(self, caller) -> bool:
+        return self._enabled
+
+    def enable(self, caller) -> bool:
+        self._enabled = True
+        return True
+
+    def disable(self, caller) -> bool:
+        self._enabled = False
+        self._discovering = False
+        return True
+
+    def getAddress(self, caller) -> str:
+        return "00:11:22:33:44:55"
+
+    def getName(self, caller) -> str:
+        return self._name
+
+    def setName(self, caller, name: str) -> bool:
+        self._name = name
+        return True
+
+    def getScanMode(self, caller) -> int:
+        return 1 if self._enabled else 0
+
+    def startDiscovery(self, caller) -> bool:
+        if not self._enabled:
+            return False
+        self._discovering = True
+        return True
+
+    def cancelDiscovery(self, caller) -> bool:
+        self._discovering = False
+        return True
+
+    def isDiscovering(self, caller) -> bool:
+        return self._discovering
+
+    def getBondedDevices(self, caller) -> List[str]:
+        return list(self._bonded)
+
+    def createBond(self, caller, address: str) -> bool:
+        if address not in self._bonded:
+            self._bonded.append(address)
+        return True
+
+
+class SerialService(SystemService):
+    SERVICE_KEY = "serial"
+    DESCRIPTOR = "ISerialService"
+
+    def getSerialPorts(self, caller) -> List[str]:
+        return []
+
+    def openSerialPort(self, caller, port: str) -> FdToken:
+        raise ServiceError(f"no serial port {port!r}")
+
+
+class UsbService(SystemService):
+    SERVICE_KEY = "usb"
+    DESCRIPTOR = "IUsbService"
+
+    def __init__(self, ctx: ServiceContext) -> None:
+        super().__init__(ctx)
+        self._function = "mtp"
+
+    def getDeviceList(self, caller) -> List[Any]:
+        return []
+
+    def getAccessoryList(self, caller) -> List[Any]:
+        return []
+
+    def openDevice(self, caller, device_name: str) -> FdToken:
+        raise ServiceError(f"no usb device {device_name!r}")
+
+    def openAccessory(self, caller, accessory: Any) -> FdToken:
+        raise ServiceError("no usb accessory attached")
+
+    def hasDevicePermission(self, caller, device_name: str) -> bool:
+        return False
+
+    def requestDevicePermission(self, caller, device_name: str,
+                                pi: PendingIntent) -> None:
+        pass
+
+    def setCurrentFunction(self, caller, function: str) -> None:
+        self._function = function
+
+    def isFunctionEnabled(self, caller, function: str) -> bool:
+        return function == self._function

@@ -1,0 +1,144 @@
+"""PowerManagerService and VibratorService.
+
+App-visible wakelocks are tracked per app and backed by the kernel
+wakelock driver; their state migrates via record/replay (the kernel
+driver itself carries no app state across migration, paper §3.3).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.android.services.base import ServiceContext, ServiceError, SystemService
+
+
+class PowerManagerService(SystemService):
+    SERVICE_KEY = "power"
+    DESCRIPTOR = "IPowerManagerService"
+
+    def __init__(self, ctx: ServiceContext) -> None:
+        super().__init__(ctx)
+        self._screen_on = True
+        self._brightness = 128
+        self._system_process = None   # set by device assembly
+
+    def attach_system_process(self, process) -> None:
+        self._system_process = process
+
+    def new_app_state(self) -> Dict[str, Any]:
+        return {"wakelocks": {}}
+
+    # -- AIDL interface ------------------------------------------------------
+
+    def acquireWakeLock(self, caller, lock_id: str, flags: int,
+                        tag: str) -> None:
+        package = self._package_of(caller)
+        locks = self.app_state(package)["wakelocks"]
+        if lock_id in locks:
+            return   # re-acquire is a no-op, like reference-counted locks
+        kernel_name = f"app:{package}:{lock_id}"
+        self.ctx.kernel.wakelocks.acquire(self._holder_process(), kernel_name)
+        locks[lock_id] = {"flags": flags, "tag": tag,
+                          "kernel_name": kernel_name}
+
+    def releaseWakeLock(self, caller, lock_id: str) -> None:
+        package = self._package_of(caller)
+        locks = self.app_state(package)["wakelocks"]
+        entry = locks.pop(lock_id, None)
+        if entry is None:
+            raise ServiceError(f"wakelock {lock_id!r} not held by {package}")
+        self.ctx.kernel.wakelocks.release(self._holder_process(),
+                                          entry["kernel_name"])
+
+    def updateWakeLockWorkSource(self, caller, lock_id: str,
+                                 work_source: str) -> None:
+        locks = self.app_state(caller)["wakelocks"]
+        if lock_id not in locks:
+            raise ServiceError(f"wakelock {lock_id!r} not held")
+        locks[lock_id]["work_source"] = work_source
+
+    def isScreenOn(self, caller) -> bool:
+        return self._screen_on
+
+    def userActivity(self, caller, event_time: float) -> None:
+        self._screen_on = True
+
+    def goToSleep(self, caller, event_time: float) -> None:
+        self._screen_on = False
+
+    def wakeUp(self, caller, event_time: float) -> None:
+        self._screen_on = True
+
+    def setScreenBrightness(self, caller, brightness: int) -> None:
+        self._brightness = max(0, min(255, brightness))
+
+    def getScreenBrightness(self, caller) -> int:
+        return self._brightness
+
+    # -- migration support --------------------------------------------------------
+
+    def release_all_for(self, package: str) -> int:
+        """Drop an app's wakelocks (after it migrated away)."""
+        if not self.has_app_state(package):
+            return 0
+        locks = self.app_state(package)["wakelocks"]
+        for entry in locks.values():
+            try:
+                self.ctx.kernel.wakelocks.release(self._holder_process(),
+                                                  entry["kernel_name"])
+            except Exception:
+                pass
+        count = len(locks)
+        locks.clear()
+        return count
+
+    def _holder_process(self):
+        if self._system_process is None:
+            raise ServiceError("PowerManagerService has no system process")
+        return self._system_process
+
+    def snapshot(self, package: str) -> Dict[str, Any]:
+        locks = self.app_state_or_default(package)["wakelocks"]
+        return {"wakelocks": sorted(locks)}
+
+
+class VibratorService(SystemService):
+    SERVICE_KEY = "vibrator"
+    DESCRIPTOR = "IVibratorService"
+
+    def __init__(self, ctx: ServiceContext) -> None:
+        super().__init__(ctx)
+        self._has_vibrator = bool(getattr(ctx.hardware, "has_vibrator", True))
+        self._active_until: Optional[float] = None
+        self._pattern: Optional[List[int]] = None
+
+    # -- AIDL interface ------------------------------------------------------
+
+    def vibrate(self, caller, milliseconds: int) -> None:
+        self._require_hardware()
+        self._active_until = self.ctx.clock.now + milliseconds / 1000.0
+        self._pattern = None
+
+    def vibratePattern(self, caller, pattern: List[int], repeat: int) -> None:
+        self._require_hardware()
+        self._pattern = list(pattern)
+        total = sum(pattern) / 1000.0
+        self._active_until = (None if repeat >= 0
+                              else self.ctx.clock.now + total)
+
+    def cancelVibrate(self, caller) -> None:
+        self._active_until = None
+        self._pattern = None
+
+    def hasVibrator(self, caller) -> bool:
+        return self._has_vibrator
+
+    def is_vibrating(self) -> bool:
+        if self._pattern is not None and self._active_until is None:
+            return True   # repeating pattern
+        return (self._active_until is not None
+                and self.ctx.clock.now < self._active_until)
+
+    def _require_hardware(self) -> None:
+        if not self._has_vibrator:
+            raise ServiceError("device has no vibrator")

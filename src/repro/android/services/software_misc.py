@@ -1,0 +1,138 @@
+"""Smaller software services: Keyguard, Nsd, TextServices, UiMode."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.android.services.base import ServiceContext, ServiceError, SystemService
+
+
+class KeyguardService(SystemService):
+    SERVICE_KEY = "keyguard"
+    DESCRIPTOR = "IKeyguardService"
+
+    def __init__(self, ctx: ServiceContext) -> None:
+        super().__init__(ctx)
+        self._enabled = True
+        self._locked = False
+        self._secure = False
+
+    def new_app_state(self) -> Dict[str, Any]:
+        return {"callbacks": []}
+
+    def setKeyguardEnabled(self, caller, enabled: bool) -> None:
+        self._enabled = bool(enabled)
+
+    def isKeyguardLocked(self, caller) -> bool:
+        return self._locked
+
+    def isKeyguardSecure(self, caller) -> bool:
+        return self._secure
+
+    def dismissKeyguard(self, caller) -> None:
+        self._locked = False
+
+    def doKeyguardTimeout(self, caller) -> None:
+        if self._enabled:
+            self._locked = True
+
+    def addStateMonitorCallback(self, caller, callback_id: str) -> None:
+        callbacks = self.app_state(caller)["callbacks"]
+        if callback_id not in callbacks:
+            callbacks.append(callback_id)
+
+    def removeStateMonitorCallback(self, caller, callback_id: str) -> None:
+        callbacks = self.app_state(caller)["callbacks"]
+        if callback_id in callbacks:
+            callbacks.remove(callback_id)
+
+    def verifyUnlock(self, caller) -> None:
+        pass
+
+    def snapshot(self, package: str) -> Dict[str, Any]:
+        state = self.app_state_or_default(package)
+        return {"callbacks": sorted(state["callbacks"])}
+
+
+class NsdService(SystemService):
+    SERVICE_KEY = "nsd"
+    DESCRIPTOR = "INsdService"
+
+    def __init__(self, ctx: ServiceContext) -> None:
+        super().__init__(ctx)
+        self._enabled = True
+
+    def getMessenger(self, caller) -> str:
+        return "nsd-messenger"
+
+    def setEnabled(self, caller, enabled: bool) -> None:
+        self._enabled = bool(enabled)
+
+    @property
+    def enabled(self) -> bool:
+        return self._enabled
+
+
+class TextServicesManagerService(SystemService):
+    SERVICE_KEY = "text_services"
+    DESCRIPTOR = "ITextServicesManagerService"
+
+    def __init__(self, ctx: ServiceContext) -> None:
+        super().__init__(ctx)
+        self._spell_checker = "com.android.spellchecker"
+        self._subtype = 0
+        self._enabled = True
+
+    def getCurrentSpellChecker(self, caller) -> str:
+        return self._spell_checker
+
+    def getCurrentSpellCheckerSubtype(self, caller) -> int:
+        return self._subtype
+
+    def setCurrentSpellChecker(self, caller, checker_id: str) -> None:
+        self._spell_checker = checker_id
+
+    def setSpellCheckerSubtype(self, caller, hash_code: int) -> None:
+        self._subtype = hash_code
+
+    def setSpellCheckerEnabled(self, caller, enabled: bool) -> None:
+        self._enabled = bool(enabled)
+
+    def isSpellCheckerEnabled(self, caller) -> bool:
+        return self._enabled
+
+
+class UiModeManagerService(SystemService):
+    SERVICE_KEY = "ui_mode"
+    DESCRIPTOR = "IUiModeManagerService"
+
+    MODE_TYPE_NORMAL = 1
+    MODE_TYPE_CAR = 3
+    NIGHT_AUTO = 0
+    NIGHT_NO = 1
+    NIGHT_YES = 2
+
+    def __init__(self, ctx: ServiceContext) -> None:
+        super().__init__(ctx)
+        self._mode_type = self.MODE_TYPE_NORMAL
+        self._night_mode = self.NIGHT_NO
+
+    def enableCarMode(self, caller, flags: int) -> None:
+        self._mode_type = self.MODE_TYPE_CAR
+
+    def disableCarMode(self, caller, flags: int) -> None:
+        self._mode_type = self.MODE_TYPE_NORMAL
+
+    def getCurrentModeType(self, caller) -> int:
+        return self._mode_type
+
+    def setNightMode(self, caller, mode: int) -> None:
+        if mode not in (self.NIGHT_AUTO, self.NIGHT_NO, self.NIGHT_YES):
+            raise ServiceError(f"bad night mode {mode!r}")
+        self._night_mode = mode
+
+    def getNightMode(self, caller) -> int:
+        return self._night_mode
+
+    def snapshot(self, package: str) -> Dict[str, Any]:
+        return {"mode_type": self._mode_type, "night_mode": self._night_mode}

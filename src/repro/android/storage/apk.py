@@ -1,0 +1,52 @@
+"""APK model: the app binary plus the manifest facts Flux cares about.
+
+``calls_preserve_egl`` and ``multi_process`` mirror what the paper's
+PlayDrone analysis extracts by decompiling sources (§4); migration
+support depends on both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+from repro.sim import units
+
+
+@dataclass(frozen=True)
+class ApkFile:
+    package: str
+    version_code: int
+    size_bytes: int
+    api_level: int = 19            # minimum API required
+    permissions: Tuple[str, ...] = ()
+    calls_preserve_egl: bool = False
+    multi_process: bool = False
+
+    @property
+    def content_token(self) -> str:
+        return f"apk/{self.package}/{self.version_code}"
+
+    @property
+    def install_path(self) -> str:
+        return f"/data/app/{self.package}.apk"
+
+    @property
+    def data_dir(self) -> str:
+        return f"/data/data/{self.package}"
+
+    @property
+    def sdcard_data_dir(self) -> str:
+        return f"/sdcard/Android/data/{self.package}"
+
+    def bump_version(self) -> "ApkFile":
+        """A newer build of the same app (used by pairing re-verification)."""
+        return ApkFile(
+            package=self.package, version_code=self.version_code + 1,
+            size_bytes=self.size_bytes + units.kb(64),
+            api_level=self.api_level, permissions=self.permissions,
+            calls_preserve_egl=self.calls_preserve_egl,
+            multi_process=self.multi_process)
+
+    def __str__(self) -> str:
+        return f"{self.package}-{self.version_code}.apk"

@@ -1,0 +1,116 @@
+"""Per-device virtual filesystem.
+
+Tracks files as (path -> entry with size and content hash); pairing's
+rsync-style sync compares hashes to decide what can be hard-linked and
+what must travel.  Partitions mirror Android: ``/system`` (frameworks,
+libs), ``/data`` (app data and the Flux pairing area), ``/sdcard``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+
+class FsError(Exception):
+    pass
+
+
+@dataclass
+class FileEntry:
+    path: str
+    size: int
+    content_hash: str
+    mtime: float = 0.0
+    hard_link_of: Optional[str] = None   # path this entry links to
+
+    def same_content(self, other: "FileEntry") -> bool:
+        return self.content_hash == other.content_hash
+
+
+def content_hash_for(token: str) -> str:
+    """Stable hash for synthetic file content identified by ``token``."""
+    return hashlib.sha256(token.encode("utf-8")).hexdigest()[:16]
+
+
+class DeviceStorage:
+    PARTITIONS = ("/system", "/data", "/sdcard")
+
+    def __init__(self, device_name: str = "device") -> None:
+        self.device_name = device_name
+        self._files: Dict[str, FileEntry] = {}
+
+    # -- writes ----------------------------------------------------------------
+
+    def add_file(self, path: str, size: int, content_token: str,
+                 mtime: float = 0.0) -> FileEntry:
+        self._check_path(path)
+        entry = FileEntry(path=path, size=size,
+                          content_hash=content_hash_for(content_token),
+                          mtime=mtime)
+        self._files[path] = entry
+        return entry
+
+    def add_hard_link(self, path: str, target: str) -> FileEntry:
+        self._check_path(path)
+        target_entry = self.get(target)
+        entry = FileEntry(path=path, size=target_entry.size,
+                          content_hash=target_entry.content_hash,
+                          mtime=target_entry.mtime, hard_link_of=target)
+        self._files[path] = entry
+        return entry
+
+    def copy_entry(self, entry: FileEntry, dest_path: str) -> FileEntry:
+        self._check_path(dest_path)
+        copied = FileEntry(path=dest_path, size=entry.size,
+                           content_hash=entry.content_hash, mtime=entry.mtime)
+        self._files[dest_path] = copied
+        return copied
+
+    def remove(self, path: str) -> FileEntry:
+        try:
+            return self._files.pop(path)
+        except KeyError:
+            raise FsError(f"no file {path!r}") from None
+
+    def remove_tree(self, prefix: str) -> int:
+        doomed = [p for p in self._files if p.startswith(prefix)]
+        for path in doomed:
+            del self._files[path]
+        return len(doomed)
+
+    # -- reads ----------------------------------------------------------------
+
+    def get(self, path: str) -> FileEntry:
+        try:
+            return self._files[path]
+        except KeyError:
+            raise FsError(f"no file {path!r}") from None
+
+    def exists(self, path: str) -> bool:
+        return path in self._files
+
+    def files_under(self, prefix: str) -> List[FileEntry]:
+        return sorted((e for p, e in self._files.items()
+                       if p.startswith(prefix)), key=lambda e: e.path)
+
+    def tree_size(self, prefix: str) -> int:
+        """Logical bytes under ``prefix`` (hard links counted at full size)."""
+        return sum(e.size for e in self.files_under(prefix))
+
+    def unique_bytes(self, prefix: str) -> int:
+        """Physical bytes under ``prefix`` (hard links are free)."""
+        return sum(e.size for e in self.files_under(prefix)
+                   if e.hard_link_of is None)
+
+    def by_hash_under(self, prefix: str) -> Dict[str, FileEntry]:
+        return {e.content_hash: e for e in self.files_under(prefix)}
+
+    def file_count(self, prefix: str = "/") -> int:
+        return sum(1 for p in self._files if p.startswith(prefix))
+
+    @staticmethod
+    def _check_path(path: str) -> None:
+        if not path.startswith("/"):
+            raise FsError(f"path must be absolute: {path!r}")

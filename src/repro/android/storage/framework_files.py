@@ -1,0 +1,61 @@
+"""Synthetic core-framework file sets.
+
+Pairing syncs the home device's frameworks and libraries to the guest
+(paper §3.1).  We populate each device's ``/system`` with a file set of
+the paper's measured shape for two KitKat devices (§4): 215 MB of
+constant data of which 92 MB is content-identical across devices (and so
+hard-linkable on the guest) and 123 MB is device specific (GPU vendor
+libs, SoC blobs, device overlays).
+
+File sizes are drawn from a seeded stream so the set is deterministic.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.android.storage.filesystem import DeviceStorage
+from repro.sim import units
+from repro.sim.rng import RngFactory
+
+
+COMMON_BYTES = units.mb(92)       # identical across same-version devices
+DEVICE_BYTES = units.mb(123)      # vendor/device specific
+COMMON_FILE_COUNT = 420
+DEVICE_FILE_COUNT = 380
+
+FRAMEWORK_PREFIX = "/system/framework"
+VENDOR_PREFIX = "/system/vendor"
+
+
+def _spread(total: int, count: int, rng) -> List[int]:
+    """Split ``total`` bytes into ``count`` file sizes, deterministically."""
+    weights = [rng.uniform(0.2, 1.8) for _ in range(count)]
+    scale = total / sum(weights)
+    sizes = [max(1024, int(w * scale)) for w in weights]
+    sizes[-1] += total - sum(sizes)      # exact total
+    return sizes
+
+
+def populate_system_partition(storage: DeviceStorage, android_version: str,
+                              device_name: str,
+                              rng_factory: RngFactory | None = None) -> None:
+    """Create the device's /system framework + vendor files."""
+    factory = rng_factory or RngFactory()
+    common_rng = factory.stream("framework", android_version)
+    device_rng = factory.stream("framework", android_version, device_name)
+
+    for i, size in enumerate(_spread(COMMON_BYTES, COMMON_FILE_COUNT,
+                                     common_rng)):
+        token = f"android-{android_version}/common/{i}"
+        storage.add_file(f"{FRAMEWORK_PREFIX}/common-{i:04d}.jar", size, token)
+
+    for i, size in enumerate(_spread(DEVICE_BYTES, DEVICE_FILE_COUNT,
+                                     device_rng)):
+        token = f"android-{android_version}/{device_name}/vendor/{i}"
+        storage.add_file(f"{VENDOR_PREFIX}/{device_name}-{i:04d}.so", size,
+                         token)
+
+
+def system_partition_bytes(storage: DeviceStorage) -> int:
+    return storage.tree_size("/system")

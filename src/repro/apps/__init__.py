@@ -1,0 +1,15 @@
+"""The eighteen Table 3 workload apps."""
+
+from repro.apps.catalog import (
+    EXPECTED_FAILURES,
+    MIGRATABLE_APPS,
+    TOP_APPS,
+    app_by_package,
+    app_by_title,
+)
+from repro.apps.common import AppSpec, WorkloadActivity
+
+__all__ = [
+    "EXPECTED_FAILURES", "MIGRATABLE_APPS", "TOP_APPS", "app_by_package",
+    "app_by_title", "AppSpec", "WorkloadActivity",
+]

@@ -1,0 +1,63 @@
+"""The Table 3 app catalog: eighteen top free Google Play apps.
+
+``TOP_APPS`` preserves the paper's ordering; ``MIGRATABLE_APPS`` is the
+sixteen the prototype migrates successfully; ``EXPECTED_FAILURES`` maps
+the two refusals to their reasons (Facebook: multi-process;
+Subway Surfers: preserved EGL context).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.apps.common import AppSpec
+from repro.apps.games import BUBBLE_WITCH, CANDY_CRUSH, FLAPPY_BIRD, SUBWAY_SURFERS
+from repro.apps.media import INSTAGRAM, NETFLIX, SNAPCHAT, VINE, ZEDGE
+from repro.apps.social import FACEBOOK, PINTEREST, SKYPE, TWITTER, WHATSAPP
+from repro.apps.tools import BIBLE, EBAY, FLASHLIGHT, GROUPON
+from repro.core.cria.errors import MigrationRefusal
+
+
+# Table 3 order.
+TOP_APPS: Tuple[AppSpec, ...] = (
+    BIBLE,
+    BUBBLE_WITCH,
+    CANDY_CRUSH,
+    EBAY,
+    FLAPPY_BIRD,
+    FLASHLIGHT,
+    GROUPON,
+    INSTAGRAM,
+    NETFLIX,
+    PINTEREST,
+    SNAPCHAT,
+    SKYPE,
+    TWITTER,
+    VINE,
+    SUBWAY_SURFERS,
+    FACEBOOK,
+    WHATSAPP,
+    ZEDGE,
+)
+
+EXPECTED_FAILURES: Dict[str, MigrationRefusal] = {
+    FACEBOOK.package: MigrationRefusal.MULTI_PROCESS,
+    SUBWAY_SURFERS.package: MigrationRefusal.PRESERVED_EGL_CONTEXT,
+}
+
+MIGRATABLE_APPS: Tuple[AppSpec, ...] = tuple(
+    app for app in TOP_APPS if app.package not in EXPECTED_FAILURES)
+
+
+def app_by_package(package: str) -> AppSpec:
+    for app in TOP_APPS:
+        if app.package == package:
+            return app
+    raise KeyError(f"no app {package!r} in the catalog")
+
+
+def app_by_title(title: str) -> AppSpec:
+    for app in TOP_APPS:
+        if app.title == title:
+            return app
+    raise KeyError(f"no app titled {title!r} in the catalog")

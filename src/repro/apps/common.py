@@ -1,0 +1,104 @@
+"""Shared machinery for the Table 3 workload apps.
+
+Each app is an :class:`AppSpec`: package metadata (APK size, heap
+footprint), an Activity class that builds a plausible UI (games attach a
+GLSurfaceView), and a ``workload`` function that exercises the system
+services the way the paper's Table 3 describes the app being used before
+migration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Tuple, Type
+
+from repro.android.app.activity import Activity
+from repro.android.app.views import GLSurfaceView, View, ViewGroup
+from repro.android.storage.apk import ApkFile
+from repro.sim import units
+
+
+class WorkloadActivity(Activity):
+    """Base activity: builds a list-style UI of ``VIEW_COUNT`` views."""
+
+    VIEW_COUNT = 12
+    USES_GL = False
+    GL_TEXTURE_MB = 8.0
+    PRESERVE_EGL = False
+
+    def on_create(self, saved_state) -> None:
+        root = ViewGroup("content-root")
+        toolbar = ViewGroup("toolbar")
+        toolbar.add_view(View("title"))
+        toolbar.add_view(View("menu-button"))
+        root.add_view(toolbar)
+        body = ViewGroup("body")
+        for i in range(self.VIEW_COUNT):
+            body.add_view(View(f"item-{i}"))
+        root.add_view(body)
+        if self.USES_GL:
+            gl_view = GLSurfaceView("gl-surface",
+                                    texture_bytes=int(self.GL_TEXTURE_MB
+                                                      * units.MB))
+            gl_view.attach_gl(self.thread.framework.gl, self.thread.process)
+            if self.PRESERVE_EGL:
+                gl_view.set_preserve_egl_context_on_pause(True)
+            gl_view.on_resume_gl()
+            root.add_view(gl_view)
+        self.set_content_view(root)
+
+
+@dataclass(frozen=True)
+class AppSpec:
+    package: str
+    title: str
+    workload_desc: str             # Table 3's usage description
+    apk_mb: float
+    heap_mb: float
+    activity_cls: Type[Activity]
+    workload: Callable             # (thread, device) -> None
+    data_mb: float = 2.0
+    sdcard_mb: float = 0.0
+    version_code: int = 40
+    multi_process: bool = False
+    preserve_egl: bool = False
+    permissions: Tuple[str, ...] = ()
+
+    def apk(self) -> ApkFile:
+        return ApkFile(
+            package=self.package, version_code=self.version_code,
+            size_bytes=units.mb(self.apk_mb), permissions=self.permissions,
+            calls_preserve_egl=self.preserve_egl,
+            multi_process=self.multi_process)
+
+    @property
+    def heap_bytes(self) -> int:
+        return units.mb(self.heap_mb)
+
+    def install(self, device) -> None:
+        """Install on ``device`` without launching."""
+        if not device.package_service.is_installed(self.package):
+            device.install_app(self.apk(), data_bytes=units.mb(self.data_mb),
+                               sdcard_bytes=units.mb(self.sdcard_mb))
+
+    def install_and_launch(self, device):
+        """Install on ``device``, start it, and run the Table 3 workload."""
+        self.install(device)
+        extra = 1 if self.multi_process else 0
+        thread = device.launch_app(self.package, self.activity_cls,
+                                   heap_bytes=self.heap_bytes,
+                                   extra_processes=extra)
+        self.workload(thread, device)
+        self._dirty_app_data(device)
+        return thread
+
+    def _dirty_app_data(self, device) -> None:
+        """Using the app modifies a little on-disk state, so migration's
+        verify pass finds a small data delta (paper §4: compressed data
+        sync + record log "never exceeded a combined 200 KB")."""
+        prefs = f"/data/data/{self.package}/shared_prefs/prefs.xml"
+        run = device.clock.now
+        if device.storage.exists(prefs):
+            device.storage.remove(prefs)
+        device.storage.add_file(prefs, units.kb(96),
+                                f"{self.package}/data/prefs/run-{run}")

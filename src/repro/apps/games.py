@@ -1,0 +1,129 @@
+"""Game apps: Bubble Witch Saga, Candy Crush Saga, Flappy Bird,
+Subway Surfers.
+
+All use 3D-accelerated rendering through a GLSurfaceView; Subway Surfers
+additionally asks to preserve its EGL context across pause, the one GL
+pattern Flux cannot migrate (paper §3.4/§4).
+"""
+
+from __future__ import annotations
+
+from repro.android.app.intent import Intent, PendingIntent
+from repro.android.app.notification import Notification
+from repro.apps.common import AppSpec, WorkloadActivity
+
+
+class BubbleWitchActivity(WorkloadActivity):
+    VIEW_COUNT = 8
+    USES_GL = True
+    GL_TEXTURE_MB = 10.0
+
+    def on_create(self, saved_state) -> None:
+        super().on_create(saved_state)
+        self.saved_state.setdefault("level", 37)
+        self.saved_state.setdefault("score", 12450)
+
+
+def bubble_witch_workload(thread, device) -> None:
+    """Play witch-themed puzzle game."""
+    audio = thread.context.get_system_service("audio")
+    audio.request_audio_focus("bubblewitch-music")
+    audio.set_stream_volume(audio.STREAM_MUSIC, 9)
+    vibrator = thread.context.get_system_service("vibrator")
+    vibrator.vibrate(40)
+    activity = next(iter(thread.activities.values()))
+    activity.saved_state["level"] = 38
+    activity.render()
+
+
+class CandyCrushActivity(WorkloadActivity):
+    VIEW_COUNT = 10
+    USES_GL = True
+    GL_TEXTURE_MB = 14.0
+
+    def on_create(self, saved_state) -> None:
+        super().on_create(saved_state)
+        self.saved_state.setdefault("level", 181)
+        self.saved_state.setdefault("lives", 3)
+
+
+def candy_crush_workload(thread, device) -> None:
+    """Play candy-themed puzzle game."""
+    activity = next(iter(thread.activities.values()))
+    activity.saved_state["lives"] = 2
+    alarm = thread.context.get_system_service("alarm")
+    refill = PendingIntent(thread.package,
+                           Intent("com.king.candycrush.LIFE_REFILL"))
+    alarm.set(alarm.RTC_WAKEUP, device.clock.now + 1800.0, refill)
+    nm = thread.context.get_system_service("notification")
+    nm.notify(77, Notification("Candy Crush Saga",
+                               "Your friends sent you lives!"))
+    activity.render()
+
+
+class FlappyBirdActivity(WorkloadActivity):
+    VIEW_COUNT = 3
+    USES_GL = True
+    GL_TEXTURE_MB = 2.0
+
+
+def flappy_bird_workload(thread, device) -> None:
+    """Play obstacle game (tilt input via the accelerometer channel)."""
+    sensors = thread.context.get_system_service("sensor")
+    accelerometer = sensors.default_sensor("accelerometer")
+    events = []
+    sensors.register_listener(events.append, accelerometer.handle,
+                              sampling_rate=50)
+    device.service("sensor").inject_event(accelerometer.handle, b"tilt:+0.3")
+    sensors.poll_events()
+    vibrator = thread.context.get_system_service("vibrator")
+    vibrator.vibrate(60)    # death buzz
+    activity = next(iter(thread.activities.values()))
+    activity.saved_state["best_score"] = 17
+    activity.render()
+
+
+class SubwaySurfersActivity(WorkloadActivity):
+    VIEW_COUNT = 6
+    USES_GL = True
+    GL_TEXTURE_MB = 12.0
+    PRESERVE_EGL = True      # setPreserveEGLContextOnPause(true)
+
+
+def subway_surfers_workload(thread, device) -> None:
+    """Play fast-paced obstacle game."""
+    audio = thread.context.get_system_service("audio")
+    audio.request_audio_focus("subway-music")
+    activity = next(iter(thread.activities.values()))
+    activity.saved_state["coins"] = 2210
+    activity.render()
+
+
+BUBBLE_WITCH = AppSpec(
+    package="com.king.bubblewitch",
+    title="Bubble Witch Saga",
+    workload_desc="Play witch-themed puzzle game",
+    apk_mb=46.0, heap_mb=18.0, data_mb=3.0,
+    activity_cls=BubbleWitchActivity, workload=bubble_witch_workload)
+
+CANDY_CRUSH = AppSpec(
+    package="com.king.candycrushsaga",
+    title="Candy Crush Saga",
+    workload_desc="Play candy-themed puzzle game",
+    apk_mb=43.0, heap_mb=24.0, data_mb=3.5,
+    activity_cls=CandyCrushActivity, workload=candy_crush_workload)
+
+FLAPPY_BIRD = AppSpec(
+    package="com.dotgears.flappybird",
+    title="Flappy Bird",
+    workload_desc="Play obstacle game",
+    apk_mb=0.9, heap_mb=4.0, data_mb=0.3,
+    activity_cls=FlappyBirdActivity, workload=flappy_bird_workload)
+
+SUBWAY_SURFERS = AppSpec(
+    package="com.kiloo.subwaysurf",
+    title="Subway Surfers",
+    workload_desc="Play fast-paced obstacle game",
+    apk_mb=38.0, heap_mb=20.0, data_mb=4.0,
+    activity_cls=SubwaySurfersActivity, workload=subway_surfers_workload,
+    preserve_egl=True)

@@ -1,0 +1,118 @@
+"""Media apps: Netflix, Instagram, Vine, Snapchat, ZEDGE."""
+
+from __future__ import annotations
+
+from repro.android.app.notification import Notification
+from repro.apps.common import AppSpec, WorkloadActivity
+
+
+class NetflixActivity(WorkloadActivity):
+    VIEW_COUNT = 20      # browse rows of box art
+
+
+def netflix_workload(thread, device) -> None:
+    """Browse available movies."""
+    audio = thread.context.get_system_service("audio")
+    audio.request_audio_focus("netflix-playback")
+    audio.set_stream_volume(audio.STREAM_MUSIC, 12)
+    power = thread.context.get_system_service("power")
+    lock = power.new_wake_lock(power.SCREEN_DIM_WAKE_LOCK, "netflix")
+    lock.acquire()
+    thread.register_receiver(lambda intent: None,
+                             ["android.net.conn.CONNECTIVITY_CHANGE"])
+    activity = next(iter(thread.activities.values()))
+    activity.saved_state["browse_row"] = 4
+    activity.render()
+
+
+class InstagramActivity(WorkloadActivity):
+    VIEW_COUNT = 18
+
+
+def instagram_workload(thread, device) -> None:
+    """Browse a friend's photos."""
+    location = thread.context.get_system_service("location")
+    location.request_updates("network", "instagram-geotag")
+    nm = thread.context.get_system_service("notification")
+    nm.notify(3, Notification("Instagram", "somefriend liked your photo"))
+    activity = next(iter(thread.activities.values()))
+    activity.saved_state["feed_position"] = 23
+    activity.render()
+
+
+class VineActivity(WorkloadActivity):
+    VIEW_COUNT = 15
+
+
+def vine_workload(thread, device) -> None:
+    """Browse a user's video feed."""
+    audio = thread.context.get_system_service("audio")
+    audio.request_audio_focus("vine-loop")
+    power = thread.context.get_system_service("power")
+    lock = power.new_wake_lock(power.SCREEN_DIM_WAKE_LOCK, "vine")
+    lock.acquire()
+    activity = next(iter(thread.activities.values()))
+    activity.saved_state["video_index"] = 7
+    activity.render()
+
+
+class SnapchatActivity(WorkloadActivity):
+    VIEW_COUNT = 6
+
+
+def snapchat_workload(thread, device) -> None:
+    """Take photo and compose text."""
+    camera = thread.context.get_system_service("camera")
+    camera.open(0)
+    camera.close(0)      # photo taken; camera released before composing
+    ime = thread.context.get_system_service("input_method")
+    ime.show_soft_input()
+    activity = next(iter(thread.activities.values()))
+    activity.saved_state["draft_caption"] = "look at this"
+    activity.render()
+
+
+class ZedgeActivity(WorkloadActivity):
+    VIEW_COUNT = 16
+
+
+def zedge_workload(thread, device) -> None:
+    """Browse ringtones and select one."""
+    audio = thread.context.get_system_service("audio")
+    audio.set_stream_volume(audio.STREAM_RING, 5)
+    audio.request_audio_focus("zedge-preview", audio.STREAM_RING)
+    audio.abandon_audio_focus("zedge-preview")
+    activity = next(iter(thread.activities.values()))
+    activity.saved_state["selected_ringtone"] = "marimba-remix"
+    activity.render()
+
+
+NETFLIX = AppSpec(
+    package="com.netflix.mediaclient", title="Netflix",
+    workload_desc="Browse available movies",
+    apk_mb=9.5, heap_mb=11.0, data_mb=2.5,
+    activity_cls=NetflixActivity, workload=netflix_workload)
+
+INSTAGRAM = AppSpec(
+    package="com.instagram.android", title="Instagram",
+    workload_desc="Browse a friend's photos",
+    apk_mb=13.0, heap_mb=12.0, data_mb=3.0, sdcard_mb=1.5,
+    activity_cls=InstagramActivity, workload=instagram_workload)
+
+VINE = AppSpec(
+    package="co.vine.android", title="Vine",
+    workload_desc="Browse a user's video feed",
+    apk_mb=15.0, heap_mb=12.0, data_mb=2.0,
+    activity_cls=VineActivity, workload=vine_workload)
+
+SNAPCHAT = AppSpec(
+    package="com.snapchat.android", title="Snapchat",
+    workload_desc="Take photo and compose text",
+    apk_mb=10.0, heap_mb=9.0, data_mb=2.0, sdcard_mb=1.0,
+    activity_cls=SnapchatActivity, workload=snapchat_workload)
+
+ZEDGE = AppSpec(
+    package="net.zedge.android", title="ZEDGE",
+    workload_desc="Browse ringtones and select one",
+    apk_mb=7.0, heap_mb=6.0, data_mb=1.5, sdcard_mb=2.0,
+    activity_cls=ZedgeActivity, workload=zedge_workload)

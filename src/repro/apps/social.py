@@ -1,0 +1,127 @@
+"""Social apps: Facebook, Twitter, Pinterest, WhatsApp, Skype.
+
+Facebook is the paper's multi-process example: it requests a second
+process and is therefore refused by the Flux prototype (§4).
+"""
+
+from __future__ import annotations
+
+from repro.android.app.intent import Intent, PendingIntent
+from repro.android.app.notification import Notification
+from repro.apps.common import AppSpec, WorkloadActivity
+
+
+class FacebookActivity(WorkloadActivity):
+    VIEW_COUNT = 22
+
+
+def facebook_workload(thread, device) -> None:
+    """Post comment on news feed."""
+    nm = thread.context.get_system_service("notification")
+    nm.notify(11, Notification("Facebook", "3 new comments on your post"))
+    ime = thread.context.get_system_service("input_method")
+    ime.show_soft_input()
+    activity = next(iter(thread.activities.values()))
+    activity.saved_state["draft_comment"] = "congrats!"
+    activity.render()
+
+
+class TwitterActivity(WorkloadActivity):
+    VIEW_COUNT = 20
+
+
+def twitter_workload(thread, device) -> None:
+    """View a user's Tweets."""
+    nm = thread.context.get_system_service("notification")
+    nm.notify(5, Notification("Twitter", "@someone mentioned you"))
+    alarm = thread.context.get_system_service("alarm")
+    poll = PendingIntent(thread.package,
+                         Intent("com.twitter.android.POLL"))
+    alarm.set_repeating(alarm.RTC, device.clock.now + 900.0, 900.0, poll)
+    activity = next(iter(thread.activities.values()))
+    activity.saved_state["timeline_position"] = 41
+    activity.render()
+
+
+class PinterestActivity(WorkloadActivity):
+    VIEW_COUNT = 24
+
+
+def pinterest_workload(thread, device) -> None:
+    """Explore 'pinned' items of interest."""
+    nm = thread.context.get_system_service("notification")
+    nm.notify(8, Notification("Pinterest", "New pins for you"))
+    nm.cancel(8)     # acknowledged: the pair must annihilate in the log
+    activity = next(iter(thread.activities.values()))
+    activity.saved_state["board"] = "workshop-ideas"
+    activity.render()
+
+
+class WhatsAppActivity(WorkloadActivity):
+    VIEW_COUNT = 14
+
+
+def whatsapp_workload(thread, device) -> None:
+    """Send text to friend."""
+    nm = thread.context.get_system_service("notification")
+    nm.notify(21, Notification("WhatsApp", "Dan: see you at 6"))
+    vibrator = thread.context.get_system_service("vibrator")
+    vibrator.vibrate(30)
+    alarm = thread.context.get_system_service("alarm")
+    backup = PendingIntent(thread.package,
+                           Intent("com.whatsapp.BACKUP"))
+    alarm.set(alarm.RTC_WAKEUP, device.clock.now + 3600.0, backup)
+    clipboard = thread.context.get_system_service("clipboard")
+    clipboard.set_text("see you at 6")
+    activity = next(iter(thread.activities.values()))
+    activity.saved_state["chat"] = "dan"
+    activity.render()
+
+
+class SkypeActivity(WorkloadActivity):
+    VIEW_COUNT = 12
+
+
+def skype_workload(thread, device) -> None:
+    """View contact status."""
+    wifi = thread.context.get_system_service("wifi")
+    wifi.acquire_lock("skype-signalling")
+    audio = thread.context.get_system_service("audio")
+    audio.setMode(2)     # MODE_IN_COMMUNICATION
+    nm = thread.context.get_system_service("notification")
+    nm.notify(2, Notification("Skype", "alice is online", ongoing=True))
+    activity = next(iter(thread.activities.values()))
+    activity.saved_state["contact_filter"] = "online"
+    activity.render()
+
+
+FACEBOOK = AppSpec(
+    package="com.facebook.katana", title="Facebook",
+    workload_desc="Post comment on news feed",
+    apk_mb=28.0, heap_mb=16.0, data_mb=4.0,
+    activity_cls=FacebookActivity, workload=facebook_workload,
+    multi_process=True)
+
+TWITTER = AppSpec(
+    package="com.twitter.android", title="Twitter",
+    workload_desc="View a user's Tweets",
+    apk_mb=11.0, heap_mb=10.0, data_mb=2.0,
+    activity_cls=TwitterActivity, workload=twitter_workload)
+
+PINTEREST = AppSpec(
+    package="com.pinterest", title="Pinterest",
+    workload_desc="Explore 'pinned' items of interest",
+    apk_mb=8.0, heap_mb=10.0, data_mb=2.0,
+    activity_cls=PinterestActivity, workload=pinterest_workload)
+
+WHATSAPP = AppSpec(
+    package="com.whatsapp", title="WhatsApp",
+    workload_desc="Send text to friend",
+    apk_mb=15.0, heap_mb=7.0, data_mb=3.0,
+    activity_cls=WhatsAppActivity, workload=whatsapp_workload)
+
+SKYPE = AppSpec(
+    package="com.skype.raider", title="Skype",
+    workload_desc="View contact status",
+    apk_mb=25.0, heap_mb=12.0, data_mb=2.0,
+    activity_cls=SkypeActivity, workload=skype_workload)

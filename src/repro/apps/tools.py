@@ -1,0 +1,100 @@
+"""Tool/commerce apps: Bible, eBay, Surpax Flashlight, GroupOn."""
+
+from __future__ import annotations
+
+from repro.android.app.intent import Intent, PendingIntent
+from repro.android.app.notification import Notification
+from repro.apps.common import AppSpec, WorkloadActivity
+
+
+class BibleActivity(WorkloadActivity):
+    VIEW_COUNT = 10
+
+
+def bible_workload(thread, device) -> None:
+    """View page of the Bible."""
+    alarm = thread.context.get_system_service("alarm")
+    verse = PendingIntent(thread.package,
+                          Intent("com.sirma.bible.DAILY_VERSE"))
+    alarm.set_repeating(alarm.RTC, device.clock.now + 86400.0, 86400.0,
+                        verse)
+    clipboard = thread.context.get_system_service("clipboard")
+    clipboard.set_text("John 3:16")
+    activity = next(iter(thread.activities.values()))
+    activity.saved_state["book"] = "John"
+    activity.saved_state["chapter"] = 3
+    activity.render()
+
+
+class EbayActivity(WorkloadActivity):
+    VIEW_COUNT = 14
+
+
+def ebay_workload(thread, device) -> None:
+    """View online auction."""
+    alarm = thread.context.get_system_service("alarm")
+    ending = PendingIntent(thread.package,
+                           Intent("com.ebay.AUCTION_ENDING", item=42137))
+    alarm.set(alarm.RTC_WAKEUP, device.clock.now + 5400.0, ending)
+    nm = thread.context.get_system_service("notification")
+    nm.notify(4, Notification("eBay", "You've been outbid!"))
+    activity = next(iter(thread.activities.values()))
+    activity.saved_state["watched_item"] = 42137
+    activity.render()
+
+
+class FlashlightActivity(WorkloadActivity):
+    VIEW_COUNT = 2
+
+
+def flashlight_workload(thread, device) -> None:
+    """Use LED flashlight."""
+    camera = thread.context.get_system_service("camera")
+    camera.setTorchMode(0, True)
+    power = thread.context.get_system_service("power")
+    lock = power.new_wake_lock(power.SCREEN_DIM_WAKE_LOCK, "flashlight")
+    lock.acquire()
+    activity = next(iter(thread.activities.values()))
+    activity.saved_state["torch_on"] = True
+    activity.render()
+
+
+class GrouponActivity(WorkloadActivity):
+    VIEW_COUNT = 16
+
+
+def groupon_workload(thread, device) -> None:
+    """View discount offer."""
+    location = thread.context.get_system_service("location")
+    provider = location.getBestProvider(True) or "network"
+    location.request_updates(provider, "groupon-nearby")
+    nm = thread.context.get_system_service("notification")
+    nm.notify(6, Notification("GroupOn", "60% off at a bistro near you"))
+    activity = next(iter(thread.activities.values()))
+    activity.saved_state["deal_id"] = 99817
+    activity.render()
+
+
+BIBLE = AppSpec(
+    package="com.sirma.mobile.bible.android", title="Bible",
+    workload_desc="View page of the Bible",
+    apk_mb=18.0, heap_mb=7.0, data_mb=6.0,
+    activity_cls=BibleActivity, workload=bible_workload)
+
+EBAY = AppSpec(
+    package="com.ebay.mobile", title="eBay",
+    workload_desc="View online auction",
+    apk_mb=12.0, heap_mb=9.0, data_mb=2.0,
+    activity_cls=EbayActivity, workload=ebay_workload)
+
+FLASHLIGHT = AppSpec(
+    package="com.surpax.ledflashlight", title="Surpax Flashlight",
+    workload_desc="Use LED flashlight",
+    apk_mb=2.5, heap_mb=2.5, data_mb=0.2,
+    activity_cls=FlashlightActivity, workload=flashlight_workload)
+
+GROUPON = AppSpec(
+    package="com.groupon", title="GroupOn",
+    workload_desc="View discount offer",
+    apk_mb=9.0, heap_mb=8.0, data_mb=1.5,
+    activity_cls=GrouponActivity, workload=groupon_workload)

@@ -1,0 +1,18 @@
+"""Quadrant/SunSpider-like benchmark suite for the Figure 16 overhead study."""
+
+from repro.benchmarksuite.runner import (
+    FIG16_PROFILES,
+    NormalizedScore,
+    run_device_suite,
+    run_fig16,
+)
+from repro.benchmarksuite.workloads import (
+    BENCHMARK_NAMES,
+    BenchmarkApp,
+    BenchmarkResult,
+)
+
+__all__ = [
+    "FIG16_PROFILES", "NormalizedScore", "run_device_suite", "run_fig16",
+    "BENCHMARK_NAMES", "BenchmarkApp", "BenchmarkResult",
+]

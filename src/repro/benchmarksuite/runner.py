@@ -1,0 +1,60 @@
+"""Figure 16 runner: per-device Flux-vs-AOSP benchmark comparison."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.android.device import Device
+from repro.android.hardware.profiles import (
+    NEXUS_4,
+    NEXUS_7_2012,
+    NEXUS_7_2013,
+    DeviceProfile,
+)
+from repro.benchmarksuite.workloads import BENCHMARK_NAMES, BenchmarkApp
+from repro.sim import SimClock
+
+
+#: The three device types Figure 16 evaluates.
+FIG16_PROFILES = (NEXUS_7_2012, NEXUS_4, NEXUS_7_2013)
+
+
+@dataclass
+class NormalizedScore:
+    benchmark: str
+    device: str
+    aosp_score: float
+    flux_score: float
+
+    @property
+    def normalized(self) -> float:
+        """Flux score relative to AOSP (1.0 == no overhead)."""
+        return self.flux_score / self.aosp_score if self.aosp_score else 0.0
+
+    @property
+    def overhead_percent(self) -> float:
+        return (1.0 - self.normalized) * 100.0
+
+
+def run_device_suite(profile: DeviceProfile,
+                     flux_enabled: bool) -> Dict[str, float]:
+    """Run all six benchmarks on a fresh device; returns name -> score."""
+    device = Device(profile, SimClock(), name=f"{profile.name}-bench",
+                    flux_enabled=flux_enabled)
+    app = BenchmarkApp.launch(device)
+    return {result.name: result.score for result in app.run_all()}
+
+
+def run_fig16(profiles: Sequence[DeviceProfile] = FIG16_PROFILES
+              ) -> List[NormalizedScore]:
+    """The full Figure 16 matrix: 6 benchmarks x len(profiles) devices."""
+    out: List[NormalizedScore] = []
+    for profile in profiles:
+        aosp = run_device_suite(profile, flux_enabled=False)
+        flux = run_device_suite(profile, flux_enabled=True)
+        for name in BENCHMARK_NAMES:
+            out.append(NormalizedScore(
+                benchmark=name, device=profile.model,
+                aosp_score=aosp[name], flux_score=flux[name]))
+    return out

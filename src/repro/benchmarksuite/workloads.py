@@ -1,0 +1,168 @@
+"""Quadrant-Standard- and SunSpider-like micro-workloads (Figure 16).
+
+Each workload runs inside a benchmark app on a booted device and charges
+virtual CPU time for its operations; the score is work per virtual
+second, as benchmark suites report.  Runs on a Flux-enabled device pay
+the *real* interposition costs of our recording layer (the ambient
+decorated service calls a foreground app makes — wakelocks, volume —
+plus whatever the workload itself touches); runs on a vanilla-AOSP
+device pay none.  Figure 16 normalizes Flux scores to AOSP.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+from repro.android.app.activity import Activity
+from repro.android.app.views import View, ViewGroup
+from repro.android.kernel.memory import MemoryRegion, RegionKind
+from repro.sim import units
+
+
+BENCH_PACKAGE = "com.aurora.quadrant"
+
+#: Virtual CPU seconds per elementary operation on the reference device.
+OP_COST = {
+    "cpu": 4.0e-6,
+    "mem": 2.5e-6,
+    "io": 3.0e-5,
+    "2d": 1.1e-4,
+    "3d": 1.6e-4,
+    "js": 6.0e-6,
+}
+
+
+class BenchActivity(Activity):
+    def on_create(self, saved_state) -> None:
+        root = ViewGroup("bench-root")
+        for i in range(6):
+            root.add_view(View(f"bench-view-{i}"))
+        self.set_content_view(root)
+
+
+@dataclass
+class BenchmarkResult:
+    name: str
+    device_name: str
+    flux_enabled: bool
+    operations: int
+    elapsed: float
+
+    @property
+    def score(self) -> float:
+        """Operations per virtual second (higher is better)."""
+        return self.operations / self.elapsed if self.elapsed else 0.0
+
+
+class BenchmarkApp:
+    """Runs the suite's workloads on one device."""
+
+    def __init__(self, device, thread) -> None:
+        self.device = device
+        self.thread = thread
+        self._cpu = device.profile.cpu_factor
+
+    @classmethod
+    def launch(cls, device) -> "BenchmarkApp":
+        from repro.android.storage import ApkFile
+        if not device.package_service.is_installed(BENCH_PACKAGE):
+            device.install_app(ApkFile(BENCH_PACKAGE, 1, units.mb(2)))
+        thread = device.launch_app(BENCH_PACKAGE, BenchActivity,
+                                   heap_bytes=units.mb(4))
+        return cls(device, thread)
+
+    # -- ambient app behaviour common to all benchmark runs --------------------
+
+    def _ambient_start(self) -> None:
+        power = self.thread.context.get_system_service("power")
+        self._lock = power.new_wake_lock(power.PARTIAL_WAKE_LOCK, "bench")
+        self._lock.acquire()
+
+    def _ambient_stop(self) -> None:
+        self._lock.release()
+
+    def _charge(self, kind: str, operations: int) -> None:
+        self.device.clock.advance(OP_COST[kind] * operations / self._cpu)
+
+    def _run(self, name: str, kind: str, operations: int,
+             body: Callable[[], None]) -> BenchmarkResult:
+        start = self.device.clock.now
+        self._ambient_start()
+        body()
+        self._charge(kind, operations)
+        self._ambient_stop()
+        elapsed = self.device.clock.now - start
+        return BenchmarkResult(name=name, device_name=self.device.name,
+                               flux_enabled=self.device.flux_enabled,
+                               operations=operations, elapsed=elapsed)
+
+    # -- the six benchmarks ------------------------------------------------------
+
+    def quadrant_cpu(self, operations: int = 40_000) -> BenchmarkResult:
+        def body() -> None:
+            acc = 0
+            for i in range(200):    # genuine arithmetic, cost via _charge
+                acc = (acc * 1103515245 + 12345) & 0x7FFFFFFF
+        return self._run("Quadrant CPU", "cpu", operations, body)
+
+    def quadrant_mem(self, operations: int = 40_000) -> BenchmarkResult:
+        process = self.thread.process
+
+        def body() -> None:
+            for i in range(64):
+                region = process.memory.map(MemoryRegion(
+                    name=f"bench-{i}", kind=RegionKind.MMAP,
+                    size=units.kb(256)))
+                process.memory.unmap(region.name)
+        return self._run("Quadrant Mem", "mem", operations, body)
+
+    def quadrant_io(self, operations: int = 4_000) -> BenchmarkResult:
+        storage = self.device.storage
+
+        def body() -> None:
+            for i in range(32):
+                path = f"/data/data/{BENCH_PACKAGE}/cache/io-{i}"
+                if storage.exists(path):
+                    storage.remove(path)
+                storage.add_file(path, units.kb(64), f"bench-io-{i}")
+        return self._run("Quadrant I/O", "io", operations, body)
+
+    def quadrant_2d(self, frames: int = 1_200) -> BenchmarkResult:
+        activity = next(iter(self.thread.activities.values()))
+
+        def body() -> None:
+            for _ in range(30):
+                activity.view_root.invalidate_all()
+                activity.render()
+        return self._run("Quadrant 2D", "2d", frames, body)
+
+    def quadrant_3d(self, frames: int = 900) -> BenchmarkResult:
+        process = self.thread.process
+        gl = self.device.gl
+
+        def body() -> None:
+            gl.egl_initialize(process)
+            context = gl.egl_create_context(process)
+            for i in range(8):
+                resource = context.create_resource("texture", units.kb(512))
+                context.delete_resource(resource.res_id)
+            context.destroy()
+        return self._run("Quadrant 3D", "3d", frames, body)
+
+    def sunspider(self, operations: int = 60_000) -> BenchmarkResult:
+        def body() -> None:
+            text = "flux" * 64
+            for _ in range(50):
+                text.upper().lower()
+        return self._run("SunSpider", "js", operations, body)
+
+    def run_all(self) -> List[BenchmarkResult]:
+        return [
+            self.quadrant_cpu(), self.quadrant_mem(), self.quadrant_io(),
+            self.quadrant_2d(), self.quadrant_3d(), self.sunspider(),
+        ]
+
+
+BENCHMARK_NAMES = ("Quadrant CPU", "Quadrant Mem", "Quadrant I/O",
+                   "Quadrant 2D", "Quadrant 3D", "SunSpider")

@@ -1,0 +1,225 @@
+"""flux-sim: command-line front end for the Flux reproduction.
+
+Subcommands::
+
+    flux-sim devices                       list device profiles
+    flux-sim apps                          list the Table 3 catalog
+    flux-sim pair --home P --guest P       pairing cost between two devices
+    flux-sim migrate --home P --guest P --app TITLE [--extensions ...]
+    flux-sim sweep                         the paper's 4-pair x 16-app sweep
+    flux-sim experiments [NAME ...]        regenerate tables/figures
+
+Installed as a console script (``pip install -e .``), or run with
+``python -m repro.cli``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.android.device import Device
+from repro.android.hardware.profiles import ALL_PROFILES, profile_by_name
+from repro.apps import TOP_APPS, app_by_title
+from repro.core.cria.errors import MigrationError
+from repro.core.extensions import FluxExtensions
+from repro.experiments.harness import format_table
+from repro.sim import SimClock, units
+from repro.sim.rng import RngFactory
+
+
+def _parse_extensions(spec: Optional[str]) -> FluxExtensions:
+    if not spec:
+        return FluxExtensions.none()
+    if spec == "all":
+        return FluxExtensions.all()
+    flags = {}
+    valid = set(FluxExtensions.__dataclass_fields__)
+    for name in spec.split(","):
+        name = name.strip()
+        if name not in valid:
+            raise SystemExit(
+                f"unknown extension {name!r}; choose from {sorted(valid)} "
+                "or 'all'")
+        flags[name] = True
+    return FluxExtensions(**flags)
+
+
+def _boot_pair(home_name: str, guest_name: str, seed: int):
+    clock = SimClock()
+    factory = RngFactory(seed)
+    home = Device(profile_by_name(home_name), clock, factory, name="home")
+    guest = Device(profile_by_name(guest_name), clock, factory, name="guest")
+    return home, guest
+
+
+# -- subcommands -----------------------------------------------------------
+
+
+def cmd_devices(args) -> int:
+    rows = [(p.name, p.model, str(p.screen), p.gpu_name, p.kernel_version,
+             f"{p.wifi_effective_mbps:.0f} Mbit/s")
+            for p in ALL_PROFILES]
+    print(format_table(("id", "model", "screen", "GPU", "kernel", "wifi"),
+                       rows, title="Device profiles"))
+    return 0
+
+
+def cmd_apps(args) -> int:
+    rows = [(a.title, a.package, f"{a.apk_mb:.1f} MB", a.workload_desc)
+            for a in TOP_APPS]
+    print(format_table(("title", "package", "APK", "workload"), rows,
+                       title="Table 3 app catalog"))
+    return 0
+
+
+def cmd_pair(args) -> int:
+    home, guest = _boot_pair(args.home, args.guest, args.seed)
+    for spec in TOP_APPS:
+        spec.install(home)
+    report = home.pairing_service.pair(guest)
+    print(f"paired {home.profile.model} -> {guest.profile.model} "
+          f"in {report.seconds:.1f}s (simulated)")
+    print(f"  constant data:   "
+          f"{units.format_size(report.constant_bytes_total)}")
+    print(f"  after hardlinks: "
+          f"{units.format_size(report.constant_bytes_after_linking)}")
+    print(f"  over the wire:   "
+          f"{units.format_size(report.constant_bytes_compressed)}")
+    print(f"  apps paired:     {len(report.apps)}"
+          + (f" ({len(report.incompatible)} incompatible)"
+             if report.incompatible else ""))
+    return 0
+
+
+def cmd_migrate(args) -> int:
+    try:
+        spec = app_by_title(args.app)
+    except KeyError:
+        matching = [a.title for a in TOP_APPS
+                    if args.app.lower() in a.title.lower()]
+        if len(matching) != 1:
+            raise SystemExit(f"unknown app {args.app!r}; "
+                             f"try one of {[a.title for a in TOP_APPS]}")
+        spec = app_by_title(matching[0])
+    extensions = _parse_extensions(args.extensions)
+    home, guest = _boot_pair(args.home, args.guest, args.seed)
+    spec.install_and_launch(home)
+    home.pairing_service.pair(guest)
+    try:
+        report = home.migration_service.migrate(guest, spec.package,
+                                                extensions=extensions)
+    except MigrationError as error:
+        print(f"REFUSED: {error}")
+        if error.reason.value in ("multi-process", "preserved-egl-context"):
+            print("hint: retry with --extensions all")
+        return 1
+    print(f"migrated {spec.title}: {home.profile.model} -> "
+          f"{guest.profile.model}")
+    rows = [(stage, f"{seconds:.3f}",
+             f"{report.stage_fraction(stage) * 100:.1f}%")
+            for stage, seconds in report.stages.items()]
+    rows.append(("TOTAL", f"{report.total_seconds:.3f}", "100%"))
+    print(format_table(("stage", "seconds", "share"), rows))
+    print(f"transferred {units.format_size(report.transferred_bytes)} "
+          f"({report.record_log_entries} log entries replayed: "
+          f"{report.replay.replayed} direct, {report.replay.proxied} via "
+          f"proxy, {report.replay.skipped} skipped)")
+    for note in report.replay.adaptations:
+        print(f"  adapted: {note}")
+    if args.timeline:
+        from repro.core.migration.timeline import render_timeline
+        print()
+        print(render_timeline(report))
+    return 0
+
+
+def cmd_interface(args) -> int:
+    from repro.android.aidl.parser import parse
+    from repro.android.aidl.printer import print_interface
+    from repro.android.services.aidl_sources import AIDL_SOURCES, spec_for
+    try:
+        spec = spec_for(args.service)
+    except KeyError:
+        raise SystemExit(f"unknown service {args.service!r}; choose from "
+                         f"{sorted(AIDL_SOURCES)}")
+    document = parse(AIDL_SOURCES[spec.key])
+    for iface in document.interfaces:
+        print(print_interface(iface))
+        print()
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    from repro.experiments import fig12, fig13, fig14, fig15
+    print(fig12.render())
+    print()
+    print(fig13.render())
+    print()
+    print(fig14.render())
+    print()
+    print(fig15.render())
+    return 0
+
+
+def cmd_experiments(args) -> int:
+    from repro.experiments.__main__ import main as experiments_main
+    return experiments_main(args.names)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="flux-sim",
+        description="Flux (EuroSys 2015) reproduction: app migration "
+                    "across simulated Android devices.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("devices", help="list device profiles") \
+        .set_defaults(func=cmd_devices)
+    sub.add_parser("apps", help="list the Table 3 app catalog") \
+        .set_defaults(func=cmd_apps)
+
+    pair = sub.add_parser("pair", help="pairing cost between two devices")
+    pair.add_argument("--home", default="nexus7")
+    pair.add_argument("--guest", default="nexus7_2013")
+    pair.add_argument("--seed", type=int, default=0)
+    pair.set_defaults(func=cmd_pair)
+
+    migrate = sub.add_parser("migrate", help="migrate one app")
+    migrate.add_argument("--home", default="nexus4")
+    migrate.add_argument("--guest", default="nexus7_2013")
+    migrate.add_argument("--app", required=True,
+                         help="app title from the catalog (substring ok)")
+    migrate.add_argument("--extensions", default="",
+                         help="comma-separated FluxExtensions flags, "
+                              "or 'all'")
+    migrate.add_argument("--seed", type=int, default=0)
+    migrate.add_argument("--timeline", action="store_true",
+                         help="render an ASCII stage timeline")
+    migrate.set_defaults(func=cmd_migrate)
+
+    interface = sub.add_parser(
+        "interface", help="show a service's decorated AIDL interface")
+    interface.add_argument("service",
+                           help="service key, e.g. notification, alarm")
+    interface.set_defaults(func=cmd_interface)
+
+    sub.add_parser("sweep", help="the paper's full migration sweep") \
+        .set_defaults(func=cmd_sweep)
+
+    experiments = sub.add_parser("experiments",
+                                 help="regenerate tables/figures")
+    experiments.add_argument("names", nargs="*")
+    experiments.set_defaults(func=cmd_experiments)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,7 @@
+"""Flux core: Selective Record / Adaptive Replay, CRIA, migration."""
+
+from repro.core import cria, glreplay, migration, record, replay
+from repro.core.extensions import FluxExtensions
+
+__all__ = ["cria", "glreplay", "migration", "record", "replay",
+           "FluxExtensions"]

@@ -1,0 +1,39 @@
+"""CRIA: Checkpoint/Restore In Android."""
+
+from repro.core.cria.checkpoint import checkpoint_app
+from repro.core.cria.errors import (
+    CheckpointError,
+    MigrationError,
+    MigrationRefusal,
+)
+from repro.core.cria.image import (
+    IMAGE_COMPRESSION_RATIO,
+    BinderRefImage,
+    BinderRefKind,
+    CheckpointImage,
+    FdImage,
+    ProcessImage,
+    ThreadImage,
+)
+from repro.core.cria.preparation import (
+    PreparationReport,
+    check_preparable,
+    prepare_app,
+)
+from repro.core.cria.restore import RestoredApp, restore_app
+from repro.core.cria.wire import (
+    WireError,
+    image_metadata,
+    serialize_image,
+    verify_against_image,
+    verify_and_decode,
+)
+
+__all__ = [
+    "checkpoint_app", "CheckpointError", "MigrationError", "MigrationRefusal",
+    "IMAGE_COMPRESSION_RATIO", "BinderRefImage", "BinderRefKind",
+    "CheckpointImage", "FdImage", "ProcessImage", "ThreadImage",
+    "PreparationReport", "check_preparable", "prepare_app", "RestoredApp",
+    "restore_app", "WireError", "image_metadata", "serialize_image",
+    "verify_against_image", "verify_and_decode",
+]

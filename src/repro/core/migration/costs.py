@@ -1,0 +1,89 @@
+"""Timing model for migration stages.
+
+The mechanisms (CRIA, replay, sync) do the state work; this module
+charges virtual-clock time for the CPU-bound parts, scaled by the
+device's ``cpu_factor``.  Constants were calibrated so the eighteen-app,
+four-device-pair sweep reproduces the paper's §4 aggregates:
+
+* average total migration time ≈ 7.88 s,
+* user-perceived time (total minus preparation+checkpoint, which hide
+  behind the target-selection menu) ≈ 5.8 s,
+* user-perceived time excluding data transfer ≈ 1.35 s,
+* data transfer > 50% of total on average.
+
+Transfer time itself comes from the link model, not from here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim import units
+
+
+# -- preparation -----------------------------------------------------------
+
+#: Fixed cost of signalling the app into the background (RPC round trips).
+PREP_BACKGROUND_COST = 0.12
+#: Per-view teardown cost during the trim-memory chain.
+PREP_PER_VIEW_COST = 0.004
+#: Per-GL-context termination cost.
+PREP_PER_CONTEXT_COST = 0.06
+#: Unloading the vendor GL library.
+PREP_EGL_UNLOAD_COST = 0.08
+# (The task idler delay — ActivityManagerService.TASK_IDLE_DELAY — is
+# charged by the preparation mechanism itself while waiting for stop.)
+
+# -- checkpoint / restore ----------------------------------------------------
+
+#: Serialize+compress rate on the reference CPU, bytes/second.
+CHECKPOINT_RATE = units.mb(18)
+#: Fixed checkpoint overhead (freezing, driver hooks, binder capture).
+CHECKPOINT_FIXED = 0.18
+#: Decompress+inject rate on the reference CPU, bytes/second.
+RESTORE_RATE = units.mb(30)
+#: Fixed restore overhead (namespace, wrapper launch, binder injection).
+RESTORE_FIXED = 0.55
+
+# -- reintegration ----------------------------------------------------------
+
+#: Fixed reintegration overhead (connectivity + configuration broadcasts,
+#: foregrounding, first redraw).
+REINTEGRATE_FIXED = 0.50
+#: Per-replayed-call cost.
+REINTEGRATE_PER_CALL = 0.004
+
+# -- pairing -----------------------------------------------------------------
+
+#: Per-file hash/compare rate for the rsync pass, files/second.
+PAIRING_FILES_PER_SECOND = 600.0
+#: Metadata pseudo-install cost per app.
+PAIRING_PSEUDO_INSTALL_COST = 0.05
+
+
+def preparation_cost(view_count: int, context_count: int,
+                     cpu_factor: float) -> float:
+    work = (PREP_BACKGROUND_COST
+            + PREP_PER_VIEW_COST * view_count
+            + PREP_PER_CONTEXT_COST * context_count
+            + PREP_EGL_UNLOAD_COST)
+    return work / cpu_factor
+
+
+def checkpoint_cost(raw_image_bytes: int, cpu_factor: float) -> float:
+    return CHECKPOINT_FIXED / cpu_factor + (
+        raw_image_bytes / (CHECKPOINT_RATE * cpu_factor))
+
+
+def restore_cost(raw_image_bytes: int, cpu_factor: float) -> float:
+    return RESTORE_FIXED / cpu_factor + (
+        raw_image_bytes / (RESTORE_RATE * cpu_factor))
+
+
+def reintegration_cost(replayed_calls: int, cpu_factor: float) -> float:
+    return (REINTEGRATE_FIXED
+            + REINTEGRATE_PER_CALL * replayed_calls) / cpu_factor
+
+
+def pairing_scan_cost(file_count: int, cpu_factor: float) -> float:
+    return file_count / (PAIRING_FILES_PER_SECOND * cpu_factor)

@@ -1,0 +1,126 @@
+"""The two-finger vertical-swipe migration trigger (paper §3.1).
+
+A small gesture recognizer over touch events: two pointers moving
+vertically, in the same direction, far enough and fast enough, trigger
+the migration UI (modelled as a callback receiving the foreground
+package).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class TouchEvent:
+    time: float
+    pointer_id: int
+    x: float
+    y: float
+    action: str            # "down" | "move" | "up"
+
+
+@dataclass
+class SwipeDetection:
+    direction: str         # "up" | "down"
+    distance: float
+    duration: float
+    pointer_count: int
+
+
+class TwoFingerSwipeDetector:
+    """Feed touch events; fires the callback on a two-finger vertical swipe."""
+
+    MIN_DISTANCE_PX = 200.0
+    MAX_DURATION_S = 0.8
+    MAX_HORIZONTAL_DRIFT = 0.5     # |dx| must stay below drift * |dy|
+
+    def __init__(self, on_swipe: Callable[[SwipeDetection], None]) -> None:
+        self.on_swipe = on_swipe
+        self._tracks: Dict[int, List[TouchEvent]] = {}
+        self.detections: List[SwipeDetection] = []
+
+    def feed(self, event: TouchEvent) -> Optional[SwipeDetection]:
+        if event.action == "down":
+            self._tracks[event.pointer_id] = [event]
+            return None
+        track = self._tracks.get(event.pointer_id)
+        if track is None:
+            return None
+        track.append(event)
+        if event.action != "up":
+            return None
+        # Evaluate only once every tracked finger has lifted.
+        if any(t[-1].action != "up" for t in self._tracks.values()):
+            return None
+        detection = self._evaluate()
+        self._tracks.clear()
+        if detection is not None:
+            self.detections.append(detection)
+            self.on_swipe(detection)
+        return detection
+
+    def _evaluate(self) -> Optional[SwipeDetection]:
+        finished = [t for t in self._tracks.values()
+                    if t[-1].action == "up" and len(t) >= 2]
+        if len(finished) != 2 or len(self._tracks) != 2:
+            return None
+        directions = []
+        distances = []
+        durations = []
+        for track in finished:
+            dy = track[-1].y - track[0].y
+            dx = track[-1].x - track[0].x
+            duration = track[-1].time - track[0].time
+            if abs(dy) < self.MIN_DISTANCE_PX:
+                return None
+            if abs(dx) > self.MAX_HORIZONTAL_DRIFT * abs(dy):
+                return None
+            if duration > self.MAX_DURATION_S:
+                return None
+            directions.append("down" if dy > 0 else "up")
+            distances.append(abs(dy))
+            durations.append(duration)
+        if directions[0] != directions[1]:
+            return None
+        return SwipeDetection(direction=directions[0],
+                              distance=min(distances),
+                              duration=max(durations),
+                              pointer_count=2)
+
+
+class MigrationGestureTrigger:
+    """Binds the detector to a device: swipe -> migrate foreground app."""
+
+    def __init__(self, device,
+                 on_trigger: Callable[[str], None]) -> None:
+        self.device = device
+        self.on_trigger = on_trigger
+        self.detector = TwoFingerSwipeDetector(self._on_swipe)
+
+    def _on_swipe(self, detection: SwipeDetection) -> None:
+        package = self._foreground_package()
+        if package is not None:
+            self.on_trigger(package)
+
+    def _foreground_package(self) -> Optional[str]:
+        for package in self.device.running_packages():
+            thread = self.device.thread_of(package)
+            if thread is not None and not thread.in_background:
+                return package
+        return None
+
+    def swipe(self, direction: str = "up", start_time: float = 0.0) -> None:
+        """Synthesize a canonical two-finger swipe (for tests/examples)."""
+        dy = -300.0 if direction == "up" else 300.0
+        xs = {pointer: 200.0 + pointer * 120.0 for pointer in (0, 1)}
+        for pointer, x in xs.items():
+            self.detector.feed(TouchEvent(start_time, pointer, x, 600.0,
+                                          "down"))
+        for pointer, x in xs.items():
+            self.detector.feed(TouchEvent(start_time + 0.1, pointer, x,
+                                          600.0 + dy / 2, "move"))
+        for pointer, x in xs.items():
+            self.detector.feed(TouchEvent(start_time + 0.25, pointer, x,
+                                          600.0 + dy, "up"))

@@ -1,0 +1,272 @@
+"""The migration service: orchestrates the five stages of Figure 13.
+
+1. **Preparation** — background the app (task idler frees surfaces),
+   trim memory at highest severity, eglUnload the vendor GL library.
+2. **Checkpoint** — CRIA freezes the process and captures the image,
+   including the pruned record log.
+3. **Transfer** — verify/sync APK and data deltas, send the compressed
+   image over the link.
+4. **Restore** — CRIA resurrects the app in the wrapper on the guest,
+   in a private PID namespace with its Binder handles re-injected.
+5. **Reintegration** — adaptively replay the record log, signal the
+   connectivity interrupt and hardware changes, bring the app to the
+   foreground.
+
+The report separates total, user-perceived (preparation and checkpoint
+hide behind the target-selection menu) and non-transfer times, matching
+the paper's Figures 12-14 definitions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.android.net.link import Link, link_between
+from repro.core.cria.checkpoint import checkpoint_app
+from repro.core.cria.errors import MigrationError, MigrationRefusal
+from repro.core.cria.image import CheckpointImage
+from repro.core.cria.preparation import check_preparable, prepare_app
+from repro.core.cria.restore import restore_app
+from repro.core.extensions import FluxExtensions
+from repro.core.migration import costs
+from repro.core.replay.engine import ReplayReport, replay_log
+from repro.sim.clock import Stopwatch
+
+
+STAGES = ("preparation", "checkpoint", "transfer", "restore", "reintegration")
+
+
+@dataclass
+class MigrationReport:
+    package: str
+    home: str
+    guest: str
+    success: bool = False
+    refusal: Optional[MigrationRefusal] = None
+    refusal_detail: str = ""
+    stages: Dict[str, float] = field(default_factory=dict)
+    image_raw_bytes: int = 0
+    image_compressed_bytes: int = 0
+    data_delta_bytes: int = 0
+    record_log_entries: int = 0
+    record_log_bytes: int = 0
+    replay: Optional[ReplayReport] = None
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(self.stages.values())
+
+    @property
+    def perceived_seconds(self) -> float:
+        """Total minus the stages hidden behind the target menu (§4)."""
+        return self.total_seconds - self.stages.get("preparation", 0.0) \
+            - self.stages.get("checkpoint", 0.0)
+
+    @property
+    def non_transfer_seconds(self) -> float:
+        """Figure 14: user-perceived time excluding data transfer."""
+        return self.perceived_seconds - self.stages.get("transfer", 0.0)
+
+    @property
+    def transferred_bytes(self) -> int:
+        """Figure 15's 'data transferred'."""
+        return self.image_compressed_bytes + self.data_delta_bytes
+
+    def stage_fraction(self, stage: str) -> float:
+        total = self.total_seconds
+        return self.stages.get(stage, 0.0) / total if total else 0.0
+
+
+class MigrationService:
+    """Runs on the home device; drives migrations to paired guests.
+
+    ``extensions`` (per call, else the device's defaults) selects which
+    of the paper's §3.4 extension sketches are active; everything is
+    off by default, matching the published prototype.
+    """
+
+    def __init__(self, device,
+                 extensions: Optional[FluxExtensions] = None) -> None:
+        self.device = device
+        self.extensions = extensions
+        self.history: List[MigrationReport] = []
+
+    def _extensions(self,
+                    override: Optional[FluxExtensions]) -> FluxExtensions:
+        if override is not None:
+            return override
+        if self.extensions is not None:
+            return self.extensions
+        return getattr(self.device, "extensions", None) \
+            or FluxExtensions.none()
+
+    def migrate(self, guest, package: str,
+                link: Optional[Link] = None,
+                extensions: Optional[FluxExtensions] = None
+                ) -> MigrationReport:
+        """Migrate ``package`` from this device to ``guest``.
+
+        Raises :class:`MigrationError` on refusal; the failed report is
+        still appended to ``history`` with the refusal reason.
+        """
+        home = self.device
+        report = MigrationReport(package=package, home=home.name,
+                                 guest=guest.name)
+        self.history.append(report)
+        try:
+            self._migrate(guest, package, link, report,
+                          self._extensions(extensions))
+        except MigrationError as error:
+            report.refusal = error.reason
+            report.refusal_detail = error.detail
+            self._recover_home(package)
+            raise
+        report.success = True
+        return report
+
+    # -- the five stages ----------------------------------------------------
+
+    def _migrate(self, guest, package: str, link: Optional[Link],
+                 report: MigrationReport,
+                 extensions: FluxExtensions) -> None:
+        home = self.device
+        pairing = home.pairing_service
+        if not pairing.is_paired_with(guest.name):
+            raise MigrationError(MigrationRefusal.NOT_PAIRED,
+                                 f"{home.name} !~ {guest.name}")
+        thread = home.thread_of(package)
+        if thread is None:
+            raise MigrationError(MigrationRefusal.NOT_RUNNING, package)
+        info = home.package_service.get_package(package)
+        if info.api_level > guest.profile.api_level:
+            raise MigrationError(
+                MigrationRefusal.API_LEVEL_INCOMPATIBLE,
+                f"needs API {info.api_level} > guest "
+                f"{guest.profile.api_level}")
+
+        link = link or link_between(home.profile, guest.profile,
+                                    home.rng_factory)
+        watch = Stopwatch(home.clock)
+        process = thread.process
+
+        # Stage 1: preparation.
+        watch.start("preparation")
+        check_preparable(home, package, extensions)
+        view_count = sum(a.view_root.view_count()
+                         for a in thread.activities.values()
+                         if a.view_root is not None)
+        context_count = home.vendor_gl.live_context_count(process.pid)
+        prep_report = prepare_app(home, package, extensions)
+        home.clock.advance(costs.preparation_cost(
+            view_count, context_count, home.profile.cpu_factor))
+        watch.stop()
+
+        # Stage 2: checkpoint.
+        watch.start("checkpoint")
+        image = checkpoint_app(home, package, extensions)
+        if prep_report.gl_capture is not None:
+            image.metadata["gl_capture"] = prep_report.gl_capture
+        report.image_raw_bytes = image.raw_bytes()
+        report.image_compressed_bytes = image.compressed_bytes()
+        report.record_log_entries = len(image.record_log)
+        report.record_log_bytes = image.record_log_bytes()
+        home.clock.advance(costs.checkpoint_cost(
+            report.image_raw_bytes, home.profile.cpu_factor))
+        watch.stop()
+
+        # Stage 3: transfer (verify + sync deltas, then the image).
+        watch.start("transfer")
+        from repro.core.cria.wire import serialize_image, verify_against_image
+        frame = serialize_image(image)
+        report.data_delta_bytes = pairing.verify_app(guest, package, link)
+        link.transfer(report.transferred_bytes, home.clock)
+        watch.stop()
+
+        # Stage 4: restore on the guest — only after the received frame
+        # passes its integrity checks.
+        watch.start("restore")
+        verify_against_image(frame, image)
+        restored = restore_app(guest, image)
+        home.clock.advance(costs.restore_cost(
+            report.image_raw_bytes, guest.profile.cpu_factor))
+        watch.stop()
+
+        # Stage 5: reintegration.
+        watch.start("reintegration")
+        report.replay = replay_log(
+            guest, restored, image, extensions,
+            home_location_service=(home.service("location")
+                                   if extensions.gps_tether else None))
+        restored.process.thaw()
+        for proc in restored.secondary_processes:
+            proc.thaw()
+        self._reintegrate(guest, restored, image, extensions)
+        home.clock.advance(costs.reintegration_cost(
+            report.replay.total_handled, guest.profile.cpu_factor))
+        watch.stop()
+
+        for span in watch.spans():
+            report.stages[span.name] = span.duration
+
+        self._cleanup_home(package)
+        home.consistency.mark_migrated_out(package, guest.name)
+        home.tracer.emit("migration", "migrated", package=package,
+                         guest=guest.name,
+                         total=round(report.total_seconds, 3))
+
+    def _reintegrate(self, guest, restored, image,
+                     extensions: FluxExtensions) -> None:
+        """Hardware-change + connectivity signals, then foreground."""
+        thread = restored.thread
+        # Conditional initialization rebuilds the UI sized for the guest.
+        thread.rebuild_view_roots()
+        gl_capture = image.metadata.get("gl_capture")
+        if gl_capture is not None and extensions.gl_record_replay:
+            from repro.core.glreplay import replay_capture
+            uploaded = replay_capture(thread, gl_capture)
+            guest.tracer.emit("glreplay", "replayed",
+                              package=restored.package, bytes=uploaded)
+        config = {"screen": guest.profile.screen,
+                  "country": guest.profile.country}
+        thread.on_configuration_changed(config)
+        # Connectivity appears as a loss followed by a new connection.
+        guest.service("connectivity").simulate_connectivity_interrupt()
+        guest.activity_service.foreground_app(restored.package)
+
+    # -- home-side aftermath -----------------------------------------------------
+
+    def _cleanup_home(self, package: str) -> None:
+        """Remove every residual the app leaves in home-side services.
+
+        The app's live state now belongs to the guest; anything still
+        visible here — notifications on the status bar, armed alarms,
+        held locks — is exactly the residual-dependency problem the
+        paper's design eliminates.  (Found by the model-based ring test:
+        a stale notification resurfaced when the app later migrated back
+        to a device that had kept its old service state.)
+        """
+        from repro.android.services.base import SystemService
+
+        home = self.device
+        home.service("power").release_all_for(package)
+        home.service("camera").release_all_for(package)
+        home.service("alarm").cancel_all_for(package)
+        home.recorder.forget_app(package)
+        home.terminate_app(package)
+        for service in home.services.values():
+            if isinstance(service, SystemService):
+                service.drop_app_state(package)
+
+    def _recover_home(self, package: str) -> None:
+        """After a refusal mid-flight, bring the app back if still here."""
+        home = self.device
+        thread = home.thread_of(package)
+        if thread is None:
+            return
+        try:
+            if thread.process.state.value == "frozen":
+                thread.process.thaw()
+            home.activity_service.foreground_app(package)
+        except Exception:
+            pass

@@ -1,0 +1,91 @@
+"""Automatic migration policies.
+
+The paper's introduction motivates migrations a *system* could initiate:
+moving to a fresh device when the battery runs low (§1, scenario 3).
+``BatteryRescuePolicy`` implements that: when the home device's battery
+crosses the low threshold, the foreground app is migrated to the best
+paired target — preferring higher remaining battery, then faster radio.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.android.app.intent import ACTION_BATTERY_LOW, Intent
+from repro.core.cria.errors import MigrationError
+
+
+@dataclass
+class PolicyEvent:
+    time: float
+    package: Optional[str]
+    target: Optional[str]
+    outcome: str          # "migrated" | "no-target" | "no-app" | "refused"
+    detail: str = ""
+
+
+class BatteryRescuePolicy:
+    """Migrate the foreground app away when the battery runs low."""
+
+    def __init__(self, device, targets: Optional[List] = None,
+                 notify_user: bool = True) -> None:
+        self.device = device
+        self.targets = list(targets or [])
+        self.notify_user = notify_user
+        self.events: List[PolicyEvent] = []
+        self.enabled = True
+        device.battery.on_low(self._on_low_battery)
+
+    def add_target(self, guest) -> None:
+        if guest not in self.targets:
+            self.targets.append(guest)
+
+    # -- policy machinery ------------------------------------------------------
+
+    def pick_target(self):
+        """Best paired target: most battery, then fastest radio."""
+        candidates = [
+            guest for guest in self.targets
+            if self.device.pairing_service.is_paired_with(guest.name)
+            and not guest.battery.is_low]
+        if not candidates:
+            return None
+        return max(candidates,
+                   key=lambda g: (g.battery.level,
+                                  g.profile.wifi_effective_mbps))
+
+    def foreground_package(self) -> Optional[str]:
+        for package in self.device.running_packages():
+            thread = self.device.thread_of(package)
+            if thread is not None and not thread.in_background:
+                return package
+        return None
+
+    def _on_low_battery(self, level: float) -> None:
+        if not self.enabled:
+            return
+        clock = self.device.clock
+        if self.notify_user:
+            self.device.activity_service.broadcast(
+                Intent(ACTION_BATTERY_LOW, level=round(level * 100)))
+        package = self.foreground_package()
+        if package is None:
+            self.events.append(PolicyEvent(clock.now, None, None, "no-app"))
+            return
+        target = self.pick_target()
+        if target is None:
+            self.events.append(PolicyEvent(clock.now, package, None,
+                                           "no-target"))
+            return
+        try:
+            self.device.migration_service.migrate(target, package)
+        except MigrationError as error:
+            self.events.append(PolicyEvent(clock.now, package, target.name,
+                                           "refused", error.reason.value))
+            return
+        self.events.append(PolicyEvent(clock.now, package, target.name,
+                                       "migrated"))
+
+    def last_event(self) -> Optional[PolicyEvent]:
+        return self.events[-1] if self.events else None

@@ -1,0 +1,76 @@
+"""ASCII timeline rendering for migration reports.
+
+Turns a MigrationReport's stage timings into the kind of Gantt strip
+Figure 13 visualizes, annotated with the user-perceived window (the
+stages hidden behind the target menu) and the Figure 14 floor.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.migration.migration import STAGES, MigrationReport
+
+
+BAR_WIDTH = 60
+STAGE_GLYPHS = {
+    "preparation": "p",
+    "checkpoint": "c",
+    "transfer": "=",
+    "restore": "r",
+    "reintegration": "i",
+}
+
+
+def render_timeline(report: MigrationReport, width: int = BAR_WIDTH) -> str:
+    """A proportional strip plus a per-stage legend."""
+    total = report.total_seconds
+    if total <= 0:
+        return "(empty migration report)"
+    cells: List[str] = []
+    for stage in STAGES:
+        seconds = report.stages.get(stage, 0.0)
+        span = max(1, round(width * seconds / total)) if seconds else 0
+        cells.append(STAGE_GLYPHS[stage] * span)
+    strip = "".join(cells)[:width].ljust(width, cells[-1][-1] if cells[-1]
+                                         else " ")
+
+    lines = [
+        f"{report.package}: {report.home} -> {report.guest} "
+        f"({total:.2f}s total)",
+        f"|{strip}|",
+    ]
+    cursor = 0
+    for stage in STAGES:
+        seconds = report.stages.get(stage, 0.0)
+        glyph = STAGE_GLYPHS[stage]
+        lines.append(f"  {glyph} {stage:13s} {seconds:7.3f}s "
+                     f"{report.stage_fraction(stage) * 100:5.1f}%")
+    lines.append(
+        f"  user-perceived (menu hides p+c): "
+        f"{report.perceived_seconds:.2f}s; "
+        f"excluding transfer: {report.non_transfer_seconds:.2f}s")
+    return "\n".join(lines)
+
+
+def render_sweep_strip(reports: List[MigrationReport],
+                       width: int = BAR_WIDTH) -> str:
+    """One strip per report, aligned to the slowest for comparison."""
+    if not reports:
+        return "(no reports)"
+    slowest = max(r.total_seconds for r in reports)
+    lines = []
+    for report in sorted(reports, key=lambda r: r.total_seconds):
+        scale = report.total_seconds / slowest
+        inner = max(1, round(width * scale))
+        cells = []
+        for stage in STAGES:
+            seconds = report.stages.get(stage, 0.0)
+            span = round(inner * seconds / report.total_seconds)
+            cells.append(STAGE_GLYPHS[stage] * span)
+        strip = "".join(cells)[:inner].ljust(inner, "i")
+        lines.append(f"{report.package:28s} "
+                     f"{report.total_seconds:6.2f}s |{strip}|")
+    lines.append(f"{'legend':28s}         "
+                 "p=prep c=checkpoint ==transfer r=restore i=reintegrate")
+    return "\n".join(lines)

@@ -1,0 +1,102 @@
+"""The migration target menu.
+
+Paper §4: "the preparation and checkpoint stages will largely go
+unnoticed as they occur while the user is presented with the migration
+target menu and they make their choice."  The menu lists paired guests
+with the facts a user picks by (model, screen, battery); choosing one
+records the decision time so the perceived-time accounting of Figure 14
+has a concrete anchor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+
+class MenuError(Exception):
+    pass
+
+
+@dataclass(frozen=True)
+class TargetEntry:
+    name: str
+    model: str
+    screen: str
+    battery_percent: int
+    wifi_mbps: float
+
+
+@dataclass
+class MenuDecision:
+    target_name: str
+    presented_at: float
+    chosen_at: float
+
+    @property
+    def decision_seconds(self) -> float:
+        return self.chosen_at - self.presented_at
+
+
+class MigrationTargetMenu:
+    """Presents paired guests; the choice callback models the user."""
+
+    #: How long a typical user takes to pick a target — the window that
+    #: hides preparation + checkpoint (§4's ~2 s of hidden stages).
+    DEFAULT_DECISION_SECONDS = 2.0
+
+    def __init__(self, device, targets: Optional[List] = None) -> None:
+        self.device = device
+        self._targets = list(targets or [])
+        self.decisions: List[MenuDecision] = []
+
+    def add_target(self, guest) -> None:
+        if guest not in self._targets:
+            self._targets.append(guest)
+
+    def entries(self) -> List[TargetEntry]:
+        """What the menu shows: only *paired* targets appear."""
+        entries = []
+        for guest in self._targets:
+            if not self.device.pairing_service.is_paired_with(guest.name):
+                continue
+            entries.append(TargetEntry(
+                name=guest.name,
+                model=guest.profile.model,
+                screen=str(guest.profile.screen),
+                battery_percent=round(guest.battery.level * 100),
+                wifi_mbps=guest.profile.wifi_effective_mbps))
+        return entries
+
+    def choose(self, name_or_index,
+               decision_seconds: Optional[float] = None) -> MenuDecision:
+        """The user picks a target; the clock advances by their decision
+        time (this is the window preparation+checkpoint hide behind)."""
+        entries = self.entries()
+        if not entries:
+            raise MenuError("no paired migration targets")
+        if isinstance(name_or_index, int):
+            try:
+                entry = entries[name_or_index]
+            except IndexError:
+                raise MenuError(f"no menu entry {name_or_index}") from None
+        else:
+            matches = [e for e in entries if e.name == name_or_index]
+            if not matches:
+                raise MenuError(f"no paired target named {name_or_index!r}")
+            (entry,) = matches
+        presented_at = self.device.clock.now
+        seconds = (decision_seconds if decision_seconds is not None
+                   else self.DEFAULT_DECISION_SECONDS)
+        self.device.clock.advance(seconds)
+        decision = MenuDecision(target_name=entry.name,
+                                presented_at=presented_at,
+                                chosen_at=self.device.clock.now)
+        self.decisions.append(decision)
+        return decision
+
+    def target_by_name(self, name: str):
+        for guest in self._targets:
+            if guest.name == name:
+                return guest
+        raise MenuError(f"unknown target {name!r}")

@@ -1,0 +1,10 @@
+"""Selective Record: call log, drop-rule engine, recording handler."""
+
+from repro.core.record.log import CallLog, CallRecord
+from repro.core.record.recorder import AppRecorder, Recorder, RecorderError
+from repro.core.record.rules import DropOutcome, apply_drop_rules, describe_rules
+
+__all__ = [
+    "CallLog", "CallRecord", "AppRecorder", "Recorder", "RecorderError",
+    "DropOutcome", "apply_drop_rules", "describe_rules",
+]

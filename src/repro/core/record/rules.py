@@ -1,0 +1,98 @@
+"""Executable semantics of the Flux decoration language.
+
+Given a new call to a decorated method, the rule engine decides
+(1) which previous log entries are now stale and must be removed, and
+(2) whether the new call itself should be appended.
+
+Semantics (see also :mod:`repro.android.aidl.ast`):
+
+* Each ``@drop`` rule names target methods (possibly including ``this``)
+  and zero or more signatures (from ``@if``/``@elif``), each a tuple of
+  parameter names.
+* A previous entry *matches* when its method is in the target list and,
+  for at least one signature, every named argument compares equal between
+  the previous entry and the current call.  An entry that lacks one of
+  the named parameters cannot match that signature.  A rule with no
+  signature matches every previous call to its targets (last-write-wins
+  methods such as volume setters rely on this).
+* All matching entries are removed.
+* The current call is suppressed (not recorded) iff some rule containing
+  ``this`` alongside *other* targets removed a matching entry of one of
+  those other targets — the cancel/enqueue annihilation of Figure 7.  A
+  rule whose only target is ``this`` (alarm ``set`` in Figure 9) replaces
+  prior entries but still records the new call.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.android.aidl.ast import THIS, Decoration, DropRule
+from repro.core.record.log import CallLog, CallRecord
+
+
+@dataclass
+class DropOutcome:
+    removed_seqs: List[int] = field(default_factory=list)
+    suppress_current: bool = False
+
+    @property
+    def removed_count(self) -> int:
+        return len(self.removed_seqs)
+
+
+def _signature_matches(signature: Tuple[str, ...], previous: CallRecord,
+                       current_args: Dict[str, object]) -> bool:
+    for arg_name in signature:
+        if arg_name not in previous.args or arg_name not in current_args:
+            return False
+        if previous.args[arg_name] != current_args[arg_name]:
+            return False
+    return True
+
+
+def _entry_matches(rule: DropRule, previous: CallRecord,
+                   current_args: Dict[str, object]) -> bool:
+    if rule.unconditional:
+        return True
+    return any(_signature_matches(sig, previous, current_args)
+               for sig in rule.signatures)
+
+
+def apply_drop_rules(log: CallLog, app: str, interface: str, method: str,
+                     args: Dict[str, object],
+                     decoration: Decoration) -> DropOutcome:
+    """Prune stale entries for a new call; see module docstring."""
+    outcome = DropOutcome()
+    for rule in decoration.drop_rules:
+        targets = [method if t == THIS else t for t in rule.targets]
+        other_targets = set(rule.other_targets())
+        candidates = log.entries_for_methods(app, interface, targets)
+        annihilated_other = False
+        to_remove: List[int] = []
+        for previous in candidates:
+            if _entry_matches(rule, previous, args):
+                to_remove.append(previous.seq)
+                if previous.method in other_targets:
+                    annihilated_other = True
+        if to_remove:
+            log.remove(to_remove)
+            outcome.removed_seqs.extend(to_remove)
+        if annihilated_other and rule.drops_this() and other_targets:
+            outcome.suppress_current = True
+    return outcome
+
+
+def describe_rules(decoration: Decoration) -> List[str]:
+    """Human-readable rule summary (used in docs/experiments output)."""
+    out = []
+    for rule in decoration.drop_rules:
+        desc = f"drop {', '.join(rule.targets)}"
+        if rule.signatures:
+            sigs = " | ".join("(" + ", ".join(s) + ")" for s in rule.signatures)
+            desc += f" if {sigs}"
+        out.append(desc)
+    if decoration.replay_proxy:
+        out.append(f"replayproxy {decoration.replay_proxy}")
+    return out

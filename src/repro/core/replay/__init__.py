@@ -1,0 +1,15 @@
+"""Adaptive Replay: replay engine and @replayproxy implementations."""
+
+from repro.core.replay.engine import (
+    DESCRIPTOR_TO_KEY,
+    ReplayError,
+    ReplayReport,
+    ReplaySession,
+    replay_log,
+)
+from repro.core.replay.proxies import PROXIES, lookup, replay_proxy
+
+__all__ = [
+    "DESCRIPTOR_TO_KEY", "ReplayError", "ReplayReport", "ReplaySession",
+    "replay_log", "PROXIES", "lookup", "replay_proxy",
+]

@@ -1,0 +1,125 @@
+"""Built-in @replayproxy implementations.
+
+Each proxy is registered under the dotted name the AIDL decoration uses
+(``flux.recordreplay.Proxies.<name>``).  A proxy receives the replay
+session and the recorded entry, and decides whether/how the call reaches
+the guest's service — the "adaptive" half of Selective Record/Adaptive
+Replay (paper §3.2).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.android.binder.parcel import FdToken
+
+
+PROXIES: Dict[str, Callable] = {}
+
+
+def replay_proxy(name: str):
+    """Register a proxy under ``flux.recordreplay.Proxies.<name>``."""
+    def decorator(func):
+        PROXIES[f"flux.recordreplay.Proxies.{name}"] = func
+        return func
+    return decorator
+
+
+def lookup(dotted_name: str) -> Callable:
+    try:
+        return PROXIES[dotted_name]
+    except KeyError:
+        raise KeyError(f"no replay proxy registered as {dotted_name!r}") \
+            from None
+
+
+@replay_proxy("alarmMgrSet")
+def alarm_mgr_set(session, entry) -> bool:
+    """Replay an alarm only if it has not already fired (paper Fig. 10).
+
+    Compares against the time of *checkpoint* rather than the current
+    time so an alarm due mid-migration still fires after restore.
+    """
+    if entry.args["triggerAtTime"] <= session.checkpoint_time:
+        session.report.note_skip(entry, "alarm already triggered")
+        return False
+    session.invoke(entry)
+    return True
+
+
+@replay_proxy("alarmMgrSetRepeating")
+def alarm_mgr_set_repeating(session, entry) -> bool:
+    """Roll a repeating alarm's next trigger past the checkpoint time."""
+    trigger = entry.args["triggerAtTime"]
+    interval = entry.args["interval"]
+    missed = 0
+    while trigger <= session.checkpoint_time:
+        trigger += interval
+        missed += 1
+    args = dict(entry.args)
+    args["triggerAtTime"] = trigger
+    if missed:
+        session.report.note_adaptation(
+            entry, f"advanced repeating alarm past {missed} missed firings")
+    session.invoke(entry, args_override=args)
+    return True
+
+
+@replay_proxy("audioSetStreamVolume")
+def audio_set_stream_volume(session, entry) -> bool:
+    """Rescale the volume index to the guest's per-stream range."""
+    stream = entry.args["streamType"]
+    index = entry.args["index"]
+    home_max = session.home_stream_max(stream)
+    audio_proxy = session.service_proxy("IAudioService")
+    guest_max = audio_proxy.getStreamMaxVolume(stream)
+    if home_max and guest_max != home_max:
+        rescaled = round(index * guest_max / home_max)
+        session.report.note_adaptation(
+            entry, f"volume {index}/{home_max} -> {rescaled}/{guest_max}")
+    else:
+        rescaled = index
+    args = dict(entry.args)
+    args["index"] = rescaled
+    session.invoke(entry, args_override=args)
+    return True
+
+
+@replay_proxy("sensorCreateConnection")
+def sensor_create_connection(session, entry) -> bool:
+    """Re-create the SensorEventConnection under its original handle.
+
+    The recorded call's result was an IBinder whose handle the app still
+    holds in its heap; CRIA left that handle pending, and this proxy asks
+    the guest's SensorService for a fresh connection mapped to it.
+    """
+    old_handle = entry.result.handle
+    sensor_service = session.device.service("sensor")
+    new_remote = sensor_service.create_connection_for(
+        session.process, at_handle=old_handle)
+    session.resolve_pending(old_handle)
+    # Keep the guest's record log consistent for a future re-migration.
+    session.record_replayed(entry, result=new_remote)
+    session.report.note_proxy(entry, f"connection re-created @{old_handle}")
+    return True
+
+
+@replay_proxy("sensorGetChannel")
+def sensor_get_channel(session, entry) -> bool:
+    """Obtain a fresh event socket and dup2 it into the original fd.
+
+    The original descriptor number was reserved during restore
+    (paper §3.2: "dup2 this descriptor into the original socket
+    descriptor, reserved during restoration of the app").
+    """
+    old_fd = entry.result.fd
+    connection_handle = entry.args.get("__target__")
+    node = session.device.binder.resolve(session.process, connection_handle)
+    connection = node.service
+    new_token = connection.getSensorChannel(session.process)
+    socket = session.process.fds.detach(new_token.fd)
+    session.process.fds.dup2(socket, old_fd)
+    connection.client_fd = old_fd
+    session.record_replayed(entry, result=FdToken(old_fd))
+    session.report.note_proxy(entry, f"sensor channel dup2 -> fd {old_fd}")
+    return True

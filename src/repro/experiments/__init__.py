@@ -1,0 +1,42 @@
+"""One module per paper table/figure; each exposes run() and render()."""
+
+from repro.experiments import (
+    app_support,
+    fig12,
+    fig13,
+    fig14,
+    fig15,
+    fig16,
+    fig17,
+    pairing_cost,
+    table1,
+    table2,
+    table3,
+)
+from repro.experiments.harness import (
+    SweepResult,
+    format_table,
+    pair_label,
+    run_pair,
+    run_sweep,
+)
+
+ALL_EXPERIMENTS = {
+    "table1": table1,
+    "table2": table2,
+    "table3": table3,
+    "fig12": fig12,
+    "fig13": fig13,
+    "fig14": fig14,
+    "fig15": fig15,
+    "fig16": fig16,
+    "fig17": fig17,
+    "app_support": app_support,
+    "pairing_cost": pairing_cost,
+}
+
+__all__ = [
+    "ALL_EXPERIMENTS", "SweepResult", "format_table", "pair_label",
+    "run_pair", "run_sweep", "app_support", "fig12", "fig13", "fig14",
+    "fig15", "fig16", "fig17", "pairing_cost", "table1", "table2", "table3",
+]

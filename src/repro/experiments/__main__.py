@@ -1,0 +1,25 @@
+"""Regenerate every table and figure: ``python -m repro.experiments``.
+
+Pass experiment names (e.g. ``fig12 table2``) to run a subset.
+"""
+
+import sys
+
+from repro.experiments import ALL_EXPERIMENTS
+
+
+def main(argv) -> int:
+    names = argv or list(ALL_EXPERIMENTS)
+    unknown = [n for n in names if n not in ALL_EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {unknown}; "
+              f"choose from {sorted(ALL_EXPERIMENTS)}")
+        return 2
+    for name in names:
+        print(ALL_EXPERIMENTS[name].render())
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,53 @@
+"""§4 app-support result: 16 of 18 top apps migrate.
+
+Facebook fails (multi-process; unsupported by the prototype) and Subway
+Surfers fails (requests a persistent EGL context); everything else
+migrates across all four device pairs with its layout adapted to the
+guest screen.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.apps.catalog import EXPECTED_FAILURES, TOP_APPS
+from repro.core.cria.errors import MigrationRefusal
+from repro.experiments.harness import format_table, run_sweep
+
+
+@dataclass
+class SupportRow:
+    title: str
+    package: str
+    migrated: bool
+    refusal: Optional[MigrationRefusal]
+
+
+def run() -> List[SupportRow]:
+    sweep = run_sweep(apps=TOP_APPS, include_failures=True)
+    rows = []
+    for spec in TOP_APPS:
+        refusals = [r for (pair, pkg), r in sweep.refusals.items()
+                    if pkg == spec.package]
+        migrated = bool(sweep.reports_for_app(spec.package))
+        rows.append(SupportRow(
+            title=spec.title, package=spec.package, migrated=migrated,
+            refusal=refusals[0] if refusals else None))
+    return rows
+
+
+def render() -> str:
+    rows = run()
+    table = []
+    for row in rows:
+        status = "migrated" if row.migrated else f"refused: {row.refusal.value}"
+        expected = EXPECTED_FAILURES.get(row.package)
+        verdict = "as paper" if (
+            (expected is None and row.migrated)
+            or (expected is not None and row.refusal is expected)) else "MISMATCH"
+        table.append((row.title, status, verdict))
+    migrated = sum(1 for r in rows if r.migrated)
+    text = format_table(("app", "outcome", "vs paper"), table,
+                        title="App support across all four device pairs")
+    return f"{text}\n\n{migrated}/{len(rows)} apps migrated (paper: 16/18)"

@@ -1,0 +1,29 @@
+"""Figure 16: Quadrant + SunSpider scores on Flux, normalized to AOSP.
+
+Paper: "the overhead is negligible in all cases."
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.benchmarksuite.runner import NormalizedScore, run_fig16
+from repro.experiments.harness import format_table
+
+PAPER_MAX_OVERHEAD_PERCENT = 2.0   # "negligible"
+
+
+def run() -> List[NormalizedScore]:
+    return run_fig16()
+
+
+def render() -> str:
+    scores = run()
+    rows = [(s.device, s.benchmark, f"{s.normalized:.4f}",
+             f"{s.overhead_percent:.2f}%") for s in scores]
+    text = format_table(
+        ("device", "benchmark", "normalized score", "overhead"),
+        rows, title="Figure 16: benchmark scores normalized to AOSP")
+    worst = max(s.overhead_percent for s in scores)
+    return (f"{text}\n\nworst-case overhead: {worst:.2f}% "
+            f"(paper: negligible, < {PAPER_MAX_OVERHEAD_PERCENT:.0f}%)")

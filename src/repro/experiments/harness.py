@@ -1,0 +1,152 @@
+"""Shared experiment harness: the paper's §4 migration sweep.
+
+Boots each of the four device pairs, installs the Table 3 apps on the
+home device, pairs the devices, runs each app's workload, and migrates
+it — collecting the per-stage reports Figures 12-15 are drawn from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.android.device import Device
+from repro.android.hardware.profiles import PAPER_DEVICE_PAIRS, DeviceProfile
+from repro.apps.catalog import MIGRATABLE_APPS, TOP_APPS
+from repro.apps.common import AppSpec
+from repro.core.cria.errors import MigrationError, MigrationRefusal
+from repro.core.migration.migration import MigrationReport
+from repro.sim import SimClock
+from repro.sim.rng import RngFactory
+
+
+def pair_label(home: DeviceProfile, guest: DeviceProfile) -> str:
+    return f"{home.model} to {guest.model}"
+
+
+@dataclass
+class SweepResult:
+    pair_labels: List[str]
+    app_titles: List[str]
+    #: (pair_label, package) -> successful MigrationReport
+    reports: Dict[Tuple[str, str], MigrationReport]
+    #: (pair_label, package) -> refusal for expected failures
+    refusals: Dict[Tuple[str, str], MigrationRefusal] = field(
+        default_factory=dict)
+
+    def report_for(self, pair: str, package: str) -> MigrationReport:
+        return self.reports[(pair, package)]
+
+    def reports_for_app(self, package: str) -> List[MigrationReport]:
+        return [r for (_, pkg), r in self.reports.items() if pkg == package]
+
+    def all_reports(self) -> List[MigrationReport]:
+        return list(self.reports.values())
+
+    # -- aggregates used by several figures -----------------------------------
+
+    def average_total_seconds(self) -> float:
+        reports = self.all_reports()
+        return sum(r.total_seconds for r in reports) / len(reports)
+
+    def average_perceived_seconds(self) -> float:
+        reports = self.all_reports()
+        return sum(r.perceived_seconds for r in reports) / len(reports)
+
+    def average_non_transfer_seconds(self) -> float:
+        reports = self.all_reports()
+        return sum(r.non_transfer_seconds for r in reports) / len(reports)
+
+    def average_stage_fraction(self, stage: str) -> float:
+        reports = self.all_reports()
+        return sum(r.stage_fraction(stage) for r in reports) / len(reports)
+
+
+def run_pair(home_profile: DeviceProfile, guest_profile: DeviceProfile,
+             apps: Sequence[AppSpec], seed: int = 0,
+             include_failures: bool = False,
+             ) -> Tuple[Dict[str, MigrationReport],
+                        Dict[str, MigrationRefusal]]:
+    """One device pair: install, pair, run workloads, migrate each app."""
+    clock = SimClock()
+    rng_factory = RngFactory(seed)
+    home = Device(home_profile, clock, rng_factory, name="home")
+    guest = Device(guest_profile, clock, rng_factory, name="guest")
+
+    for spec in apps:
+        spec.install(home)
+    home.pairing_service.pair(guest)
+
+    reports: Dict[str, MigrationReport] = {}
+    refusals: Dict[str, MigrationRefusal] = {}
+    for spec in apps:
+        spec.install_and_launch(home)
+        try:
+            reports[spec.package] = home.migration_service.migrate(
+                guest, spec.package)
+        except MigrationError as error:
+            if not include_failures:
+                raise
+            refusals[spec.package] = error.reason
+            home.terminate_app(spec.package)
+    return reports, refusals
+
+
+_SWEEP_CACHE: Dict[Tuple, SweepResult] = {}
+
+
+def run_sweep(apps: Sequence[AppSpec] = MIGRATABLE_APPS,
+              pairs: Sequence[Tuple[DeviceProfile, DeviceProfile]]
+              = PAPER_DEVICE_PAIRS,
+              seed: int = 0, include_failures: bool = False,
+              use_cache: bool = True) -> SweepResult:
+    """The full sweep: every app across every device pair.
+
+    Results are cached per (apps, pairs, seed) within the process; the
+    sweep is deterministic, so figures 12-15 share one run.
+    """
+    key = (tuple(a.package for a in apps),
+           tuple((h.name, g.name) for h, g in pairs),
+           seed, include_failures)
+    if use_cache and key in _SWEEP_CACHE:
+        return _SWEEP_CACHE[key]
+
+    labels = []
+    reports: Dict[Tuple[str, str], MigrationReport] = {}
+    refusals: Dict[Tuple[str, str], MigrationRefusal] = {}
+    for home_profile, guest_profile in pairs:
+        label = pair_label(home_profile, guest_profile)
+        labels.append(label)
+        pair_reports, pair_refusals = run_pair(
+            home_profile, guest_profile, apps, seed=seed,
+            include_failures=include_failures)
+        for package, report in pair_reports.items():
+            reports[(label, package)] = report
+        for package, refusal in pair_refusals.items():
+            refusals[(label, package)] = refusal
+
+    result = SweepResult(pair_labels=labels,
+                         app_titles=[a.title for a in apps],
+                         reports=reports, refusals=refusals)
+    if use_cache:
+        _SWEEP_CACHE[key] = result
+    return result
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence],
+                 title: str = "") -> str:
+    """Plain-text table rendering shared by all experiments."""
+    str_rows = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

@@ -1,0 +1,56 @@
+"""Table 3: the eighteen top free apps and their pre-migration workloads."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.apps.catalog import EXPECTED_FAILURES, TOP_APPS
+
+
+#: The paper's Table 3, verbatim (name -> workload description).
+PAPER_TABLE3 = {
+    "Bible": "View page of the Bible",
+    "Bubble Witch Saga": "Play witch-themed puzzle game",
+    "Candy Crush Saga": "Play candy-themed puzzle game",
+    "eBay": "View online auction",
+    "Flappy Bird": "Play obstacle game",
+    "Surpax Flashlight": "Use LED flashlight",
+    "GroupOn": "View discount offer",
+    "Instagram": "Browse a friend's photos",
+    "Netflix": "Browse available movies",
+    "Pinterest": "Explore 'pinned' items of interest",
+    "Snapchat": "Take photo and compose text",
+    "Skype": "View contact status",
+    "Twitter": "View a user's Tweets",
+    "Vine": "Browse a user's video feed",
+    "Subway Surfers": "Play fast-paced obstacle game",
+    "Facebook": "Post comment on news feed",
+    "WhatsApp": "Send text to friend",
+    "ZEDGE": "Browse ringtones and select one",
+}
+
+
+@dataclass
+class Table3Row:
+    title: str
+    package: str
+    workload: str
+    apk_mb: float
+    migratable: bool
+
+
+def run() -> List[Table3Row]:
+    return [Table3Row(title=app.title, package=app.package,
+                      workload=app.workload_desc, apk_mb=app.apk_mb,
+                      migratable=app.package not in EXPECTED_FAILURES)
+            for app in TOP_APPS]
+
+
+def render() -> str:
+    from repro.experiments.harness import format_table
+
+    rows = [(r.title, r.workload, f"{r.apk_mb:.1f}",
+             "yes" if r.migratable else "no") for r in run()]
+    return format_table(("name", "workload", "APK MB", "migratable"),
+                        rows, title="Table 3: top free Android apps")

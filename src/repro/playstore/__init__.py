@@ -1,0 +1,21 @@
+"""Synthetic Google Play catalog and the paper's app-analysis study."""
+
+from repro.playstore.analyzer import (
+    DEFAULT_CDF_POINTS,
+    AnalysisReport,
+    analyze_catalog,
+    scan_sources,
+)
+from repro.playstore.catalog import (
+    PAPER_CATALOG_SIZE,
+    PAPER_PRESERVE_EGL_COUNT,
+    PlayStoreApp,
+    generate_catalog,
+    size_cdf,
+)
+
+__all__ = [
+    "DEFAULT_CDF_POINTS", "AnalysisReport", "analyze_catalog",
+    "scan_sources", "PAPER_CATALOG_SIZE", "PAPER_PRESERVE_EGL_COUNT",
+    "PlayStoreApp", "generate_catalog", "size_cdf",
+]

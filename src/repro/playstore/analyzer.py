@@ -1,0 +1,79 @@
+"""Static analysis over the Play catalog (the paper's §4 study).
+
+Mirrors the three findings the paper draws from its PlayDrone crawl:
+
+1. how many apps call ``setPreserveEGLContextOnPause`` (3,300 of
+   488,259 — Flux's GL-preparation approach covers the vast majority),
+2. that metadata installation size matches actual APK size (verified on
+   a random selection), and
+3. the installation-size CDF of Figure 17.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+from repro.playstore.catalog import PlayStoreApp, size_cdf
+from repro.sim import units
+from repro.sim.rng import RngFactory
+
+
+@dataclass
+class AnalysisReport:
+    total_apps: int
+    preserve_egl_count: int
+    multi_process_count: int
+    size_verified_sample: int
+    size_mismatches: int
+    cdf_points: List[Tuple[int, float]] = field(default_factory=list)
+
+    @property
+    def preserve_egl_fraction(self) -> float:
+        return self.preserve_egl_count / self.total_apps
+
+    @property
+    def migratable_fraction(self) -> float:
+        """Apps not defeated by preserved GL contexts."""
+        return 1.0 - self.preserve_egl_fraction
+
+    def cdf_at(self, size_bytes: int) -> float:
+        for threshold, value in self.cdf_points:
+            if threshold == size_bytes:
+                return value
+        raise KeyError(f"no CDF point at {size_bytes}")
+
+
+#: Figure 17's x-axis points, in bytes (10 KB ... 10 GB, log scale).
+DEFAULT_CDF_POINTS = (
+    10 * units.KB, 100 * units.KB, units.MB, 10 * units.MB,
+    100 * units.MB, units.GB, 10 * units.GB,
+)
+
+
+def scan_sources(app: PlayStoreApp) -> bool:
+    """'Decompile' one app and grep for setPreserveEGLContextOnPause."""
+    return app.sources_mention_preserve_egl
+
+
+def analyze_catalog(apps: Sequence[PlayStoreApp],
+                    cdf_points: Sequence[int] = DEFAULT_CDF_POINTS,
+                    size_check_sample: int = 500,
+                    seed: int = 0) -> AnalysisReport:
+    preserve_egl = sum(1 for app in apps if scan_sources(app))
+    multi_process = sum(1 for app in apps if app.multi_process)
+
+    rng = RngFactory(seed).stream("analyzer", "size-check")
+    sample_n = min(size_check_sample, len(apps))
+    sample = rng.sample(list(apps), sample_n)
+    mismatches = sum(1 for app in sample
+                     if app.install_size != app.apk_size)
+
+    values = size_cdf(apps, cdf_points)
+    return AnalysisReport(
+        total_apps=len(apps),
+        preserve_egl_count=preserve_egl,
+        multi_process_count=multi_process,
+        size_verified_sample=sample_n,
+        size_mismatches=mismatches,
+        cdf_points=list(zip(cdf_points, values)))

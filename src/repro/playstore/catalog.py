@@ -1,0 +1,104 @@
+"""Synthetic Google Play catalog (the PlayDrone substitute).
+
+The paper analyzed 488,259 free apps crawled with PlayDrone (§4).  We
+generate a deterministic synthetic catalog of the same size whose
+install-size distribution is calibrated to the published CDF anchors:
+roughly 60% of apps under 1 MB and roughly 90% under 10 MB (Figure 17).
+A log-normal fits both anchors: solving
+
+    CDF(1 MB) = 0.60  and  CDF(10 MB) = 0.90
+
+gives sigma = ln(10) / (z_.90 - z_.60) ≈ 2.238 and
+mu = ln(1 MB) - z_.60 * sigma ≈ 13.249 (natural log of bytes).
+
+``calls_preserve_egl`` is set for exactly 3,300 apps, the paper's count
+of apps calling ``setPreserveEGLContextOnPause``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence
+
+from repro.sim import units
+from repro.sim.rng import RngFactory
+
+
+PAPER_CATALOG_SIZE = 488_259
+PAPER_PRESERVE_EGL_COUNT = 3_300
+
+# Log-normal parameters (bytes), derived in the module docstring.
+SIZE_MU = 13.249
+SIZE_SIGMA = 2.238
+MIN_SIZE = 10 * 1024          # Figure 17's x-axis starts at 10 KB
+MAX_SIZE = 4 * units.GB
+
+CATEGORIES = (
+    "games", "social", "tools", "media", "productivity", "shopping",
+    "travel", "education", "finance", "health", "news", "weather",
+)
+
+
+@dataclass(frozen=True)
+class PlayStoreApp:
+    package: str
+    category: str
+    install_size: int            # metadata-reported installation size
+    apk_size: int                # actual APK size (paper verified equal)
+    calls_preserve_egl: bool
+    multi_process: bool
+
+    @property
+    def sources_mention_preserve_egl(self) -> bool:
+        """What decompiling the APK finds (analyzer-facing alias)."""
+        return self.calls_preserve_egl
+
+
+def _draw_size(rng) -> int:
+    size = int(rng.lognormvariate(SIZE_MU, SIZE_SIGMA))
+    return max(MIN_SIZE, min(size, MAX_SIZE))
+
+
+def generate_catalog(count: int = PAPER_CATALOG_SIZE,
+                     preserve_egl_count: Optional[int] = None,
+                     seed: int = 0) -> List[PlayStoreApp]:
+    """The deterministic synthetic catalog.
+
+    ``preserve_egl_count`` defaults to the paper's 3,300 scaled by
+    ``count / PAPER_CATALOG_SIZE`` when a smaller catalog is requested.
+    """
+    if preserve_egl_count is None:
+        preserve_egl_count = round(PAPER_PRESERVE_EGL_COUNT
+                                   * count / PAPER_CATALOG_SIZE)
+    factory = RngFactory(seed)
+    size_rng = factory.stream("playstore", "sizes")
+    meta_rng = factory.stream("playstore", "meta")
+    flag_rng = factory.stream("playstore", "flags")
+
+    egl_indices = set(flag_rng.sample(range(count),
+                                      min(preserve_egl_count, count)))
+    apps: List[PlayStoreApp] = []
+    for i in range(count):
+        size = _draw_size(size_rng)
+        category = CATEGORIES[i % len(CATEGORIES)]
+        apps.append(PlayStoreApp(
+            package=f"com.play.{category}.app{i:06d}",
+            category=category,
+            install_size=size,
+            apk_size=size,       # installation size == APK size (paper §4)
+            calls_preserve_egl=i in egl_indices,
+            multi_process=meta_rng.random() < 0.004,
+        ))
+    return apps
+
+
+def size_cdf(apps: Sequence[PlayStoreApp],
+             points: Sequence[int]) -> List[float]:
+    """CDF of install size evaluated at each byte threshold in ``points``."""
+    sizes = sorted(app.install_size for app in apps)
+    out = []
+    import bisect
+    for threshold in points:
+        out.append(bisect.bisect_right(sizes, threshold) / len(sizes))
+    return out

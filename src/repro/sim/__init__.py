@@ -1,0 +1,20 @@
+"""Deterministic simulation substrate: virtual clock, seeded RNG, tracing."""
+
+from repro.sim.clock import ClockError, SimClock, Stopwatch, StopwatchSpan, TimerHandle
+from repro.sim.rng import DEFAULT_SEED, RngFactory, derive_seed
+from repro.sim.trace import TraceEvent, Tracer
+from repro.sim import units
+
+__all__ = [
+    "ClockError",
+    "SimClock",
+    "Stopwatch",
+    "StopwatchSpan",
+    "TimerHandle",
+    "DEFAULT_SEED",
+    "RngFactory",
+    "derive_seed",
+    "TraceEvent",
+    "Tracer",
+    "units",
+]

@@ -1,0 +1,165 @@
+"""Deterministic virtual clock used by every component of the simulation.
+
+All timing results reported by the benchmark harness come from this clock,
+never from wall-clock time.  Components *charge* durations for the work
+they model (CPU time for a checkpoint, wire time for a transfer) and the
+clock advances accordingly.  Timers (e.g. the AlarmManagerService) register
+callbacks that fire as the clock sweeps past their deadlines.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+
+class ClockError(Exception):
+    """Raised on invalid clock operations (e.g. moving time backwards)."""
+
+
+@dataclass(order=True)
+class _Timer:
+    deadline: float
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class TimerHandle:
+    """Handle returned by :meth:`SimClock.call_at`; allows cancellation."""
+
+    def __init__(self, timer: _Timer) -> None:
+        self._timer = timer
+
+    def cancel(self) -> None:
+        self._timer.cancelled = True
+
+    @property
+    def deadline(self) -> float:
+        return self._timer.deadline
+
+    @property
+    def cancelled(self) -> bool:
+        return self._timer.cancelled
+
+
+class SimClock:
+    """A monotonically advancing virtual clock with scheduled callbacks.
+
+    The clock counts seconds as floats.  ``advance`` moves time forward,
+    firing any timers whose deadlines are crossed, in deadline order.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+        self._timers: List[_Timer] = []
+        self._seq = itertools.count()
+        self._firing = False
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    def advance(self, seconds: float) -> None:
+        """Move time forward by ``seconds``, firing due timers in order."""
+        if seconds < 0:
+            raise ClockError(f"cannot advance clock by {seconds!r} seconds")
+        self.advance_to(self._now + seconds)
+
+    def advance_to(self, deadline: float) -> None:
+        """Move time forward to an absolute ``deadline``."""
+        if deadline < self._now:
+            raise ClockError(
+                f"cannot move clock backwards from {self._now} to {deadline}"
+            )
+        # Fire timers one at a time; a callback may schedule new timers,
+        # which fire in this sweep too when due before the deadline.
+        while self._timers and self._timers[0].deadline <= deadline:
+            timer = heapq.heappop(self._timers)
+            if timer.cancelled:
+                continue
+            self._now = max(self._now, timer.deadline)
+            timer.callback()
+        self._now = deadline
+
+    def call_at(self, deadline: float, callback: Callable[[], None]) -> TimerHandle:
+        """Schedule ``callback`` to run when the clock reaches ``deadline``.
+
+        A deadline in the past fires on the next advance (immediately at
+        the current time), matching how an expired alarm behaves.
+        """
+        timer = _Timer(deadline=deadline, seq=next(self._seq), callback=callback)
+        heapq.heappush(self._timers, timer)
+        return TimerHandle(timer)
+
+    def call_after(self, delay: float, callback: Callable[[], None]) -> TimerHandle:
+        """Schedule ``callback`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise ClockError(f"negative delay {delay!r}")
+        return self.call_at(self._now + delay, callback)
+
+    def pending_timers(self) -> int:
+        """Number of scheduled, uncancelled timers."""
+        return sum(1 for t in self._timers if not t.cancelled)
+
+    def next_deadline(self) -> Optional[float]:
+        """Earliest pending deadline, or None when nothing is scheduled."""
+        live = [t.deadline for t in self._timers if not t.cancelled]
+        return min(live) if live else None
+
+
+class StopwatchSpan:
+    """A named span measured on a :class:`SimClock`; see :class:`Stopwatch`."""
+
+    def __init__(self, name: str, start: float) -> None:
+        self.name = name
+        self.start = start
+        self.end: Optional[float] = None
+
+    @property
+    def duration(self) -> float:
+        if self.end is None:
+            raise ClockError(f"span {self.name!r} not finished")
+        return self.end - self.start
+
+
+class Stopwatch:
+    """Measures named, non-overlapping phases on a virtual clock.
+
+    Used by the migration service to produce the per-stage timing
+    breakdown reported in Figure 13.
+    """
+
+    def __init__(self, clock: SimClock) -> None:
+        self._clock = clock
+        self._spans: List[StopwatchSpan] = []
+        self._open: Optional[StopwatchSpan] = None
+
+    def start(self, name: str) -> None:
+        if self._open is not None:
+            raise ClockError(
+                f"span {self._open.name!r} still open; cannot start {name!r}"
+            )
+        self._open = StopwatchSpan(name, self._clock.now)
+
+    def stop(self) -> StopwatchSpan:
+        if self._open is None:
+            raise ClockError("no span open")
+        span = self._open
+        span.end = self._clock.now
+        self._spans.append(span)
+        self._open = None
+        return span
+
+    def spans(self) -> Tuple[StopwatchSpan, ...]:
+        return tuple(self._spans)
+
+    def duration(self, name: str) -> float:
+        """Total duration of all completed spans with ``name``."""
+        return sum(s.duration for s in self._spans if s.name == name)
+
+    def total(self) -> float:
+        return sum(s.duration for s in self._spans)

@@ -1,0 +1,69 @@
+"""Structured event tracing.
+
+Components append :class:`TraceEvent` records to a shared :class:`Tracer`.
+Tests assert on the event stream (e.g. "trim-memory ran before eglUnload")
+and the experiment harness uses it for debugging; it is cheap enough to be
+always on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    time: float
+    category: str
+    name: str
+    detail: Dict[str, Any] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        extras = " ".join(f"{k}={v}" for k, v in sorted(self.detail.items()))
+        return f"[{self.time:10.4f}] {self.category}:{self.name} {extras}".rstrip()
+
+
+class Tracer:
+    """Append-only event log keyed to a virtual clock."""
+
+    def __init__(self, clock) -> None:
+        self._clock = clock
+        self._events: List[TraceEvent] = []
+        self.enabled = True
+
+    def emit(self, category: str, name: str, **detail: Any) -> None:
+        if not self.enabled:
+            return
+        self._events.append(
+            TraceEvent(time=self._clock.now, category=category, name=name,
+                       detail=detail)
+        )
+
+    def events(self, category: Optional[str] = None,
+               name: Optional[str] = None) -> List[TraceEvent]:
+        """Events filtered by category and/or name, in emission order."""
+        out = []
+        for event in self._events:
+            if category is not None and event.category != category:
+                continue
+            if name is not None and event.name != name:
+                continue
+            out.append(event)
+        return out
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def clear(self) -> None:
+        self._events.clear()
+
+    def index_of(self, category: str, name: str) -> int:
+        """Index of the first matching event; -1 when absent."""
+        for i, event in enumerate(self._events):
+            if event.category == category and event.name == name:
+                return i
+        return -1

@@ -1,0 +1,57 @@
+"""Size and rate units used throughout the simulation.
+
+Sizes are plain integer byte counts; these helpers exist so call sites
+read like the paper ("14 MB of state", "an 802.11n link") instead of raw
+magic numbers.
+"""
+
+from __future__ import annotations
+
+KB = 1024
+MB = 1024 * KB
+GB = 1024 * MB
+
+# Network rates are bits per second, as radios are specified.
+KBPS = 1_000
+MBPS = 1_000_000
+
+
+def kb(n: float) -> int:
+    return int(n * KB)
+
+
+def mb(n: float) -> int:
+    return int(n * MB)
+
+
+def gb(n: float) -> int:
+    return int(n * GB)
+
+
+def mbps(n: float) -> float:
+    return n * MBPS
+
+
+def to_mb(n_bytes: int) -> float:
+    """Bytes to megabytes as a float, for reporting."""
+    return n_bytes / MB
+
+
+def to_kb(n_bytes: int) -> float:
+    return n_bytes / KB
+
+
+def format_size(n_bytes: int) -> str:
+    """Human-readable size, e.g. '13.6 MB' or '187 KB'."""
+    if n_bytes >= MB:
+        return f"{n_bytes / MB:.1f} MB"
+    if n_bytes >= KB:
+        return f"{n_bytes / KB:.0f} KB"
+    return f"{n_bytes} B"
+
+
+def transfer_seconds(n_bytes: int, rate_bps: float) -> float:
+    """Wire time to move ``n_bytes`` over a ``rate_bps`` link."""
+    if rate_bps <= 0:
+        raise ValueError(f"non-positive rate {rate_bps!r}")
+    return (n_bytes * 8) / rate_bps

@@ -1,0 +1,204 @@
+"""AIDL lexer and parser, including the paper's Figures 6-9 sources."""
+
+import pytest
+
+from repro.android.aidl import (
+    LexError,
+    ParseError,
+    SemanticError,
+    TokenKind,
+    parse,
+    parse_interface,
+    tokenize,
+)
+from repro.android.aidl.tokens import iter_significant_lines
+
+
+NOTIFICATION_SOURCE = """
+interface INotificationManager {
+    @record
+    void enqueueNotification(int id, Notification notification);
+
+    @record {
+        @drop this, enqueueNotification;
+        @if id;
+    }
+    void cancelNotification(int id);
+}
+"""
+
+ALARM_SOURCE = """
+interface IAlarmManager {
+    @record {
+        @drop this;
+        @if operation;
+        @replayproxy \\
+            flux.recordreplay.Proxies.alarmMgrSet;
+    }
+    void set(int type, long triggerAtTime, in PendingIntent operation);
+
+    @record {
+        @drop this, set;
+        @if operation;
+    }
+    void remove(in PendingIntent operation);
+}
+"""
+
+
+class TestLexer:
+    def test_tokenizes_decorators_and_idents(self):
+        tokens = tokenize("@record void f();")
+        kinds = [t.kind for t in tokens]
+        assert kinds == [TokenKind.DECORATOR, TokenKind.IDENT,
+                         TokenKind.IDENT, TokenKind.LPAREN, TokenKind.RPAREN,
+                         TokenKind.SEMI, TokenKind.EOF]
+
+    def test_dotted_path_is_one_ident(self):
+        tokens = tokenize("flux.recordreplay.Proxies.alarmMgrSet")
+        assert tokens[0].text == "flux.recordreplay.Proxies.alarmMgrSet"
+
+    def test_comments_skipped(self):
+        source = "// line\ninterface /* block */ I { }"
+        texts = [t.text for t in tokenize(source) if t.text]
+        assert texts == ["interface", "I", "{", "}"]
+
+    def test_unknown_decorator_rejected(self):
+        with pytest.raises(LexError):
+            tokenize("@bogus void f();")
+
+    def test_unterminated_block_comment_rejected(self):
+        with pytest.raises(LexError):
+            tokenize("/* forever")
+
+    def test_line_numbers_tracked(self):
+        tokens = tokenize("a\nb\nc")
+        assert [t.line for t in tokens[:3]] == [1, 2, 3]
+
+    def test_backslash_continuation_ignored(self):
+        tokens = tokenize("@replayproxy \\\n  x.y;")
+        assert tokens[1].text == "x.y"
+
+    def test_significant_line_counting(self):
+        source = "a\n\n// comment\n/* multi\nline */\nb\n"
+        assert list(iter_significant_lines(source)) == ["a", "b"]
+
+
+class TestParser:
+    def test_notification_example(self):
+        iface = parse_interface(NOTIFICATION_SOURCE)
+        assert iface.name == "INotificationManager"
+        assert iface.method_names() == ("enqueueNotification",
+                                        "cancelNotification")
+        enqueue = iface.method("enqueueNotification")
+        assert enqueue.recorded
+        assert enqueue.decoration.drop_rules == ()
+        cancel = iface.method("cancelNotification")
+        (rule,) = cancel.decoration.drop_rules
+        assert rule.targets == ("this", "enqueueNotification")
+        assert rule.signatures == (("id",),)
+
+    def test_alarm_example_with_replayproxy(self):
+        iface = parse_interface(ALARM_SOURCE)
+        set_method = iface.method("set")
+        assert set_method.decoration.replay_proxy == \
+            "flux.recordreplay.Proxies.alarmMgrSet"
+        assert set_method.params[2].direction == "in"
+        assert set_method.params[2].type_name == "PendingIntent"
+
+    def test_elif_builds_alternative_signatures(self):
+        iface = parse_interface("""
+        interface I {
+            @record {
+                @drop this;
+                @if a;
+                @elif b, c;
+            }
+            void f(int a, int b, int c);
+        }
+        """)
+        (rule,) = iface.method("f").decoration.drop_rules
+        assert rule.signatures == (("a",), ("b", "c"))
+
+    def test_multiple_drop_rules(self):
+        iface = parse_interface("""
+        interface I {
+            @record {
+                @drop g;
+                @if a;
+                @drop h;
+            }
+            void f(int a);
+            void g(int a);
+            void h();
+        }
+        """)
+        rules = iface.method("f").decoration.drop_rules
+        assert len(rules) == 2
+        assert rules[0].targets == ("g",)
+        assert rules[1].unconditional
+
+    def test_generic_and_array_types(self):
+        iface = parse_interface("""
+        interface I {
+            List<String> names();
+            void take(in long[] pattern, in Map<String, int> m);
+        }
+        """)
+        assert iface.method("names").return_type == "List<String>"
+        assert iface.method("take").params[0].type_name == "long[]"
+
+    def test_oneway_methods(self):
+        iface = parse_interface("interface I { oneway void fire(); }")
+        assert iface.method("fire").oneway
+
+    def test_decoration_loc_counted(self):
+        iface = parse_interface(NOTIFICATION_SOURCE)
+        # @record = 1 line; @record{...} block = 4 lines.
+        assert iface.method("enqueueNotification").decoration.source_lines == 1
+        assert iface.method("cancelNotification").decoration.source_lines == 4
+        assert iface.decoration_loc == 5
+
+    def test_multiple_interfaces_per_document(self):
+        document = parse("interface A { void f(); } interface B { void g(); }")
+        assert [i.name for i in document.interfaces] == ["A", "B"]
+
+
+class TestParserErrors:
+    def test_if_without_drop(self):
+        with pytest.raises(ParseError):
+            parse("interface I { @record { @if a; } void f(int a); }")
+
+    def test_elif_without_if(self):
+        with pytest.raises(ParseError):
+            parse("interface I { @record { @drop this; @elif a; } void f(int a); }")
+
+    def test_duplicate_if(self):
+        with pytest.raises(ParseError):
+            parse("interface I { @record { @drop this; @if a; @if a; } "
+                  "void f(int a); }")
+
+    def test_missing_semicolon(self):
+        with pytest.raises(ParseError):
+            parse("interface I { void f() }")
+
+    def test_empty_document(self):
+        with pytest.raises(ParseError):
+            parse("   ")
+
+    def test_drop_target_must_exist(self):
+        with pytest.raises(SemanticError):
+            parse("interface I { @record { @drop nothing; } void f(); }")
+
+    def test_if_arg_must_be_parameter(self):
+        with pytest.raises(SemanticError):
+            parse("interface I { @record { @drop this; @if missing; } "
+                  "void f(int a); }")
+
+    def test_duplicate_methods_rejected(self):
+        with pytest.raises(SemanticError):
+            parse("interface I { void f(); void f(); }")
+
+    def test_parse_interface_requires_exactly_one(self):
+        with pytest.raises(SemanticError):
+            parse_interface("interface A { void f(); } interface B { void g(); }")

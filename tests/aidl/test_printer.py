@@ -1,0 +1,98 @@
+"""Pretty-printer round-trips, including generatively."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.android.aidl.ast import (
+    THIS,
+    Decoration,
+    DropRule,
+    InterfaceDecl,
+    MethodDecl,
+    Param,
+)
+from repro.android.aidl.parser import parse_interface
+from repro.android.aidl.printer import (
+    print_document,
+    print_interface,
+    strip_positions,
+)
+from repro.android.services.aidl_sources import AIDL_SOURCES
+from repro.android.aidl.parser import parse
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("key", sorted(AIDL_SOURCES))
+    def test_every_service_source_round_trips(self, key):
+        document = parse(AIDL_SOURCES[key])
+        for iface in document.interfaces:
+            printed = print_interface(iface)
+            reparsed = parse_interface(printed)
+            assert strip_positions(reparsed) == strip_positions(iface)
+
+    def test_printed_source_is_stable(self):
+        """print(parse(print(x))) == print(x): the printer is canonical."""
+        source = AIDL_SOURCES["alarm"]
+        once = print_interface(parse(source).interfaces[0])
+        twice = print_interface(parse_interface(once))
+        assert once == twice
+
+
+# -- generative round-trip ---------------------------------------------------
+
+_IDENT = st.from_regex(r"[a-z][a-zA-Z0-9]{0,8}", fullmatch=True)
+_TYPE = st.sampled_from(["void", "int", "long", "boolean", "String",
+                         "Notification", "List<String>", "long[]"])
+
+
+@st.composite
+def _methods(draw):
+    count = draw(st.integers(1, 5))
+    methods = []
+    names = []
+    for i in range(count):
+        name = f"m{i}_{draw(_IDENT)}"
+        params = tuple(
+            Param(type_name=draw(_TYPE.filter(lambda t: t != "void")),
+                  name=f"a{j}")
+            for j in range(draw(st.integers(0, 3))))
+        names.append((name, params))
+        methods.append((name, params))
+    out = []
+    for i, (name, params) in enumerate(methods):
+        decoration = None
+        if draw(st.booleans()):
+            rules = []
+            if draw(st.booleans()):
+                targets = [THIS]
+                # may also drop an earlier method
+                if i > 0 and draw(st.booleans()):
+                    targets.append(methods[0][0])
+                signatures = ()
+                if params and draw(st.booleans()):
+                    signatures = ((params[0].name,),)
+                rules.append(DropRule(targets=tuple(targets),
+                                      signatures=signatures))
+            proxy = ("flux.recordreplay.Proxies.p" if draw(st.booleans())
+                     else None)
+            decoration = Decoration(record=True, drop_rules=tuple(rules),
+                                    replay_proxy=proxy)
+        out.append(MethodDecl(
+            name=name, return_type=draw(_TYPE), params=params,
+            decoration=decoration, oneway=draw(st.booleans())))
+    return tuple(out)
+
+
+@given(methods=_methods())
+def test_generated_interfaces_round_trip(methods):
+    iface = InterfaceDecl(name="IGenerated", methods=methods)
+    printed = print_interface(iface)
+    reparsed = parse_interface(printed)
+    assert strip_positions(reparsed) == strip_positions(iface)
+
+
+def test_print_document_multiple_interfaces():
+    document = parse("interface A { void f(); } interface B { void g(); }")
+    text = print_document(document)
+    reparsed = parse(text)
+    assert [i.name for i in reparsed.interfaces] == ["A", "B"]

@@ -1,0 +1,84 @@
+"""Back-stack semantics and migrating multi-activity apps."""
+
+import pytest
+
+from repro.android.app.activity import ActivityState
+from repro.android.app.views import View, ViewGroup
+from tests.conftest import DEMO_PACKAGE, DemoActivity, launch_demo
+
+
+class DetailActivity(DemoActivity):
+    """A second screen pushed on top of the main one."""
+
+    def on_create(self, saved_state):
+        root = ViewGroup("detail-root")
+        root.add_view(View("detail-body"))
+        self.set_content_view(root)
+        self.saved_state.setdefault("item", 42)
+
+
+class TestBackStack:
+    def test_launch_pauses_previous(self, demo_thread):
+        main = next(iter(demo_thread.activities.values()))
+        detail = demo_thread.launch_activity(DetailActivity)
+        assert main.state is ActivityState.PAUSED
+        assert detail.state is ActivityState.RESUMED
+        assert demo_thread.top_activity() is detail
+
+    def test_finish_pops_and_resumes_below(self, device, demo_thread):
+        main = next(iter(demo_thread.activities.values()))
+        detail = demo_thread.launch_activity(DetailActivity)
+        device.activity_service.finishActivity(demo_thread.process,
+                                               detail.token)
+        assert detail.state is ActivityState.DESTROYED
+        assert main.state is ActivityState.RESUMED
+        assert demo_thread.top_activity() is main
+
+    def test_foreground_resumes_only_top(self, device, clock, demo_thread):
+        main = next(iter(demo_thread.activities.values()))
+        detail = demo_thread.launch_activity(DetailActivity)
+        device.activity_service.background_app(DEMO_PACKAGE)
+        clock.advance(1.0)
+        assert main.state is ActivityState.STOPPED
+        assert detail.state is ActivityState.STOPPED
+        device.activity_service.foreground_app(DEMO_PACKAGE)
+        assert detail.state is ActivityState.RESUMED
+        assert main.state is ActivityState.STOPPED
+        assert detail.window.has_surface
+        assert not main.window.has_surface   # below-top stays surfaceless
+
+    def test_stack_order_is_launch_order(self, demo_thread):
+        a2 = demo_thread.launch_activity(DetailActivity, name="a2")
+        a3 = demo_thread.launch_activity(DetailActivity, name="a3")
+        names = [a.name for a in demo_thread.back_stack()]
+        assert names[-2:] == ["a2", "a3"]
+
+
+class TestMultiActivityMigration:
+    def test_two_activity_app_migrates_with_stack(self, device_pair):
+        home, guest = device_pair
+        thread = launch_demo(home)
+        main = next(iter(thread.activities.values()))
+        detail = thread.launch_activity(DetailActivity)
+        detail.saved_state["item"] = 99
+        home.pairing_service.pair(guest)
+        report = home.migration_service.migrate(guest, DEMO_PACKAGE)
+        assert report.success
+        # The stack shape survives: detail on top, main beneath.
+        assert thread.top_activity().name == "DetailActivity"
+        assert thread.top_activity().state is ActivityState.RESUMED
+        assert main.state is ActivityState.STOPPED
+        assert thread.top_activity().saved_state["item"] == 99
+        assert thread.top_activity().window.screen == guest.profile.screen
+
+    def test_pop_after_migration_resumes_below_on_guest(self, device_pair):
+        home, guest = device_pair
+        thread = launch_demo(home)
+        main = next(iter(thread.activities.values()))
+        detail = thread.launch_activity(DetailActivity)
+        home.pairing_service.pair(guest)
+        home.migration_service.migrate(guest, DEMO_PACKAGE)
+        guest.activity_service.finishActivity(thread.process, detail.token)
+        assert main.state is ActivityState.RESUMED
+        assert main.window.has_surface
+        assert main.window.screen == guest.profile.screen

@@ -1,0 +1,140 @@
+"""Input pipeline routing and the launcher model."""
+
+import pytest
+
+from repro.android.app.activity import LifecycleError
+from repro.android.app.input_pipeline import SystemGestureNavigator
+from repro.android.app.launcher import IconKind, LauncherError
+from repro.core.migration.consistency import ConsistencyConflict
+from repro.core.migration.gesture import TouchEvent
+from tests.conftest import DEMO_PACKAGE, launch_demo
+
+
+class TestInputDispatch:
+    def test_tap_reaches_foreground_activity(self, device, demo_thread):
+        device.input_dispatcher.inject_tap(100, 200)
+        activity = next(iter(demo_thread.activities.values()))
+        assert len(activity.touch_events) == 2
+        assert activity.touch_events[0].action == "down"
+
+    def test_background_app_gets_no_input(self, device, clock, demo_thread):
+        device.activity_service.background_app(DEMO_PACKAGE)
+        clock.advance(1.0)
+        record = device.input_dispatcher.inject(
+            TouchEvent(clock.now, 0, 10, 10, "down"))
+        assert record.consumed_by == "dropped"
+
+    def test_paused_activity_rejects_direct_dispatch(self, clock,
+                                                     demo_thread):
+        activity = next(iter(demo_thread.activities.values()))
+        demo_thread.pause_all()
+        with pytest.raises(LifecycleError):
+            activity.dispatch_touch(TouchEvent(0.0, 0, 1, 1, "down"))
+
+    def test_on_touch_hook(self, device):
+        from tests.conftest import DemoActivity
+
+        class Touchy(DemoActivity):
+            def __init__(self, *args, **kwargs):
+                super().__init__(*args, **kwargs)
+                self.taps = 0
+
+            def on_touch(self, event):
+                if event.action == "up":
+                    self.taps += 1
+
+        thread = launch_demo(device, package="com.touchy",
+                             activity_cls=Touchy)
+        device.input_dispatcher.inject_tap(5, 5)
+        activity = next(iter(thread.activities.values()))
+        assert activity.taps == 1
+
+
+class TestSystemGesture:
+    def _swipe(self, device, fingers=(0, 1), dy=-400.0):
+        dispatcher = device.input_dispatcher
+        now = device.clock.now
+        for pointer in fingers:
+            dispatcher.inject(TouchEvent(now, pointer, 100 + pointer * 50,
+                                         600, "down"))
+        for pointer in fingers:
+            dispatcher.inject(TouchEvent(now + 0.2, pointer,
+                                         100 + pointer * 50, 600 + dy, "up"))
+
+    def test_two_finger_swipe_opens_menu_and_is_consumed(self, device,
+                                                         demo_thread):
+        opened = []
+        SystemGestureNavigator(device, lambda: opened.append(True))
+        self._swipe(device)
+        assert opened == [True]
+        activity = next(iter(demo_thread.activities.values()))
+        # Android semantics: the app saw the first finger's down, then an
+        # ACTION_CANCEL when the system took the gesture over — never the
+        # swipe itself.
+        assert [e.action for e in activity.touch_events] == ["down",
+                                                             "cancel"]
+
+    def test_single_finger_passes_through(self, device, demo_thread):
+        opened = []
+        SystemGestureNavigator(device, lambda: opened.append(True))
+        self._swipe(device, fingers=(0,))
+        assert opened == []
+        activity = next(iter(demo_thread.activities.values()))
+        assert len(activity.touch_events) == 2
+
+    def test_full_swipe_menu_migrate_flow(self, device_pair):
+        """Touch events -> gesture -> menu -> migration, end to end."""
+        from repro.core.migration.ui import MigrationTargetMenu
+        home, guest = device_pair
+        launch_demo(home)
+        home.pairing_service.pair(guest)
+        menu = MigrationTargetMenu(home, targets=[guest])
+
+        def open_menu():
+            decision = menu.choose(0)
+            target = menu.target_by_name(decision.target_name)
+            home.migration_service.migrate(guest, DEMO_PACKAGE)
+
+        SystemGestureNavigator(home, open_menu)
+        self._swipe(home)
+        assert guest.running_packages() == [DEMO_PACKAGE]
+        assert menu.decisions
+
+
+class TestLauncher:
+    def test_native_icon(self, device, demo_thread):
+        icons = {i.package: i for i in device.launcher.icons()}
+        icon = icons[DEMO_PACKAGE]
+        assert icon.kind is IconKind.NATIVE and icon.running
+
+    def test_migrated_icon_appears_on_guest(self, device_pair):
+        home, guest = device_pair
+        launch_demo(home)
+        home.pairing_service.pair(guest)
+        assert guest.launcher.migrated_icons() == []   # wrapper is bare
+        home.migration_service.migrate(guest, DEMO_PACKAGE)
+        (icon,) = guest.launcher.migrated_icons()
+        assert icon.package == DEMO_PACKAGE
+        assert icon.running
+
+    def test_start_foregrounds_running_app(self, device, clock, demo_thread):
+        device.activity_service.background_app(DEMO_PACKAGE)
+        clock.advance(1.0)
+        device.launcher.start(DEMO_PACKAGE)
+        assert not demo_thread.in_background
+
+    def test_native_start_of_migrated_out_app_prompts(self, device_pair):
+        home, guest = device_pair
+        launch_demo(home)
+        home.pairing_service.pair(guest)
+        home.migration_service.migrate(guest, DEMO_PACKAGE)
+        with pytest.raises(ConsistencyConflict):
+            home.launcher.start(DEMO_PACKAGE)
+
+    def test_bare_wrapper_cannot_start(self, device_pair):
+        home, guest = device_pair
+        from tests.conftest import install_demo
+        install_demo(home)
+        home.pairing_service.pair(guest)
+        with pytest.raises(LauncherError):
+            guest.launcher.start(DEMO_PACKAGE)

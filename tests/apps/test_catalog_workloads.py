@@ -1,0 +1,114 @@
+"""The Table 3 app catalog and each app's workload."""
+
+import pytest
+
+from repro.android.device import Device
+from repro.android.hardware.profiles import NEXUS_4
+from repro.apps import (
+    EXPECTED_FAILURES,
+    MIGRATABLE_APPS,
+    TOP_APPS,
+    app_by_package,
+    app_by_title,
+)
+from repro.core.cria.errors import MigrationRefusal
+from repro.sim import SimClock, units
+from repro.sim.rng import RngFactory
+
+
+class TestCatalogShape:
+    def test_eighteen_apps(self):
+        assert len(TOP_APPS) == 18
+
+    def test_sixteen_migratable(self):
+        assert len(MIGRATABLE_APPS) == 16
+
+    def test_expected_failures(self):
+        assert EXPECTED_FAILURES[app_by_title("Facebook").package] is \
+            MigrationRefusal.MULTI_PROCESS
+        assert EXPECTED_FAILURES[app_by_title("Subway Surfers").package] is \
+            MigrationRefusal.PRESERVED_EGL_CONTEXT
+
+    def test_packages_unique(self):
+        packages = [a.package for a in TOP_APPS]
+        assert len(set(packages)) == len(packages)
+
+    def test_lookup_by_package_and_title(self):
+        app = app_by_title("Candy Crush Saga")
+        assert app_by_package(app.package) is app
+        with pytest.raises(KeyError):
+            app_by_title("Angry Birds")
+        with pytest.raises(KeyError):
+            app_by_package("com.missing")
+
+    def test_manifest_flags_match_catalog(self):
+        facebook = app_by_title("Facebook")
+        assert facebook.apk().multi_process
+        subway = app_by_title("Subway Surfers")
+        assert subway.apk().calls_preserve_egl
+
+    def test_candy_crush_fits_paper_transfer_cap(self):
+        """The biggest app's compressed image must stay under 14 MB."""
+        candy = app_by_title("Candy Crush Saga")
+        from repro.core.cria.image import IMAGE_COMPRESSION_RATIO
+        assert candy.heap_mb * IMAGE_COMPRESSION_RATIO < 14.0
+
+
+class TestWorkloads:
+    @pytest.fixture
+    def device(self):
+        return Device(NEXUS_4, SimClock(), RngFactory(9), name="wl")
+
+    @pytest.mark.parametrize("spec", TOP_APPS, ids=lambda s: s.title)
+    def test_every_workload_runs(self, device, spec):
+        thread = spec.install_and_launch(device)
+        assert device.activity_service.is_running(spec.package)
+        activity = next(iter(thread.activities.values()))
+        assert activity.visible
+
+    def test_facebook_runs_two_processes(self, device):
+        from repro.apps.social import FACEBOOK
+        FACEBOOK.install_and_launch(device)
+        assert len(device.app_processes(FACEBOOK.package)) == 2
+
+    def test_subway_surfers_preserves_context(self, device):
+        from repro.apps.games import SUBWAY_SURFERS
+        thread = SUBWAY_SURFERS.install_and_launch(device)
+        activity = next(iter(thread.activities.values()))
+        gl_views = activity.view_root.gl_surface_views()
+        assert any(v.preserve_egl_context_on_pause for v in gl_views)
+
+    def test_whatsapp_leaves_expected_service_state(self, device):
+        from repro.apps.social import WHATSAPP
+        WHATSAPP.install_and_launch(device)
+        package = WHATSAPP.package
+        assert device.service("notification").snapshot(
+            package)["active"]
+        assert device.service("alarm").active_alarms(package)
+        clipboard = device.service("clipboard")
+        assert clipboard.hasClipboardText(package)
+
+    def test_flappy_bird_receives_sensor_events(self, device):
+        from repro.apps.games import FLAPPY_BIRD
+        thread = FLAPPY_BIRD.install_and_launch(device)
+        sensors = thread.context.get_system_service("sensor")
+        assert sensors.channel_fd is not None
+
+    def test_flashlight_torch_and_wakelock(self, device):
+        from repro.apps.tools import FLASHLIGHT
+        FLASHLIGHT.install_and_launch(device)
+        assert device.service("camera").snapshot(
+            FLASHLIGHT.package)["torch"][0]
+        assert not device.kernel.wakelocks.can_sleep
+
+    def test_workload_dirties_data_dir(self, device):
+        from repro.apps.tools import BIBLE
+        before_tokens = None
+        BIBLE.install(device)
+        prefs = f"/data/data/{BIBLE.package}/shared_prefs/prefs.xml"
+        before = device.storage.get(prefs).content_hash
+        device.launch_app(BIBLE.package, BIBLE.activity_cls,
+                          heap_bytes=BIBLE.heap_bytes)
+        BIBLE.workload(device.thread_of(BIBLE.package), device)
+        BIBLE._dirty_app_data(device)
+        assert device.storage.get(prefs).content_hash != before

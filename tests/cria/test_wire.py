@@ -1,0 +1,96 @@
+"""The checkpoint-image wire format: framing, checksums, corruption."""
+
+import json
+
+import pytest
+
+from repro.android.app.notification import Notification
+from repro.core.cria import checkpoint_app, prepare_app
+from repro.core.cria.wire import (
+    WireError,
+    image_metadata,
+    serialize_image,
+    verify_against_image,
+    verify_and_decode,
+)
+from tests.conftest import DEMO_PACKAGE, launch_demo
+
+
+@pytest.fixture
+def image(device, demo_thread):
+    nm = demo_thread.context.get_system_service("notification")
+    nm.notify(1, Notification("wire", "test"))
+    prepare_app(device, DEMO_PACKAGE)
+    return checkpoint_app(device, DEMO_PACKAGE)
+
+
+class TestFraming:
+    def test_round_trip(self, image):
+        blob = serialize_image(image)
+        metadata = verify_and_decode(blob)
+        assert metadata["package"] == DEMO_PACKAGE
+        assert metadata["source_kernel"] == "3.4"
+        region_names = {r["name"]
+                        for p in metadata["processes"]
+                        for r in p["regions"]}
+        assert {"dalvik-heap", "stack", "code"} <= region_names
+
+    def test_metadata_is_json_clean(self, image):
+        text = json.dumps(image_metadata(image))
+        assert DEMO_PACKAGE in text
+        assert "enqueueNotification" in text
+
+    def test_frame_matches_image(self, image):
+        verify_against_image(serialize_image(image), image)
+
+    def test_log_args_described(self, image):
+        metadata = image_metadata(image)
+        (entry,) = metadata["record_log"]
+        assert entry["method"] == "enqueueNotification"
+        assert entry["args"]["id"] == 1
+        assert entry["args"]["notification"]["__object__"] == "Notification"
+
+
+class TestCorruptionDetection:
+    def test_flipped_bit_detected(self, image):
+        blob = bytearray(serialize_image(image))
+        blob[len(blob) // 2] ^= 0xFF
+        with pytest.raises(WireError, match="checksum"):
+            verify_and_decode(bytes(blob))
+
+    def test_truncation_detected(self, image):
+        blob = serialize_image(image)
+        with pytest.raises(WireError):
+            verify_and_decode(blob[: len(blob) // 2])
+
+    def test_bad_magic_detected(self, image):
+        import hashlib
+        blob = bytearray(serialize_image(image)[:-32])
+        blob[:8] = b"NOTFLUX1"
+        blob = bytes(blob) + hashlib.sha256(bytes(blob)).digest()
+        with pytest.raises(WireError, match="magic"):
+            verify_and_decode(blob)
+
+    def test_region_tamper_detected(self, image):
+        blob = serialize_image(image)
+        # Tamper with the image memory after framing: digests disagree.
+        image.main_process.regions[0].payload += b"!"
+        with pytest.raises(WireError, match="digest mismatch"):
+            verify_against_image(blob, image)
+
+    def test_wrong_package_detected(self, image, device):
+        other_thread = launch_demo(device, package="com.other")
+        prepare_app(device, "com.other")
+        other_image = checkpoint_app(device, "com.other")
+        blob = serialize_image(other_image)
+        with pytest.raises(WireError, match="is for"):
+            verify_against_image(blob, image)
+
+
+class TestMigrationUsesWire:
+    def test_migration_still_green_with_verification(self, device_pair):
+        home, guest = device_pair
+        launch_demo(home)
+        home.pairing_service.pair(guest)
+        report = home.migration_service.migrate(guest, DEMO_PACKAGE)
+        assert report.success

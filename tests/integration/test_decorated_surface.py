@@ -1,0 +1,143 @@
+"""Completeness net over the decorated AIDL surface.
+
+Calls *every* ``@record``-decorated method of every system service once
+(with synthesized arguments), then migrates the app and replays whatever
+survived pruning.  If a future edit adds a decorated method whose replay
+path is broken — wrong routing, missing proxy, unserializable argument —
+this test is the tripwire.
+"""
+
+import pytest
+
+from repro.android.app.intent import Intent, IntentFilter, PendingIntent
+from repro.android.app.notification import Notification
+from repro.android.services.aidl_sources import SERVICE_SPECS
+from repro.android.services.connectivity_net import WifiConfiguration
+from tests.conftest import DEMO_PACKAGE, launch_demo
+
+
+#: Methods whose target object is not a top-level service (exercised by
+#: the dedicated sensor tests) or that need device state we do not
+#: synthesize here.
+EXCLUDED = {
+    ("ISensorService", "createSensorEventConnection"),
+}
+
+#: Prefixes that must run after the constructive calls.
+_TEARDOWN_PREFIXES = ("cancel", "release", "disable", "abandon",
+                      "unregister", "hide", "revoke", "stop")
+#: Destructive calls that must run last of all.
+_DESTROY_PREFIXES = ("remove",)
+
+
+def _phase(method_name: str) -> int:
+    if method_name.startswith(_DESTROY_PREFIXES):
+        return 2
+    if method_name.startswith(_TEARDOWN_PREFIXES):
+        return 1
+    return 0
+
+
+def synthesize_arg(device, param_name: str, type_name: str):
+    clock = device.clock
+    by_name = {
+        "triggerAtTime": clock.now + 1_000.0,
+        "interval": 50.0,
+        "operation": PendingIntent(DEMO_PACKAGE, Intent("SURFACE")),
+        "receiver": PendingIntent(DEMO_PACKAGE, Intent("MEDIA")),
+        "notification": Notification("surface"),
+        "config": WifiConfiguration("surface-ap"),
+        "clip": {"text": "surface"},
+        "netId": 1,
+        "cameraId": 0,
+        "authority": "surface-provider",
+        "service": Intent("com.surface.SVC"),
+        "intent": Intent("com.surface.ACT"),
+        "filter": IntentFilter(("SURFACE",)),
+        "intent_filter": IntentFilter(("SURFACE",)),
+        "id": "com.android.latin",
+        "mode": 0,
+        "streamType": 3,
+        "activityToken": 1,
+        "provider": "gps",
+        "lockId": "surface-lock",
+        "lock_id": "surface-lock",
+    }
+    if param_name in by_name:
+        return by_name[param_name]
+    by_type = {
+        "int": 1, "long": 1.0, "float": 1.0, "boolean": True,
+        "String": "surface-arg", "PendingIntent":
+            PendingIntent(DEMO_PACKAGE, Intent("GENERIC")),
+        "Intent": Intent("GENERIC"), "IntentFilter":
+            IntentFilter(("GENERIC",)),
+        "Notification": Notification("generic"),
+        "WifiConfiguration": WifiConfiguration("generic-ap"),
+        "ClipData": {"text": "generic"},
+        "long[]": [100, 50, 100],
+        "int[]": [1, 2],
+    }
+    return by_type.get(type_name, 1)
+
+
+def decorated_methods(device):
+    """(spec, method decl) for every decorated service method, phased."""
+    out = []
+    for spec in SERVICE_SPECS:
+        compiled = device.registry.get(spec.interface)
+        for method in compiled.decl.methods:
+            if not method.recorded:
+                continue
+            if (spec.interface, method.name) in EXCLUDED:
+                continue
+            out.append((spec, method))
+    out.sort(key=lambda pair: _phase(pair[1].name))
+    return out
+
+
+def test_every_decorated_method_records_and_replays(device_pair):
+    home, guest = device_pair
+    thread = launch_demo(home)
+    # Preconditions: a provider to connect to, on both devices.
+    for dev in (home, guest):
+        provider = launch_demo(dev, package="com.surface.provider")
+        provider.publish_provider("surface-provider")
+    home.pairing_service.pair(guest)
+
+    called = []
+    for spec, method in decorated_methods(home):
+        manager_proxy = None
+        from repro.core.replay.engine import DESCRIPTOR_TO_KEY
+        key = DESCRIPTOR_TO_KEY[spec.interface]
+        remote = home.service_manager.get_service(thread.process, key)
+        proxy = home.registry.get(spec.interface).new_proxy(
+            remote, thread.recorder)
+        args = [synthesize_arg(home, p.name, p.type_name)
+                for p in method.params]
+        getattr(proxy, method.name)(*args)
+        called.append(f"{spec.interface}.{method.name}")
+
+    # Sanity: the sweep really covered the whole decorated surface.
+    assert len(called) >= 50
+
+    from repro.core.extensions import FluxExtensions
+    report = home.migration_service.migrate(
+        guest, DEMO_PACKAGE,
+        extensions=FluxExtensions(content_provider_replay=True))
+    assert report.success
+    assert report.replay.total_handled == report.record_log_entries
+    # Replay reached the guest's services for real:
+    assert guest.recorder.extract_app_log(DEMO_PACKAGE)
+
+
+def test_decorated_surface_inventory_is_stable():
+    """The decorated surface is an interface contract: additions are
+    deliberate (update this count alongside new decorations)."""
+    from repro.android.aidl import InterfaceRegistry
+    from repro.android.services.aidl_sources import all_sources
+    registry = InterfaceRegistry()
+    registry.compile_source(all_sources())
+    decorated = sum(
+        len(registry.get(spec.interface).meta.recorded_method_names())
+        for spec in SERVICE_SPECS)
+    assert decorated == 77

@@ -1,0 +1,131 @@
+"""Property-based migration testing.
+
+For *any* interleaving of service calls an app makes, the app-visible
+service state on the guest after migration must equal the state on the
+home device just before migration.  This is the system-level invariant
+that Selective Record's drop rules must never violate: pruning the log
+is only legal when replaying the pruned log reproduces the same state.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.android.app.intent import Intent, PendingIntent
+from repro.android.app.notification import Notification
+from repro.android.device import Device
+from repro.android.hardware.profiles import NEXUS_4, NEXUS_7_2013
+from repro.sim import SimClock
+from repro.sim.rng import RngFactory
+from tests.conftest import DEMO_PACKAGE, launch_demo
+
+
+# Each op is (kind, argument); applied through the app's managers.
+OPS = st.lists(
+    st.one_of(
+        st.tuples(st.just("notify"), st.integers(0, 3)),
+        st.tuples(st.just("cancel"), st.integers(0, 3)),
+        st.tuples(st.just("alarm_set"), st.integers(0, 2)),
+        st.tuples(st.just("alarm_remove"), st.integers(0, 2)),
+        st.tuples(st.just("volume"), st.integers(0, 15)),
+        st.tuples(st.just("wifi_lock"), st.integers(0, 2)),
+        st.tuples(st.just("wifi_unlock"), st.integers(0, 2)),
+        st.tuples(st.just("clip"), st.integers(0, 5)),
+        st.tuples(st.just("wakelock"), st.integers(0, 2)),
+        st.tuples(st.just("wakelock_release"), st.integers(0, 2)),
+        st.tuples(st.just("focus"), st.integers(0, 2)),
+    ),
+    max_size=30)
+
+
+SNAPSHOT_SERVICES = ("notification", "alarm", "audio", "wifi", "clipboard",
+                     "power")
+
+
+def apply_op(thread, device, op) -> None:
+    kind, arg = op
+    ctx = thread.context
+    if kind == "notify":
+        ctx.get_system_service("notification").notify(
+            arg, Notification(f"n{arg}"))
+    elif kind == "cancel":
+        ctx.get_system_service("notification").cancel(arg)
+    elif kind == "alarm_set":
+        alarm = ctx.get_system_service("alarm")
+        pi = PendingIntent(DEMO_PACKAGE, Intent("TICK"), request_code=arg)
+        alarm.set(alarm.RTC, device.clock.now + 1e6 + arg, pi)
+    elif kind == "alarm_remove":
+        alarm = ctx.get_system_service("alarm")
+        pi = PendingIntent(DEMO_PACKAGE, Intent("TICK"), request_code=arg)
+        alarm.cancel(pi)
+    elif kind == "volume":
+        audio = ctx.get_system_service("audio")
+        audio.set_stream_volume(audio.STREAM_MUSIC, arg)
+    elif kind == "wifi_lock":
+        wifi = ctx.get_system_service("wifi")
+        if f"lock-{arg}" not in device.service("wifi").app_state(
+                DEMO_PACKAGE)["locks"]:
+            wifi.acquire_lock(f"lock-{arg}")
+    elif kind == "wifi_unlock":
+        if f"lock-{arg}" in device.service("wifi").app_state(
+                DEMO_PACKAGE)["locks"]:
+            ctx.get_system_service("wifi").release_lock(f"lock-{arg}")
+    elif kind == "clip":
+        ctx.get_system_service("clipboard").set_text(f"clip-{arg}")
+    elif kind == "wakelock":
+        power = ctx.get_system_service("power")
+        power.acquireWakeLock(f"wl-{arg}", 1, "prop")
+    elif kind == "wakelock_release":
+        locks = device.service("power").app_state(DEMO_PACKAGE)["wakelocks"]
+        if f"wl-{arg}" in locks:
+            ctx.get_system_service("power").releaseWakeLock(f"wl-{arg}")
+    elif kind == "focus":
+        ctx.get_system_service("audio").request_audio_focus(f"client-{arg}")
+
+
+def snapshots(device):
+    return {key: device.service(key).snapshot(DEMO_PACKAGE)
+            for key in SNAPSHOT_SERVICES}
+
+
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(ops=OPS)
+def test_any_call_sequence_survives_migration(ops):
+    clock = SimClock()
+    factory = RngFactory(77)
+    home = Device(NEXUS_4, clock, factory, name="home")
+    guest = Device(NEXUS_7_2013, clock, factory, name="guest")
+    thread = launch_demo(home)
+    home.pairing_service.pair(guest)
+
+    for op in ops:
+        apply_op(thread, home, op)
+
+    before = snapshots(home)
+    home.migration_service.migrate(guest, DEMO_PACKAGE)
+    after = snapshots(guest)
+
+    for key in SNAPSHOT_SERVICES:
+        if key == "audio":
+            # Audio focus and volumes must match (same hardware range).
+            assert after[key]["focus_holder"] == before[key]["focus_holder"]
+            assert after[key]["volumes"][3] == before[key]["volumes"][3]
+            continue
+        assert after[key] == before[key], key
+
+
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(ops=OPS)
+def test_log_size_bounded_by_live_state(ops):
+    """Selective Record's resource claim: the log never grows beyond the
+    number of distinct live state items, regardless of call count."""
+    clock = SimClock()
+    device = Device(NEXUS_4, clock, RngFactory(78), name="solo")
+    thread = launch_demo(device)
+    for op in ops:
+        apply_op(thread, device, op)
+    entries = device.recorder.extract_app_log(DEMO_PACKAGE)
+    # Bound: 4 notification ids + 3 alarms + 1 volume + 3 wifi locks
+    # + 1 clip + 3 wakelocks + 3 focus clients = 18 distinct keys.
+    assert len(entries) <= 18

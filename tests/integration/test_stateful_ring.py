@@ -1,0 +1,143 @@
+"""Model-based testing of migrations interleaved with app activity.
+
+A hypothesis state machine drives an app around a ring of three devices
+while issuing service calls between hops.  A plain-Python reference
+model tracks what the app-visible state *should* be; after every step
+the current device's services must agree with the model.  This is the
+strongest correctness statement in the suite: no interleaving of use
+and migration loses or corrupts state.
+"""
+
+import pytest
+from hypothesis import settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro.android.app.intent import Intent, PendingIntent
+from repro.android.app.notification import Notification
+from repro.android.device import Device
+from repro.android.hardware.profiles import NEXUS_7_2013
+from repro.sim import SimClock
+from repro.sim.rng import RngFactory
+from tests.conftest import DEMO_PACKAGE, launch_demo
+
+
+class MigrationRing(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.clock = SimClock()
+        factory = RngFactory(101)
+        self.devices = [
+            Device(NEXUS_7_2013, self.clock, factory, name=f"dev{i}")
+            for i in range(3)]
+        self.current = 0
+        self.thread = launch_demo(self.devices[0])
+        # Reference model of app-visible state.
+        self.model_notifications = {}
+        self.model_alarms = set()
+        self.model_volume = None
+        self.model_clip = None
+        self.hops = 0
+
+    @property
+    def device(self):
+        return self.devices[self.current]
+
+    def _ctx(self, key):
+        return self.thread.context.get_system_service(key)
+
+    # -- rules -------------------------------------------------------------
+
+    @rule(nid=st.integers(0, 3), title=st.sampled_from(["a", "b", "c"]))
+    def notify(self, nid, title):
+        self._ctx("notification").notify(nid, Notification(title))
+        self.model_notifications[nid] = title
+
+    @rule(nid=st.integers(0, 3))
+    def cancel(self, nid):
+        self._ctx("notification").cancel(nid)
+        self.model_notifications.pop(nid, None)
+
+    @rule(rc=st.integers(0, 2))
+    def set_alarm(self, rc):
+        alarm = self._ctx("alarm")
+        pi = PendingIntent(DEMO_PACKAGE, Intent("RING"), request_code=rc)
+        alarm.set(alarm.RTC, self.clock.now + 1e7 + rc, pi)
+        self.model_alarms.add(rc)
+
+    @rule(rc=st.integers(0, 2))
+    def cancel_alarm(self, rc):
+        alarm = self._ctx("alarm")
+        pi = PendingIntent(DEMO_PACKAGE, Intent("RING"), request_code=rc)
+        alarm.cancel(pi)
+        self.model_alarms.discard(rc)
+
+    @rule(volume=st.integers(0, 15))
+    def set_volume(self, volume):
+        audio = self._ctx("audio")
+        audio.set_stream_volume(audio.STREAM_MUSIC, volume)
+        self.model_volume = volume
+
+    @rule(text=st.sampled_from(["x", "yy", "zzz"]))
+    def set_clip(self, text):
+        self._ctx("clipboard").set_text(text)
+        self.model_clip = text
+
+    @rule()
+    def migrate_to_next(self):
+        source = self.device
+        target = self.devices[(self.current + 1) % len(self.devices)]
+        if not source.pairing_service.is_paired_with(target.name):
+            source.pairing_service.pair(target)
+        source.migration_service.migrate(target, DEMO_PACKAGE)
+        self.current = (self.current + 1) % len(self.devices)
+        self.hops += 1
+        # Volume and clipboard are per-device state the app re-imposed
+        # via replay; the model is unchanged.
+
+    # -- invariants -----------------------------------------------------------
+
+    @invariant()
+    def notifications_match_model(self):
+        snapshot = self.device.service("notification").snapshot(DEMO_PACKAGE)
+        assert snapshot["active"] == {
+            nid: (title, "") for nid, title
+            in self.model_notifications.items()}
+
+    @invariant()
+    def alarms_match_model(self):
+        entries = self.device.service("alarm").active_alarms(DEMO_PACKAGE)
+        assert {e.operation.request_code for e in entries} == \
+            self.model_alarms
+
+    @invariant()
+    def volume_matches_model(self):
+        if self.model_volume is None:
+            return
+        audio = self.device.service("audio")
+        assert audio.snapshot(DEMO_PACKAGE)["volumes"][3] == \
+            self.model_volume
+
+    @invariant()
+    def clipboard_matches_model(self):
+        if self.model_clip is None:
+            return
+        clipboard = self.device.service("clipboard")
+        assert clipboard.getPrimaryClip(DEMO_PACKAGE)["text"] == \
+            self.model_clip
+
+    @invariant()
+    def app_runs_exactly_once(self):
+        running = [d.name for d in self.devices
+                   if d.thread_of(DEMO_PACKAGE) is not None]
+        assert running == [self.device.name]
+
+
+MigrationRing.TestCase.settings = settings(
+    max_examples=12, stateful_step_count=16, deadline=None)
+TestMigrationRing = MigrationRing.TestCase

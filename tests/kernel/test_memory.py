@@ -1,0 +1,91 @@
+"""Address-space model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.android.kernel.memory import (
+    AddressSpace,
+    MemoryError_,
+    MemoryRegion,
+    RegionKind,
+)
+
+
+class TestRegions:
+    def test_map_and_get(self):
+        space = AddressSpace()
+        region = space.map(MemoryRegion("heap", RegionKind.HEAP, 1024))
+        assert space.get("heap") is region
+        assert space.has("heap")
+
+    def test_double_map_rejected(self):
+        space = AddressSpace()
+        space.map(MemoryRegion("heap", RegionKind.HEAP, 1024))
+        with pytest.raises(MemoryError_):
+            space.map(MemoryRegion("heap", RegionKind.HEAP, 2048))
+
+    def test_unmap_returns_region(self):
+        space = AddressSpace()
+        space.map(MemoryRegion("x", RegionKind.MMAP, 10))
+        assert space.unmap("x").name == "x"
+        assert not space.has("x")
+
+    def test_unmap_missing_rejected(self):
+        with pytest.raises(MemoryError_):
+            AddressSpace().unmap("nope")
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(MemoryError_):
+            MemoryRegion("bad", RegionKind.HEAP, -1)
+
+    def test_device_specific_classification(self):
+        assert MemoryRegion("p", RegionKind.PMEM, 1).device_specific
+        assert MemoryRegion("v", RegionKind.GL_VENDOR, 1).device_specific
+        assert MemoryRegion("c", RegionKind.GL_CONTEXT, 1).device_specific
+        assert MemoryRegion("s", RegionKind.SURFACE, 1).device_specific
+        assert not MemoryRegion("h", RegionKind.HEAP, 1).device_specific
+        assert not MemoryRegion("m", RegionKind.MMAP, 1).device_specific
+
+    def test_device_specific_regions_listing(self):
+        space = AddressSpace()
+        space.map(MemoryRegion("h", RegionKind.HEAP, 8))
+        space.map(MemoryRegion("g", RegionKind.GL_CONTEXT, 8))
+        assert [r.name for r in space.device_specific_regions()] == ["g"]
+
+    def test_total_size_by_kind(self):
+        space = AddressSpace()
+        space.map(MemoryRegion("h1", RegionKind.HEAP, 100))
+        space.map(MemoryRegion("h2", RegionKind.HEAP, 50))
+        space.map(MemoryRegion("s", RegionKind.STACK, 10))
+        assert space.total_size() == 160
+        assert space.total_size(RegionKind.HEAP) == 150
+
+
+class TestContentHash:
+    def test_clone_preserves_hash(self):
+        region = MemoryRegion("h", RegionKind.HEAP, 64, payload=b"state")
+        assert region.clone().content_hash() == region.content_hash()
+
+    def test_hash_covers_payload(self):
+        a = MemoryRegion("h", RegionKind.HEAP, 64, payload=b"one")
+        b = MemoryRegion("h", RegionKind.HEAP, 64, payload=b"two")
+        assert a.content_hash() != b.content_hash()
+
+    def test_hash_covers_size_and_name(self):
+        a = MemoryRegion("h", RegionKind.HEAP, 64)
+        b = MemoryRegion("h", RegionKind.HEAP, 65)
+        c = MemoryRegion("g", RegionKind.HEAP, 64)
+        assert len({a.content_hash(), b.content_hash(), c.content_hash()}) == 3
+
+
+@given(st.lists(st.tuples(st.sampled_from(list(RegionKind)),
+                          st.integers(min_value=0, max_value=10**9)),
+                max_size=30))
+def test_total_size_is_sum_of_mapped_regions(entries):
+    space = AddressSpace()
+    expected = 0
+    for i, (kind, size) in enumerate(entries):
+        space.map(MemoryRegion(f"r{i}", kind, size))
+        expected += size
+    assert space.total_size() == expected
+    assert len(space) == len(entries)

@@ -1,0 +1,193 @@
+"""Battery model, the battery-rescue policy, the target menu, ad-hoc links."""
+
+import pytest
+
+from repro.android.app.intent import ACTION_BATTERY_LOW
+from repro.android.hardware.battery import LOW_BATTERY_THRESHOLD, Battery
+from repro.core.migration.policies import BatteryRescuePolicy
+from repro.core.migration.ui import MenuError, MigrationTargetMenu
+from repro.sim import SimClock
+from tests.conftest import DEMO_PACKAGE, launch_demo
+
+
+class TestBattery:
+    def test_drains_with_time(self):
+        clock = SimClock()
+        battery = Battery(clock, level=1.0)
+        rate = battery.drain_per_hour()
+        clock.advance(3600.0)
+        assert battery.level == pytest.approx(1.0 - rate, abs=1e-6)
+
+    def test_loads_increase_drain(self):
+        clock = SimClock()
+        battery = Battery(clock)
+        base = battery.drain_per_hour()
+        battery.set_load("gpu", True)
+        assert battery.drain_per_hour() > base
+
+    def test_never_below_zero(self):
+        clock = SimClock()
+        battery = Battery(clock, level=0.01)
+        clock.advance(3600.0 * 10)
+        assert battery.level == 0.0
+
+    def test_low_callback_fires_once_per_cycle(self):
+        clock = SimClock()
+        battery = Battery(clock, level=LOW_BATTERY_THRESHOLD + 0.01)
+        fired = []
+        battery.on_low(fired.append)
+        clock.advance(3600.0)
+        assert len(fired) == 1
+        clock.advance(3600.0)
+        assert len(fired) == 1      # latched
+        battery.set_level(0.9)      # charged up
+        clock.advance(3600.0 * 8)
+        assert len(fired) == 2      # new discharge cycle
+
+    def test_bad_level_rejected(self):
+        with pytest.raises(ValueError):
+            Battery(SimClock(), level=1.5)
+
+
+class TestBatteryRescuePolicy:
+    def _setup(self, device_pair):
+        home, guest = device_pair
+        thread = launch_demo(home)
+        home.pairing_service.pair(guest)
+        policy = BatteryRescuePolicy(home, targets=[guest])
+        return home, guest, thread, policy
+
+    def test_low_battery_migrates_foreground_app(self, device_pair, clock):
+        home, guest, thread, policy = self._setup(device_pair)
+        home.battery.set_level(LOW_BATTERY_THRESHOLD + 0.001)
+        clock.advance(120.0)       # the periodic check crosses the line
+        event = policy.last_event()
+        assert event is not None and event.outcome == "migrated"
+        assert guest.running_packages() == [DEMO_PACKAGE]
+        assert home.running_packages() == []
+
+    def test_app_hears_battery_warning_first(self, device_pair, clock):
+        home, guest, thread, policy = self._setup(device_pair)
+        warnings = []
+        thread.register_receiver(warnings.append, [ACTION_BATTERY_LOW])
+        home.battery.set_level(LOW_BATTERY_THRESHOLD - 0.01)
+        home.battery._low_fired = False
+        clock.advance(60.0)
+        assert warnings and warnings[0].action == ACTION_BATTERY_LOW
+
+    def test_low_target_not_chosen(self, device_pair, clock):
+        home, guest, thread, policy = self._setup(device_pair)
+        guest.battery.set_level(0.05)    # the target is dying too
+        home.battery.set_level(LOW_BATTERY_THRESHOLD + 0.001)
+        clock.advance(120.0)
+        event = policy.last_event()
+        assert event.outcome == "no-target"
+        assert home.running_packages() == [DEMO_PACKAGE]
+
+    def test_unpaired_target_ignored(self, clock, device_pair):
+        home, guest = device_pair
+        launch_demo(home)
+        policy = BatteryRescuePolicy(home, targets=[guest])  # not paired
+        home.battery.set_level(LOW_BATTERY_THRESHOLD + 0.001)
+        clock.advance(120.0)
+        assert policy.last_event().outcome == "no-target"
+
+    def test_disabled_policy_does_nothing(self, device_pair, clock):
+        home, guest, thread, policy = self._setup(device_pair)
+        policy.enabled = False
+        home.battery.set_level(0.05)
+        home.battery._low_fired = False
+        clock.advance(120.0)
+        assert policy.events == []
+
+    def test_picks_healthiest_target(self, clock):
+        from repro.android.device import Device
+        from repro.android.hardware.profiles import NEXUS_4, NEXUS_7_2013
+        from repro.sim.rng import RngFactory
+        factory = RngFactory(51)
+        home = Device(NEXUS_4, clock, factory, name="home")
+        weak = Device(NEXUS_7_2013, clock, factory, name="weak")
+        strong = Device(NEXUS_7_2013, clock, factory, name="strong")
+        weak.battery.set_level(0.4)
+        strong.battery.set_level(0.9)
+        launch_demo(home)
+        home.pairing_service.pair(weak)
+        home.pairing_service.pair(strong)
+        policy = BatteryRescuePolicy(home, targets=[weak, strong])
+        assert policy.pick_target() is strong
+
+
+class TestTargetMenu:
+    def test_lists_only_paired_targets(self, device_pair):
+        home, guest = device_pair
+        menu = MigrationTargetMenu(home, targets=[guest])
+        assert menu.entries() == []
+        home.pairing_service.pair(guest)
+        (entry,) = menu.entries()
+        assert entry.model == guest.profile.model
+        assert entry.battery_percent == 100
+
+    def test_choosing_advances_decision_time(self, device_pair, clock):
+        home, guest = device_pair
+        home.pairing_service.pair(guest)
+        menu = MigrationTargetMenu(home, targets=[guest])
+        before = clock.now
+        decision = menu.choose(0, decision_seconds=1.7)
+        assert decision.decision_seconds == pytest.approx(1.7)
+        assert clock.now == pytest.approx(before + 1.7)
+        assert decision.target_name == guest.name
+
+    def test_decision_window_covers_hidden_stages(self, device_pair):
+        """§4's accounting: prep + checkpoint fit inside the time the
+        user spends on the menu."""
+        home, guest = device_pair
+        thread = launch_demo(home)
+        home.pairing_service.pair(guest)
+        menu = MigrationTargetMenu(home, targets=[guest])
+        decision = menu.choose(guest.name)
+        report = home.migration_service.migrate(
+            menu.target_by_name(decision.target_name), DEMO_PACKAGE)
+        hidden = report.stages["preparation"] + report.stages["checkpoint"]
+        assert hidden < decision.decision_seconds + 1.0
+
+    def test_bad_choices_rejected(self, device_pair):
+        home, guest = device_pair
+        menu = MigrationTargetMenu(home)
+        with pytest.raises(MenuError):
+            menu.choose(0)
+        home.pairing_service.pair(guest)
+        menu.add_target(guest)
+        with pytest.raises(MenuError):
+            menu.choose(5)
+        with pytest.raises(MenuError):
+            menu.choose("nonexistent")
+
+
+class TestAdhocNetworking:
+    def test_adhoc_link_is_slower_but_works(self, device_pair):
+        from repro.android.net.link import link_between
+        home, guest = device_pair
+        infra = link_between(home.profile, guest.profile, home.rng_factory)
+        adhoc = link_between(home.profile, guest.profile, home.rng_factory,
+                             adhoc=True)
+        assert adhoc.bandwidth_mbps < infra.bandwidth_mbps
+        assert "adhoc" in adhoc.name
+
+    def test_migration_over_adhoc_without_infrastructure(self, device_pair):
+        """Disconnected operation (§1): WiFi infrastructure down on both
+        devices, migration still succeeds over the ad-hoc link."""
+        from repro.android.net.link import link_between
+        home, guest = device_pair
+        thread = launch_demo(home)
+        home.pairing_service.pair(guest)
+        # Kill infrastructure connectivity on both sides.
+        home.service("wifi").setWifiEnabled(home.system_process, False)
+        guest.service("wifi").setWifiEnabled(guest.system_process, False)
+        link = link_between(home.profile, guest.profile, home.rng_factory,
+                            adhoc=True)
+        report = home.migration_service.migrate(guest, DEMO_PACKAGE,
+                                                link=link)
+        assert report.success
+        assert guest.running_packages() == [DEMO_PACKAGE]
+        # The slower radio shows up in the transfer stage.
+        assert report.stage_fraction("transfer") > 0.4

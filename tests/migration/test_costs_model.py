@@ -1,0 +1,83 @@
+"""The stage-cost model: scaling properties the calibration relies on."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.migration import costs
+from repro.sim import units
+
+
+class TestCostFunctions:
+    def test_preparation_scales_with_ui_complexity(self):
+        small = costs.preparation_cost(5, 0, 1.0)
+        big = costs.preparation_cost(50, 2, 1.0)
+        assert big > small
+
+    def test_slower_cpu_costs_more(self):
+        for fn, args in (
+                (costs.preparation_cost, (10, 1)),
+                (costs.checkpoint_cost, (units.mb(8),)),
+                (costs.restore_cost, (units.mb(8),)),
+                (costs.reintegration_cost, (5,)),
+                (costs.pairing_scan_cost, (800,))):
+            fast = fn(*args, 1.2)
+            slow = fn(*args, 0.6)
+            assert slow == pytest.approx(2 * fast)
+
+    def test_checkpoint_linear_in_bytes(self):
+        base = costs.checkpoint_cost(0, 1.0)
+        one = costs.checkpoint_cost(units.mb(10), 1.0) - base
+        two = costs.checkpoint_cost(units.mb(20), 1.0) - base
+        assert two == pytest.approx(2 * one)
+
+    def test_restore_faster_than_checkpoint_per_byte(self):
+        """Decompress+inject beats serialize+compress, so restore's
+        variable cost is below checkpoint's for the same image."""
+        image = units.mb(12)
+        checkpoint_var = costs.checkpoint_cost(image, 1.0) \
+            - costs.checkpoint_cost(0, 1.0)
+        restore_var = costs.restore_cost(image, 1.0) \
+            - costs.restore_cost(0, 1.0)
+        assert restore_var < checkpoint_var
+
+    @given(st.integers(0, 10**8), st.floats(0.3, 2.0))
+    def test_costs_always_positive_and_finite(self, image_bytes, cpu):
+        for value in (costs.checkpoint_cost(image_bytes, cpu),
+                      costs.restore_cost(image_bytes, cpu),
+                      costs.reintegration_cost(image_bytes % 100, cpu),
+                      costs.preparation_cost(image_bytes % 200, 2, cpu)):
+            assert 0 < value < 1e6
+
+
+class TestGlReplayEdges:
+    def test_empty_capture_when_nothing_preserved(self, demo_thread):
+        from repro.core.glreplay import capture_and_release
+        capture = capture_and_release(demo_thread)
+        assert capture.is_empty()
+        assert capture.total_bytes() == 0
+
+    def test_replay_with_no_matching_views_uploads_nothing(self,
+                                                           demo_thread):
+        from repro.core.glreplay import (
+            GlStateCapture,
+            GlViewState,
+            replay_capture,
+        )
+        capture = GlStateCapture(package=demo_thread.package, views=[
+            GlViewState(view_name="ghost", texture_bytes=1,
+                        preserve_flag=True, resources=())])
+        assert replay_capture(demo_thread, capture) == 0
+
+
+class TestDescribeValueEdges:
+    def test_nested_structures(self):
+        from repro.core.cria.wire import _describe_value
+        value = {"a": [1, (2, b"\x01")], "b": {"c": None}}
+        described = _describe_value(value)
+        assert described["a"][1][1] == {"__bytes__": "01"}
+        assert described["b"]["c"] is None
+
+    def test_non_string_keys_coerced(self):
+        from repro.core.cria.wire import _describe_value
+        import json
+        json.dumps(_describe_value({3: "x", (1, 2): "y"}))

@@ -1,0 +1,141 @@
+"""Gesture trigger and cross-device consistency management."""
+
+import pytest
+
+from repro.android.app.notification import Notification
+from repro.core.migration.consistency import (
+    ConsistencyChoice,
+    ConsistencyConflict,
+)
+from repro.core.migration.gesture import (
+    MigrationGestureTrigger,
+    TouchEvent,
+    TwoFingerSwipeDetector,
+)
+from repro.sim import units
+from tests.conftest import DEMO_PACKAGE, launch_demo
+
+
+def two_finger_swipe(detector, dy=-300.0, duration=0.25, dx=0.0,
+                     fingers=(0, 1)):
+    xs = {pointer: 100.0 + pointer * 80.0 for pointer in fingers}
+    for pointer, x in xs.items():
+        detector.feed(TouchEvent(0.0, pointer, x, 500.0, "down"))
+    for pointer, x in xs.items():
+        detector.feed(TouchEvent(duration / 2, pointer, x + dx / 2,
+                                 500.0 + dy / 2, "move"))
+    for pointer, x in xs.items():
+        detector.feed(TouchEvent(duration, pointer, x + dx,
+                                 500.0 + dy, "up"))
+
+
+class TestSwipeDetector:
+    def test_two_finger_vertical_swipe_detected(self):
+        hits = []
+        detector = TwoFingerSwipeDetector(hits.append)
+        two_finger_swipe(detector)
+        assert len(hits) == 1
+        assert hits[0].direction == "up"
+        assert hits[0].pointer_count == 2
+
+    def test_downward_swipe_direction(self):
+        hits = []
+        detector = TwoFingerSwipeDetector(hits.append)
+        two_finger_swipe(detector, dy=400.0)
+        assert hits[0].direction == "down"
+
+    def test_single_finger_rejected(self):
+        hits = []
+        detector = TwoFingerSwipeDetector(hits.append)
+        two_finger_swipe(detector, fingers=(0,))
+        assert hits == []
+
+    def test_short_swipe_rejected(self):
+        hits = []
+        detector = TwoFingerSwipeDetector(hits.append)
+        two_finger_swipe(detector, dy=-50.0)
+        assert hits == []
+
+    def test_slow_swipe_rejected(self):
+        hits = []
+        detector = TwoFingerSwipeDetector(hits.append)
+        two_finger_swipe(detector, duration=2.0)
+        assert hits == []
+
+    def test_horizontal_drift_rejected(self):
+        hits = []
+        detector = TwoFingerSwipeDetector(hits.append)
+        two_finger_swipe(detector, dy=-300.0, dx=-400.0)
+        assert hits == []
+
+
+class TestGestureTrigger:
+    def test_swipe_triggers_migration_of_foreground_app(self, device_pair):
+        home, guest = device_pair
+        launch_demo(home)
+        home.pairing_service.pair(guest)
+        triggered = []
+        trigger = MigrationGestureTrigger(home, triggered.append)
+        trigger.swipe("up")
+        assert triggered == [DEMO_PACKAGE]
+
+    def test_no_foreground_app_no_trigger(self, device, clock):
+        launch_demo(device)
+        device.activity_service.background_app(DEMO_PACKAGE)
+        clock.advance(1.0)
+        triggered = []
+        trigger = MigrationGestureTrigger(device, triggered.append)
+        trigger.swipe("up")
+        assert triggered == []
+
+    def test_end_to_end_swipe_to_migrate(self, device_pair):
+        home, guest = device_pair
+        launch_demo(home)
+        home.pairing_service.pair(guest)
+        trigger = MigrationGestureTrigger(
+            home, lambda pkg: home.migration_service.migrate(guest, pkg))
+        trigger.swipe("up")
+        assert guest.running_packages() == [DEMO_PACKAGE]
+
+
+class TestConsistency:
+    def _migrated(self, device_pair):
+        home, guest = device_pair
+        thread = launch_demo(home)
+        home.pairing_service.pair(guest)
+        home.migration_service.migrate(guest, DEMO_PACKAGE)
+        return home, guest, thread
+
+    def test_native_start_raises_conflict(self, device_pair):
+        home, guest, _ = self._migrated(device_pair)
+        with pytest.raises(ConsistencyConflict) as excinfo:
+            home.consistency.check_native_start(DEMO_PACKAGE)
+        assert excinfo.value.guest_name == guest.name
+
+    def test_discard_guest_state(self, device_pair):
+        home, guest, _ = self._migrated(device_pair)
+        home.consistency.resolve_native_start(
+            DEMO_PACKAGE, guest, ConsistencyChoice.DISCARD_GUEST_STATE)
+        assert guest.thread_of(DEMO_PACKAGE) is None
+        assert guest.recorder.extract_app_log(DEMO_PACKAGE) == []
+        home.consistency.check_native_start(DEMO_PACKAGE)   # no conflict now
+
+    def test_sync_back_pulls_guest_data(self, device_pair):
+        home, guest, thread = self._migrated(device_pair)
+        # The app modified its data directory while on the guest.
+        from repro.core.migration.pairing import flux_root
+        root = flux_root(home.name)
+        path = f"{root}/data/{DEMO_PACKAGE}/shared_prefs/prefs.xml"
+        if guest.storage.exists(path):
+            guest.storage.remove(path)
+        guest.storage.add_file(path, units.kb(32),
+                               "guest-modified-prefs")
+        moved = home.consistency.sync_state_back(DEMO_PACKAGE, guest)
+        assert moved == units.kb(32)
+        entry = home.storage.get(
+            f"/data/data/{DEMO_PACKAGE}/shared_prefs/prefs.xml")
+        assert entry.content_hash == guest.storage.get(path).content_hash
+
+    def test_unmarked_app_starts_freely(self, device_pair):
+        home, _ = device_pair
+        home.consistency.check_native_start("com.never.migrated")

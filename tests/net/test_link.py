@@ -1,0 +1,53 @@
+"""Network link model."""
+
+import pytest
+
+from repro.android.hardware.profiles import NEXUS_4, NEXUS_7_2012
+from repro.android.net.link import Link, LinkError, link_between
+from repro.sim import SimClock, units
+from repro.sim.rng import RngFactory
+
+
+class TestLink:
+    def test_transfer_charges_clock(self):
+        link = Link(bandwidth_mbps=8.0, latency_s=0.0, congestion=1.0,
+                    rng_factory=RngFactory(0))
+        clock = SimClock()
+        result = link.transfer(units.mb(1), clock)
+        assert clock.now == pytest.approx(result.seconds)
+        # 1 MB at ~8 Mbps (±10% jitter) is ~1.05 s.
+        assert 0.9 <= result.seconds <= 1.25
+
+    def test_bigger_payload_takes_longer(self):
+        link = Link(bandwidth_mbps=10.0, rng_factory=RngFactory(0))
+        assert link.transfer_time(units.mb(10)) > link.transfer_time(units.mb(1))
+
+    def test_latency_floor(self):
+        link = Link(bandwidth_mbps=10.0, latency_s=0.25,
+                    rng_factory=RngFactory(0))
+        assert link.transfer_time(0) == pytest.approx(0.25)
+
+    def test_deterministic_given_seed(self):
+        a = Link(10.0, rng_factory=RngFactory(7), name="x")
+        b = Link(10.0, rng_factory=RngFactory(7), name="x")
+        assert a.transfer_time(units.mb(2)) == b.transfer_time(units.mb(2))
+
+    def test_accounting(self):
+        link = Link(10.0, rng_factory=RngFactory(0))
+        clock = SimClock()
+        link.transfer(100, clock)
+        link.transfer(200, clock)
+        assert link.bytes_transferred == 300
+        assert link.transfers == 2
+
+    def test_invalid_parameters(self):
+        with pytest.raises(LinkError):
+            Link(bandwidth_mbps=0)
+        link = Link(10.0, rng_factory=RngFactory(0))
+        with pytest.raises(LinkError):
+            link.transfer_time(-1)
+
+    def test_link_between_uses_slower_endpoint(self):
+        link = link_between(NEXUS_4, NEXUS_7_2012, RngFactory(0))
+        assert link.bandwidth_mbps == NEXUS_7_2012.wifi_effective_mbps
+        assert "nexus4" in link.name

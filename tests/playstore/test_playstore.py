@@ -1,0 +1,75 @@
+"""Synthetic Play-store catalog and the §4 analysis."""
+
+import pytest
+
+from repro.playstore import (
+    PAPER_CATALOG_SIZE,
+    PAPER_PRESERVE_EGL_COUNT,
+    analyze_catalog,
+    generate_catalog,
+    size_cdf,
+)
+from repro.sim import units
+
+
+SAMPLE = 30_000
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return generate_catalog(SAMPLE)
+
+
+class TestCatalog:
+    def test_deterministic(self):
+        a = generate_catalog(500)
+        b = generate_catalog(500)
+        assert [x.install_size for x in a] == [x.install_size for x in b]
+        assert [x.calls_preserve_egl for x in a] == \
+            [x.calls_preserve_egl for x in b]
+
+    def test_seed_changes_catalog(self):
+        a = generate_catalog(500, seed=0)
+        b = generate_catalog(500, seed=1)
+        assert [x.install_size for x in a] != [x.install_size for x in b]
+
+    def test_preserve_egl_count_scales(self, catalog):
+        expected = round(PAPER_PRESERVE_EGL_COUNT
+                         * SAMPLE / PAPER_CATALOG_SIZE)
+        assert sum(1 for a in catalog if a.calls_preserve_egl) == expected
+
+    def test_sizes_within_figure_axis(self, catalog):
+        assert all(10 * units.KB <= a.install_size <= 4 * units.GB
+                   for a in catalog)
+
+    def test_install_size_equals_apk_size(self, catalog):
+        """The paper verified metadata size == actual APK size."""
+        assert all(a.install_size == a.apk_size for a in catalog)
+
+
+class TestAnalysis:
+    def test_cdf_anchors_match_paper(self, catalog):
+        report = analyze_catalog(catalog)
+        assert report.cdf_at(units.MB) == pytest.approx(0.60, abs=0.02)
+        assert report.cdf_at(10 * units.MB) == pytest.approx(0.90, abs=0.02)
+
+    def test_cdf_monotone(self, catalog):
+        report = analyze_catalog(catalog)
+        values = [v for _, v in report.cdf_points]
+        assert values == sorted(values)
+        assert values[-1] == 1.0
+
+    def test_size_verification_sample_clean(self, catalog):
+        report = analyze_catalog(catalog)
+        assert report.size_mismatches == 0
+        assert report.size_verified_sample == 500
+
+    def test_migratable_fraction_overwhelming(self, catalog):
+        report = analyze_catalog(catalog)
+        assert report.preserve_egl_fraction < 0.01
+        assert report.migratable_fraction > 0.99
+
+    def test_size_cdf_helper(self):
+        apps = generate_catalog(100)
+        (at_max,) = size_cdf(apps, [4 * units.GB])
+        assert at_max == 1.0

@@ -1,0 +1,119 @@
+"""CallLog: SQLite-indexed append/prune store."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.record.log import CallLog, CallRecord
+
+
+@pytest.fixture
+def log():
+    return CallLog()
+
+
+class TestAppendQuery:
+    def test_entries_in_order(self, log):
+        log.append(0.0, "app", "I", "a", {})
+        log.append(1.0, "app", "I", "b", {})
+        assert [r.method for r in log.entries("app")] == ["a", "b"]
+
+    def test_apps_are_isolated(self, log):
+        log.append(0.0, "one", "I", "a", {})
+        log.append(0.0, "two", "I", "a", {})
+        assert len(log.entries("one")) == 1
+        assert log.apps() == ["one", "two"]
+
+    def test_filter_by_interface_and_method(self, log):
+        log.append(0.0, "app", "IA", "x", {})
+        log.append(0.0, "app", "IB", "x", {})
+        log.append(0.0, "app", "IA", "y", {})
+        assert len(log.entries("app", interface="IA")) == 2
+        assert len(log.entries("app", interface="IA", method="x")) == 1
+
+    def test_entries_for_methods_merges_in_seq_order(self, log):
+        log.append(0.0, "app", "I", "b", {})
+        log.append(0.0, "app", "I", "a", {})
+        log.append(0.0, "app", "I", "b", {})
+        records = log.entries_for_methods("app", "I", ["a", "b"])
+        assert [r.method for r in records] == ["b", "a", "b"]
+
+    def test_args_preserved_as_objects(self, log):
+        payload = object()
+        log.append(0.0, "app", "I", "m", {"obj": payload})
+        assert log.entries("app")[0].args["obj"] is payload
+
+
+class TestRemoval:
+    def test_remove_by_seq(self, log):
+        r1 = log.append(0.0, "app", "I", "a", {})
+        r2 = log.append(0.0, "app", "I", "b", {})
+        assert log.remove([r1.seq]) == 1
+        assert [r.seq for r in log.entries("app")] == [r2.seq]
+        assert log.dropped == 1
+
+    def test_remove_is_idempotent(self, log):
+        r = log.append(0.0, "app", "I", "a", {})
+        assert log.remove([r.seq]) == 1
+        assert log.remove([r.seq]) == 0
+
+    def test_remove_app_clears_everything(self, log):
+        for i in range(5):
+            log.append(0.0, "app", "I", "m", {"i": i})
+        log.append(0.0, "other", "I", "m", {})
+        assert log.remove_app("app") == 5
+        assert log.count("app") == 0
+        assert log.count("other") == 1
+
+
+class TestSizing:
+    def test_size_grows_with_args(self, log):
+        log.append(0.0, "a", "I", "m", {"text": "x"})
+        log.append(0.0, "b", "I", "m", {"text": "x" * 500})
+        assert log.size_bytes("b") > log.size_bytes("a")
+
+    def test_record_size_estimates_common_types(self):
+        record = CallRecord(1, 0.0, "a", "I", "m",
+                            {"i": 1, "s": "ab", "l": [1, 2], "d": {"k": 1},
+                             "obj": object(), "b": b"xyz"})
+        assert record.estimated_size() > 0
+
+
+@given(st.lists(st.sampled_from(["a", "b", "c"]), max_size=40))
+def test_count_invariant_appended_minus_dropped(methods):
+    log = CallLog()
+    seqs = []
+    for method in methods:
+        seqs.append(log.append(0.0, "app", "I", method, {}).seq)
+    to_drop = seqs[::2]
+    log.remove(to_drop)
+    assert log.count("app") == log.appended - log.dropped
+    assert log.count("app") == len(methods) - len(to_drop)
+
+
+class TestExport:
+    def test_export_and_read_back(self, log, tmp_path):
+        log.append(1.0, "app", "I", "put", {"key": 1, "obj": object()})
+        log.append(2.0, "app", "I", "erase", {"key": 1})
+        path = str(tmp_path / "calllog.db")
+        assert log.export_index(path) == 2
+        rows = CallLog.read_exported(path)
+        assert [r["method"] for r in rows] == ["put", "erase"]
+        assert rows[0]["args"]["key"] == 1
+        assert rows[0]["args"]["obj"]["__object__"] == "object"
+
+    def test_export_reflects_pruning(self, log, tmp_path):
+        first = log.append(1.0, "app", "I", "a", {})
+        log.append(2.0, "app", "I", "b", {})
+        log.remove([first.seq])
+        path = str(tmp_path / "calllog.db")
+        assert log.export_index(path) == 1
+        (row,) = CallLog.read_exported(path)
+        assert row["method"] == "b"
+
+    def test_export_overwrites(self, log, tmp_path):
+        path = str(tmp_path / "calllog.db")
+        log.append(1.0, "app", "I", "a", {})
+        log.export_index(path)
+        log.append(2.0, "app", "I", "b", {})
+        assert log.export_index(path) == 2
+        assert len(CallLog.read_exported(path)) == 2

@@ -1,0 +1,84 @@
+"""Recorder: the end-to-end proxy -> rule engine -> log path."""
+
+import pytest
+
+from repro.android.aidl import InterfaceRegistry
+from repro.core.record import CallLog, Recorder, RecorderError
+from repro.sim import SimClock
+
+
+SOURCE = """
+interface IThing {
+    @record
+    void put(int key, String value);
+    @record {
+        @drop this, put;
+        @if key;
+    }
+    void erase(int key);
+    int size();
+}
+"""
+
+
+@pytest.fixture
+def recorder():
+    registry = InterfaceRegistry()
+    registry.compile_source(SOURCE)
+    return Recorder(registry, CallLog(), SimClock())
+
+
+class TestRecorder:
+    def test_record_and_prune(self, recorder):
+        app = recorder.bind_app("com.a")
+        app.on_call("IThing", "put", {"key": 1, "value": "x"}, None)
+        app.on_call("IThing", "put", {"key": 2, "value": "y"}, None)
+        app.on_call("IThing", "erase", {"key": 1}, None)
+        entries = recorder.extract_app_log("com.a")
+        assert [(e.method, e.args["key"]) for e in entries] == [("put", 2)]
+        assert recorder.calls_seen == 3
+        assert recorder.calls_suppressed == 1
+
+    def test_apps_are_isolated(self, recorder):
+        recorder.bind_app("com.a").on_call("IThing", "put",
+                                           {"key": 1, "value": "x"}, None)
+        recorder.bind_app("com.b").on_call("IThing", "erase",
+                                           {"key": 1}, None)
+        assert len(recorder.extract_app_log("com.a")) == 1
+        assert len(recorder.extract_app_log("com.b")) == 1
+
+    def test_disabled_recorder_records_nothing(self, recorder):
+        recorder.enabled = False
+        app = recorder.bind_app("com.a")
+        assert app.on_call("IThing", "put", {"key": 1, "value": "x"},
+                           None) is None
+        assert recorder.extract_app_log("com.a") == []
+
+    def test_undecorated_method_is_a_bug(self, recorder):
+        app = recorder.bind_app("com.a")
+        with pytest.raises(RecorderError):
+            app.on_call("IThing", "size", {}, None)
+
+    def test_recording_charges_cpu_time(self):
+        registry = InterfaceRegistry()
+        registry.compile_source(SOURCE)
+        clock = SimClock()
+        recorder = Recorder(registry, CallLog(), clock, cpu_factor=1.0)
+        recorder.bind_app("a").on_call("IThing", "put",
+                                       {"key": 1, "value": "x"}, None)
+        assert clock.now == pytest.approx(Recorder.RECORD_CPU_COST)
+
+    def test_slower_cpu_pays_more(self):
+        registry = InterfaceRegistry()
+        registry.compile_source(SOURCE)
+        clock = SimClock()
+        recorder = Recorder(registry, CallLog(), clock, cpu_factor=0.5)
+        recorder.bind_app("a").on_call("IThing", "put",
+                                       {"key": 1, "value": "x"}, None)
+        assert clock.now == pytest.approx(2 * Recorder.RECORD_CPU_COST)
+
+    def test_forget_app(self, recorder):
+        app = recorder.bind_app("com.a")
+        app.on_call("IThing", "put", {"key": 1, "value": "x"}, None)
+        assert recorder.forget_app("com.a") == 1
+        assert recorder.extract_app_log("com.a") == []

@@ -1,0 +1,216 @@
+"""Drop-rule semantics: the executable heart of Table 1.
+
+The two worked examples from the paper (NotificationManager, Figure 7;
+AlarmManager, Figure 9) must both behave correctly under one semantics.
+"""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.android.aidl import parse_interface
+from repro.core.record.log import CallLog
+from repro.core.record.rules import apply_drop_rules, describe_rules
+
+
+NOTIFICATION = parse_interface("""
+interface INotificationManager {
+    @record
+    void enqueueNotification(int id, Notification notification);
+    @record {
+        @drop this, enqueueNotification;
+        @if id;
+    }
+    void cancelNotification(int id);
+}
+""")
+
+ALARM = parse_interface("""
+interface IAlarmManager {
+    @record {
+        @drop this;
+        @if operation;
+    }
+    void set(int type, long triggerAtTime, in PendingIntent operation);
+    @record {
+        @drop this, set;
+        @if operation;
+    }
+    void remove(in PendingIntent operation);
+}
+""")
+
+
+APP = "com.app"
+IFACE_N = "INotificationManager"
+IFACE_A = "IAlarmManager"
+
+
+def record_call(log, iface, decl, method, args):
+    """Run the rule engine for a call, appending when not suppressed."""
+    decoration = decl.method(method).decoration
+    outcome = apply_drop_rules(log, APP, iface, method, args, decoration)
+    if not outcome.suppress_current:
+        log.append(0.0, APP, iface, method, args)
+    return outcome
+
+
+class TestNotificationSemantics:
+    def test_cancel_annihilates_matching_enqueue(self):
+        log = CallLog()
+        record_call(log, IFACE_N, NOTIFICATION, "enqueueNotification",
+                    {"id": 1, "notification": "hi"})
+        record_call(log, IFACE_N, NOTIFICATION, "enqueueNotification",
+                    {"id": 2, "notification": "yo"})
+        outcome = record_call(log, IFACE_N, NOTIFICATION,
+                              "cancelNotification", {"id": 1})
+        assert outcome.suppress_current
+        assert outcome.removed_count == 1
+        remaining = log.entries(APP)
+        assert [(r.method, r.args["id"]) for r in remaining] == \
+            [("enqueueNotification", 2)]
+
+    def test_cancel_without_match_is_recorded(self):
+        log = CallLog()
+        outcome = record_call(log, IFACE_N, NOTIFICATION,
+                              "cancelNotification", {"id": 9})
+        assert not outcome.suppress_current
+        assert [r.method for r in log.entries(APP)] == ["cancelNotification"]
+
+    def test_cancel_also_drops_previous_cancels(self):
+        log = CallLog()
+        record_call(log, IFACE_N, NOTIFICATION, "cancelNotification",
+                    {"id": 5})
+        record_call(log, IFACE_N, NOTIFICATION, "enqueueNotification",
+                    {"id": 5, "notification": "x"})
+        outcome = record_call(log, IFACE_N, NOTIFICATION,
+                              "cancelNotification", {"id": 5})
+        # Drops both the stale cancel and the enqueue; suppressed.
+        assert outcome.removed_count == 2
+        assert outcome.suppress_current
+        assert log.entries(APP) == []
+
+    def test_different_id_not_dropped(self):
+        log = CallLog()
+        record_call(log, IFACE_N, NOTIFICATION, "enqueueNotification",
+                    {"id": 1, "notification": "keep"})
+        record_call(log, IFACE_N, NOTIFICATION, "cancelNotification",
+                    {"id": 2})
+        methods = [r.method for r in log.entries(APP)]
+        assert methods == ["enqueueNotification", "cancelNotification"]
+
+
+class TestAlarmSemantics:
+    def test_set_replaces_previous_set_and_is_recorded(self):
+        log = CallLog()
+        record_call(log, IFACE_A, ALARM, "set",
+                    {"type": 1, "triggerAtTime": 10.0, "operation": "op-a"})
+        outcome = record_call(log, IFACE_A, ALARM, "set",
+                              {"type": 1, "triggerAtTime": 99.0,
+                               "operation": "op-a"})
+        assert not outcome.suppress_current     # replacement is recorded
+        assert outcome.removed_count == 1
+        (entry,) = log.entries(APP)
+        assert entry.args["triggerAtTime"] == 99.0
+
+    def test_remove_annihilates_matching_set(self):
+        log = CallLog()
+        record_call(log, IFACE_A, ALARM, "set",
+                    {"type": 1, "triggerAtTime": 10.0, "operation": "op-a"})
+        outcome = record_call(log, IFACE_A, ALARM, "remove",
+                              {"operation": "op-a"})
+        assert outcome.suppress_current
+        assert log.entries(APP) == []
+
+    def test_sets_with_distinct_operations_coexist(self):
+        log = CallLog()
+        record_call(log, IFACE_A, ALARM, "set",
+                    {"type": 1, "triggerAtTime": 10.0, "operation": "op-a"})
+        record_call(log, IFACE_A, ALARM, "set",
+                    {"type": 1, "triggerAtTime": 20.0, "operation": "op-b"})
+        assert log.count(APP) == 2
+
+
+class TestGeneralSemantics:
+    UNCONDITIONAL = parse_interface("""
+    interface IAudio {
+        @record {
+            @drop this;
+        }
+        void setRingerMode(int mode);
+    }
+    """)
+
+    def test_unconditional_drop_is_last_write_wins(self):
+        log = CallLog()
+        for mode in (0, 1, 2):
+            record_call(log, "IAudio", self.UNCONDITIONAL, "setRingerMode",
+                        {"mode": mode})
+        (entry,) = log.entries(APP)
+        assert entry.args["mode"] == 2
+
+    ELIF = parse_interface("""
+    interface IX {
+        @record {
+            @drop this;
+            @if a;
+            @elif b;
+        }
+        void f(int a, int b);
+    }
+    """)
+
+    def test_elif_matches_alternative_signature(self):
+        log = CallLog()
+        record_call(log, "IX", self.ELIF, "f", {"a": 1, "b": 10})
+        # Matches on b (elif) even though a differs.
+        record_call(log, "IX", self.ELIF, "f", {"a": 2, "b": 10})
+        assert log.count(APP) == 1
+        # Matches neither signature: both survive.
+        record_call(log, "IX", self.ELIF, "f", {"a": 3, "b": 30})
+        assert log.count(APP) == 2
+
+    def test_missing_parameter_cannot_match(self):
+        missing = parse_interface("""
+        interface IY {
+            @record
+            void g(int other);
+            @record {
+                @drop this, g;
+                @if a;
+            }
+            void f(int a);
+        }
+        """)
+        log = CallLog()
+        record_call(log, "IY", missing, "g", {"other": 1})
+        record_call(log, "IY", missing, "f", {"a": 1})
+        # g has no parameter 'a', so it can never match f's signature.
+        assert log.count(APP) == 2
+
+    def test_describe_rules_is_readable(self):
+        decl = ALARM.method("set").decoration
+        lines = describe_rules(decl)
+        assert lines == ["drop this if (operation)"]
+
+    @given(st.lists(st.tuples(st.booleans(), st.integers(0, 3)),
+                    max_size=30))
+    def test_notification_log_never_holds_cancelled_pair(self, ops):
+        """Invariant: after any op sequence, no (enqueue, cancel) pair
+        with the same id coexists in the log."""
+        log = CallLog()
+        for is_cancel, nid in ops:
+            if is_cancel:
+                record_call(log, IFACE_N, NOTIFICATION,
+                            "cancelNotification", {"id": nid})
+            else:
+                record_call(log, IFACE_N, NOTIFICATION,
+                            "enqueueNotification",
+                            {"id": nid, "notification": "n"})
+        entries = log.entries(APP)
+        for cancel in (e for e in entries
+                       if e.method == "cancelNotification"):
+            stale_enqueues = [e for e in entries
+                              if e.method == "enqueueNotification"
+                              and e.args["id"] == cancel.args["id"]
+                              and e.seq < cancel.seq]
+            assert not stale_enqueues

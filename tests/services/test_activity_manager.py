@@ -1,0 +1,125 @@
+"""ActivityManagerService: lifecycle control, broadcasts, providers."""
+
+import pytest
+
+from repro.android.app.activity import ActivityState
+from repro.android.app.intent import Intent
+from repro.android.services.base import ServiceError
+from tests.conftest import DEMO_PACKAGE, launch_demo
+
+
+class TestLifecycleControl:
+    def test_background_pauses_then_idler_stops(self, device, clock,
+                                                demo_thread):
+        activity = next(iter(demo_thread.activities.values()))
+        assert activity.state is ActivityState.RESUMED
+        device.activity_service.background_app(DEMO_PACKAGE)
+        assert activity.state is ActivityState.PAUSED
+        assert activity.window.has_surface      # not yet stopped
+        clock.advance(device.activity_service.TASK_IDLE_DELAY + 0.05)
+        assert activity.state is ActivityState.STOPPED
+        assert not activity.window.has_surface  # surface freed on stop
+
+    def test_foreground_recreates_surface_and_redraws(self, device, clock,
+                                                      demo_thread):
+        activity = next(iter(demo_thread.activities.values()))
+        frames_before = activity.window.surface.frames_rendered
+        device.activity_service.background_app(DEMO_PACKAGE)
+        clock.advance(1.0)
+        device.activity_service.foreground_app(DEMO_PACKAGE)
+        assert activity.state is ActivityState.RESUMED
+        assert activity.window.has_surface
+        assert activity.window.surface.frames_rendered >= 1
+
+    def test_finish_activity_walks_lifecycle_down(self, device, demo_thread):
+        activity = next(iter(demo_thread.activities.values()))
+        device.activity_service.finishActivity(demo_thread.process,
+                                               activity.token)
+        assert activity.state is ActivityState.DESTROYED
+        assert activity.token not in demo_thread.activities
+
+    def test_kill_background_processes(self, device, clock, demo_thread):
+        device.activity_service.background_app(DEMO_PACKAGE)
+        clock.advance(1.0)
+        device.activity_service.killBackgroundProcesses(demo_thread.process,
+                                                        DEMO_PACKAGE)
+        assert not device.activity_service.is_running(DEMO_PACKAGE)
+        assert device.kernel.processes_of_package(DEMO_PACKAGE) == []
+
+
+class TestBroadcasts:
+    def test_broadcast_routed_by_filter(self, device, demo_thread):
+        hits = []
+        demo_thread.register_receiver(hits.append, ["com.demo.PING"])
+        device.activity_service.broadcast(Intent("com.demo.PING"))
+        device.activity_service.broadcast(Intent("com.demo.OTHER"))
+        assert [i.action for i in hits] == ["com.demo.PING"]
+
+    def test_component_targeted_broadcast(self, device, demo_thread):
+        other = launch_demo(device, package="com.other")
+        mine, theirs = [], []
+        demo_thread.register_receiver(mine.append, ["PING"])
+        other.register_receiver(theirs.append, ["PING"])
+        device.activity_service.broadcast(
+            Intent("PING", component="com.other"))
+        assert mine == []
+        assert len(theirs) == 1
+
+    def test_unregister_stops_delivery(self, device, demo_thread):
+        hits = []
+        receiver_id = demo_thread.register_receiver(hits.append, ["PING"])
+        demo_thread.unregister_receiver(receiver_id)
+        device.activity_service.broadcast(Intent("PING"))
+        assert hits == []
+
+    def test_register_unregister_annihilate_in_log(self, device,
+                                                   demo_thread):
+        receiver_id = demo_thread.register_receiver(lambda i: None, ["X"])
+        demo_thread.unregister_receiver(receiver_id)
+        entries = [e for e in device.recorder.extract_app_log(DEMO_PACKAGE)
+                   if e.method in ("registerReceiver", "unregisterReceiver")]
+        assert entries == []
+
+
+class TestServicesAndProviders:
+    def test_start_stop_app_service(self, device, demo_thread):
+        am = demo_thread.context.get_system_service("activity")
+        intent = Intent("com.demo.SYNC", service_name="sync")
+        am.start_service(intent)
+        assert demo_thread.app_services["sync"].running
+        assert am.stop_service(intent) == 1
+        assert "sync" not in demo_thread.app_services
+
+    def test_bind_unbind_tracked(self, device, demo_thread):
+        am = demo_thread.context.get_system_service("activity")
+        am.bindService(Intent("svc"), "conn-1", 0)
+        snapshot = device.activity_service.snapshot(DEMO_PACKAGE)
+        assert snapshot["bindings"] == ["conn-1"]
+        assert am.unbindService("conn-1") is True
+        assert am.unbindService("conn-1") is False
+
+    def test_content_provider_connection_tracked(self, device, demo_thread):
+        provider_app = launch_demo(device, package="com.provider")
+        provider_app.publish_provider("contacts")
+        am = demo_thread.context.get_system_service("activity")
+        holder = am.getContentProvider("contacts")
+        assert holder["authority"] == "contacts"
+        connections = device.activity_service.provider_connections_of(
+            DEMO_PACKAGE)
+        assert len(connections) == 1
+        am.removeContentProvider("contacts")
+        assert device.activity_service.provider_connections_of(
+            DEMO_PACKAGE) == []
+
+    def test_missing_provider_rejected(self, device, demo_thread):
+        am = demo_thread.context.get_system_service("activity")
+        with pytest.raises(ServiceError):
+            am.getContentProvider("nothing")
+
+    def test_running_processes_and_memory_info(self, device, demo_thread):
+        am = demo_thread.context.get_system_service("activity")
+        processes = am.getRunningAppProcesses()
+        assert {"package": DEMO_PACKAGE,
+                "pid": demo_thread.process.pid} in processes
+        info = am.getMemoryInfo()
+        assert info["available"] < info["total"]

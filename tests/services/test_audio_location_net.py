@@ -1,0 +1,167 @@
+"""AudioService, LocationManagerService, Wifi/Connectivity services."""
+
+import pytest
+
+from repro.android.services.audio import RINGER_SILENT, STREAM_MUSIC
+from repro.android.services.base import ServiceError
+from repro.android.services.connectivity_net import WifiConfiguration
+from tests.conftest import DEMO_PACKAGE
+
+
+class TestAudio:
+    def test_volume_clamped_to_stream_max(self, device, demo_thread):
+        audio = demo_thread.context.get_system_service("audio")
+        maximum = audio.getStreamMaxVolume(STREAM_MUSIC)
+        audio.set_stream_volume(STREAM_MUSIC, maximum + 50)
+        assert audio.get_stream_volume(STREAM_MUSIC) == maximum
+        audio.set_stream_volume(STREAM_MUSIC, -3)
+        assert audio.get_stream_volume(STREAM_MUSIC) == 0
+
+    def test_adjust_is_relative(self, device, demo_thread):
+        audio = demo_thread.context.get_system_service("audio")
+        audio.set_stream_volume(STREAM_MUSIC, 5)
+        audio.adjustStreamVolume(STREAM_MUSIC, 2, 0)
+        assert audio.get_stream_volume(STREAM_MUSIC) == 7
+
+    def test_focus_stack(self, device, demo_thread):
+        audio = demo_thread.context.get_system_service("audio")
+        audio.request_audio_focus("client-a")
+        audio.request_audio_focus("client-b")
+        service = device.service("audio")
+        assert service.focus_holder() == "client-b"
+        audio.abandon_audio_focus("client-b")
+        assert service.focus_holder() == "client-a"
+
+    def test_bad_stream_rejected(self, device, demo_thread):
+        audio = demo_thread.context.get_system_service("audio")
+        with pytest.raises(ServiceError):
+            audio.get_stream_volume(99)
+
+    def test_ringer_mode_validation(self, device, demo_thread):
+        audio = demo_thread.context.get_system_service("audio")
+        audio.setRingerMode(RINGER_SILENT)
+        assert audio.getRingerMode() == RINGER_SILENT
+        with pytest.raises(ServiceError):
+            audio.setRingerMode(7)
+
+    def test_volume_setter_log_is_last_write_wins(self, device, demo_thread):
+        audio = demo_thread.context.get_system_service("audio")
+        for index in (3, 6, 9):
+            audio.set_stream_volume(STREAM_MUSIC, index)
+        entries = [e for e in device.recorder.extract_app_log(DEMO_PACKAGE)
+                   if e.method == "setStreamVolume"]
+        assert len(entries) == 1
+        assert entries[0].args["index"] == 9
+
+
+class TestLocation:
+    def test_request_and_remove_updates(self, device, demo_thread):
+        location = demo_thread.context.get_system_service("location")
+        location.request_updates("gps", "listener-1")
+        snapshot = device.service("location").snapshot(DEMO_PACKAGE)
+        assert snapshot["requests"] == [("listener-1", "gps")]
+        location.remove_updates("listener-1")
+        assert device.service("location").snapshot(
+            DEMO_PACKAGE)["requests"] == []
+
+    def test_last_known_location(self, device, demo_thread):
+        service = device.service("location")
+        service.report_fix("gps", 40.7, -74.0)
+        location = demo_thread.context.get_system_service("location")
+        fix = location.getLastKnownLocation("gps")
+        assert (fix.latitude, fix.longitude) == (40.7, -74.0)
+
+    def test_unknown_provider_rejected(self, device, demo_thread):
+        location = demo_thread.context.get_system_service("location")
+        with pytest.raises(ServiceError):
+            location.request_updates("teleport", "x")
+
+    def test_best_provider_prefers_gps(self, device, demo_thread):
+        location = demo_thread.context.get_system_service("location")
+        assert location.getBestProvider(True) == "gps"
+
+    def test_device_without_gps(self, heterogeneous_pair):
+        from tests.conftest import launch_demo
+        home, _ = heterogeneous_pair    # Nexus 7 (2012): network only
+        thread = launch_demo(home)
+        location = thread.context.get_system_service("location")
+        assert location.getProviders(True) == ["network"]
+        with pytest.raises(ServiceError):
+            location.addGpsStatusListener("x")
+
+
+class TestWifi:
+    def test_add_enable_remove_network(self, device, demo_thread):
+        wifi = demo_thread.context.get_system_service("wifi")
+        net_id = wifi.addNetwork(WifiConfiguration("home-ap"))
+        wifi.enableNetwork(net_id, False)
+        snapshot = device.service("wifi").snapshot(DEMO_PACKAGE)
+        assert snapshot["networks"] == ["home-ap"]
+        wifi.removeNetwork(net_id)
+        assert device.service("wifi").snapshot(DEMO_PACKAGE)["networks"] == []
+
+    def test_lock_lifecycle(self, device, demo_thread):
+        wifi = demo_thread.context.get_system_service("wifi")
+        wifi.acquire_lock("stream")
+        assert "stream" in device.service("wifi").snapshot(
+            DEMO_PACKAGE)["locks"]
+        wifi.release_lock("stream")
+        with pytest.raises(ServiceError):
+            wifi.release_lock("stream")
+
+    def test_disable_wifi_disconnects(self, device, demo_thread):
+        wifi = demo_thread.context.get_system_service("wifi")
+        wifi.setWifiEnabled(False)
+        assert wifi.getConnectionInfo().ssid is None
+        assert wifi.getScanResults() == []
+
+    def test_network_add_remove_replay_correct(self, device, demo_thread):
+        """addNetwork's id is a *return value*, so removeNetwork's @if
+        cannot annihilate it by argument match; both calls stay in the
+        log and replay remains correct (add then remove).  Repeated
+        removes of the same id do collapse."""
+        wifi = demo_thread.context.get_system_service("wifi")
+        net_id = wifi.addNetwork(WifiConfiguration("temp"))
+        wifi.removeNetwork(net_id)
+        methods = [e.method for e in
+                   device.recorder.extract_app_log(DEMO_PACKAGE)
+                   if e.interface == "IWifiService"]
+        assert methods == ["addNetwork", "removeNetwork"]
+
+    def test_enable_disable_annihilate_in_log(self, device, demo_thread):
+        wifi = demo_thread.context.get_system_service("wifi")
+        net_id = wifi.addNetwork(WifiConfiguration("temp"))
+        wifi.enableNetwork(net_id, False)
+        wifi.disableNetwork(net_id)
+        methods = [e.method for e in
+                   device.recorder.extract_app_log(DEMO_PACKAGE)
+                   if e.interface == "IWifiService"]
+        # disableNetwork annihilated the matching enableNetwork and was
+        # itself suppressed; only the add remains.
+        assert methods == ["addNetwork"]
+
+
+class TestConnectivity:
+    def test_airplane_mode_breaks_connectivity(self, device, demo_thread):
+        connectivity = demo_thread.context.get_system_service("connectivity")
+        assert connectivity.is_connected()
+        connectivity.setAirplaneMode(True)
+        assert not connectivity.is_connected()
+        assert connectivity.getActiveNetworkInfo() is None
+
+    def test_interrupt_broadcasts_loss_then_reconnect(self, device,
+                                                      demo_thread):
+        received = []
+        demo_thread.register_receiver(
+            received.append, ["android.net.conn.CONNECTIVITY_CHANGE"])
+        device.service("connectivity").simulate_connectivity_interrupt()
+        assert [i.get_extra("connected") for i in received] == [False, True]
+
+    def test_callback_registration_snapshot(self, device, demo_thread):
+        connectivity = demo_thread.context.get_system_service("connectivity")
+        connectivity.registerNetworkCallback("cb-1")
+        assert device.service("connectivity").snapshot(
+            DEMO_PACKAGE)["callbacks"] == ["cb-1"]
+        connectivity.unregisterNetworkCallback("cb-1")
+        assert device.service("connectivity").snapshot(
+            DEMO_PACKAGE)["callbacks"] == []

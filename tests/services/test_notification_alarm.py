@@ -1,0 +1,110 @@
+"""NotificationManagerService and AlarmManagerService behaviour."""
+
+import pytest
+
+from repro.android.app.intent import Intent, PendingIntent
+from repro.android.app.notification import Notification
+from repro.android.services.base import ServiceError
+from tests.conftest import DEMO_PACKAGE, launch_demo
+
+
+class TestNotificationService:
+    def test_notify_and_cancel(self, device, demo_thread):
+        nm = demo_thread.context.get_system_service("notification")
+        nm.notify(1, Notification("a"))
+        nm.notify(2, Notification("b"))
+        service = device.service("notification")
+        assert service.getActiveNotificationCount(DEMO_PACKAGE) == 2
+        nm.cancel(1)
+        snapshot = service.snapshot(DEMO_PACKAGE)
+        assert list(snapshot["active"]) == [2]
+
+    def test_cancel_all(self, device, demo_thread):
+        nm = demo_thread.context.get_system_service("notification")
+        for i in range(3):
+            nm.notify(i, Notification(f"n{i}"))
+        nm.cancel_all()
+        assert device.service("notification").snapshot(
+            DEMO_PACKAGE)["active"] == {}
+
+    def test_disabled_notifications_rejected(self, device, demo_thread):
+        nm = demo_thread.context.get_system_service("notification")
+        nm.setNotificationsEnabled(False)
+        with pytest.raises(ServiceError):
+            nm.notify(1, Notification("blocked"))
+
+    def test_toasts(self, device, demo_thread):
+        nm = demo_thread.context.get_system_service("notification")
+        nm.enqueueToast("hello", "short")
+        nm.cancelToast("hello")
+        state = device.service("notification").app_state(DEMO_PACKAGE)
+        assert state["toasts"] == []
+
+
+class TestAlarmService:
+    def test_alarm_fires_and_broadcasts_to_app(self, device, clock,
+                                               demo_thread):
+        received = []
+        demo_thread.register_receiver(received.append, ["com.demo.WAKE"])
+        alarm = demo_thread.context.get_system_service("alarm")
+        pi = PendingIntent(DEMO_PACKAGE, Intent("com.demo.WAKE"))
+        alarm.set(alarm.RTC_WAKEUP, clock.now + 5.0, pi)
+        clock.advance(4.0)
+        assert received == []
+        clock.advance(2.0)
+        assert len(received) == 1
+        assert received[0].action == "com.demo.WAKE"
+        # Fired alarms leave the service state.
+        assert device.service("alarm").active_alarms(DEMO_PACKAGE) == []
+
+    def test_replacing_alarm_cancels_old_deadline(self, device, clock,
+                                                  demo_thread):
+        received = []
+        demo_thread.register_receiver(received.append, ["com.demo.WAKE"])
+        alarm = demo_thread.context.get_system_service("alarm")
+        pi = PendingIntent(DEMO_PACKAGE, Intent("com.demo.WAKE"))
+        alarm.set(alarm.RTC, clock.now + 2.0, pi)
+        alarm.set(alarm.RTC, clock.now + 10.0, pi)
+        clock.advance(5.0)
+        assert received == []    # original deadline must not fire
+        clock.advance(6.0)
+        assert len(received) == 1
+
+    def test_remove_cancels(self, device, clock, demo_thread):
+        received = []
+        demo_thread.register_receiver(received.append, ["com.demo.WAKE"])
+        alarm = demo_thread.context.get_system_service("alarm")
+        pi = PendingIntent(DEMO_PACKAGE, Intent("com.demo.WAKE"))
+        alarm.set(alarm.RTC, clock.now + 2.0, pi)
+        alarm.cancel(pi)
+        clock.advance(5.0)
+        assert received == []
+
+    def test_repeating_alarm_reschedules(self, device, clock, demo_thread):
+        received = []
+        demo_thread.register_receiver(received.append, ["com.demo.TICK"])
+        alarm = demo_thread.context.get_system_service("alarm")
+        pi = PendingIntent(DEMO_PACKAGE, Intent("com.demo.TICK"))
+        alarm.set_repeating(alarm.RTC, clock.now + 1.0, 1.0, pi)
+        clock.advance(3.5)
+        assert len(received) == 3
+        assert len(device.service("alarm").active_alarms(DEMO_PACKAGE)) == 1
+
+    def test_bad_interval_rejected(self, device, demo_thread):
+        alarm = demo_thread.context.get_system_service("alarm")
+        pi = PendingIntent(DEMO_PACKAGE, Intent("x"))
+        with pytest.raises(ServiceError):
+            alarm.set_repeating(alarm.RTC, 1.0, 0.0, pi)
+
+    def test_set_time_needs_permission(self, device, demo_thread):
+        alarm = demo_thread.context.get_system_service("alarm")
+        with pytest.raises(ServiceError):
+            alarm.setTime(12345.0)
+
+    def test_pending_intent_equality_drives_replacement(self):
+        a1 = PendingIntent("pkg", Intent("ACT"), request_code=1)
+        a2 = PendingIntent("pkg", Intent("ACT"), request_code=1)
+        b = PendingIntent("pkg", Intent("ACT"), request_code=2)
+        assert a1 == a2
+        assert hash(a1) == hash(a2)
+        assert a1 != b

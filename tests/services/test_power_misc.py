@@ -1,0 +1,137 @@
+"""Power, Vibrator, Clipboard, Camera and the small services."""
+
+import pytest
+
+from repro.android.services.base import ServiceError
+from tests.conftest import DEMO_PACKAGE, launch_demo
+
+
+class TestPower:
+    def test_wakelock_reaches_kernel(self, device, demo_thread):
+        power = demo_thread.context.get_system_service("power")
+        lock = power.new_wake_lock(power.PARTIAL_WAKE_LOCK, "sync")
+        lock.acquire()
+        assert not device.kernel.wakelocks.can_sleep
+        lock.release()
+        assert device.kernel.wakelocks.can_sleep
+
+    def test_release_unheld_rejected(self, device, demo_thread):
+        power = demo_thread.context.get_system_service("power")
+        with pytest.raises(ServiceError):
+            power.releaseWakeLock("ghost")
+
+    def test_release_all_for_package(self, device, demo_thread):
+        power = demo_thread.context.get_system_service("power")
+        power.new_wake_lock(1, "a").acquire()
+        power.new_wake_lock(1, "b").acquire()
+        assert device.service("power").release_all_for(DEMO_PACKAGE) == 2
+        assert device.kernel.wakelocks.can_sleep
+
+    def test_screen_and_brightness(self, device, demo_thread):
+        power = demo_thread.context.get_system_service("power")
+        power.goToSleep(0.0)
+        assert not power.isScreenOn()
+        power.wakeUp(0.0)
+        assert power.isScreenOn()
+        power.setScreenBrightness(400)
+        assert power.getScreenBrightness() == 255
+
+
+class TestVibrator:
+    def test_vibration_expires_with_time(self, device, clock, demo_thread):
+        vibrator = demo_thread.context.get_system_service("vibrator")
+        vibrator.vibrate(500)
+        service = device.service("vibrator")
+        assert service.is_vibrating()
+        clock.advance(0.6)
+        assert not service.is_vibrating()
+
+    def test_cancel_stops_immediately(self, device, demo_thread):
+        vibrator = demo_thread.context.get_system_service("vibrator")
+        vibrator.vibrate(10_000)
+        vibrator.cancel()
+        assert not device.service("vibrator").is_vibrating()
+
+    def test_vibrate_cancel_annihilate_in_log(self, device, demo_thread):
+        vibrator = demo_thread.context.get_system_service("vibrator")
+        vibrator.vibrate(10_000)
+        vibrator.cancel()
+        entries = [e for e in device.recorder.extract_app_log(DEMO_PACKAGE)
+                   if e.interface == "IVibratorService"]
+        # cancel dropped the vibrate and was itself suppressed.
+        assert entries == []
+
+
+class TestClipboard:
+    def test_clip_round_trip(self, device, demo_thread):
+        clipboard = demo_thread.context.get_system_service("clipboard")
+        assert clipboard.get_text() is None
+        clipboard.set_text("copied")
+        assert clipboard.get_text() == "copied"
+        assert clipboard.hasPrimaryClip()
+        assert clipboard.hasClipboardText()
+
+    def test_listeners_tracked_per_app(self, device, demo_thread):
+        clipboard = demo_thread.context.get_system_service("clipboard")
+        clipboard.addPrimaryClipChangedListener("l1")
+        assert device.service("clipboard").snapshot(
+            DEMO_PACKAGE)["listeners"] == ["l1"]
+
+
+class TestCamera:
+    def test_exclusive_connection(self, device, demo_thread):
+        camera = demo_thread.context.get_system_service("camera")
+        camera.open(0)
+        other = launch_demo(device, package="com.other")
+        other_camera = other.context.get_system_service("camera")
+        with pytest.raises(ServiceError):
+            other_camera.open(0)
+        camera.close(0)
+        other_camera.open(0)    # now free
+
+    def test_torch_mode(self, device, demo_thread):
+        camera = demo_thread.context.get_system_service("camera")
+        camera.setTorchMode(0, True)
+        assert device.service("camera").snapshot(DEMO_PACKAGE)["torch"][0]
+
+    def test_unknown_camera_rejected(self, device, demo_thread):
+        camera = demo_thread.context.get_system_service("camera")
+        with pytest.raises(ServiceError):
+            camera.open(9)
+
+
+class TestSmallServices:
+    def test_input_method_show_hide_annihilates(self, device, demo_thread):
+        ime = demo_thread.context.get_system_service("input_method")
+        ime.show_soft_input()
+        assert device.service("input_method").soft_input_shown
+        ime.hide_soft_input()
+        entries = [e for e in device.recorder.extract_app_log(DEMO_PACKAGE)
+                   if e.interface == "IInputMethodManagerService"]
+        assert entries == []
+
+    def test_keyguard_state(self, device, demo_thread):
+        keyguard = demo_thread.context.get_system_service("keyguard")
+        keyguard.doKeyguardTimeout()
+        assert keyguard.isKeyguardLocked()
+        keyguard.dismissKeyguard()
+        assert not keyguard.isKeyguardLocked()
+
+    def test_ui_mode_car_toggle(self, device, demo_thread):
+        ui_mode = demo_thread.context.get_system_service("ui_mode")
+        ui_mode.enableCarMode(0)
+        assert ui_mode.getCurrentModeType() == 3
+        ui_mode.disableCarMode(0)
+        assert ui_mode.getCurrentModeType() == 1
+
+    def test_bluetooth_undecorated_calls_not_recorded(self, device,
+                                                      demo_thread):
+        sm = device.service_manager
+        remote = sm.get_service(demo_thread.process, "bluetooth")
+        proxy = device.registry.get("IBluetoothService").new_proxy(
+            remote, demo_thread.recorder)
+        proxy.enable()
+        proxy.setName("flux-device")
+        entries = [e for e in device.recorder.extract_app_log(DEMO_PACKAGE)
+                   if e.interface == "IBluetoothService"]
+        assert entries == []    # Table 2: Bluetooth is undecorated (TBD)

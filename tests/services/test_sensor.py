@@ -1,0 +1,95 @@
+"""SensorService: connections, event channels, delivery."""
+
+import pytest
+
+from repro.android.kernel.files import UnixSocket
+from repro.android.services.base import ServiceError
+from tests.conftest import DEMO_PACKAGE
+
+
+@pytest.fixture
+def sensors(demo_thread):
+    return demo_thread.context.get_system_service("sensor")
+
+
+class TestSensorList:
+    def test_profile_sensors_exposed(self, sensors):
+        types = {s.sensor_type for s in sensors.get_sensor_list()}
+        assert "accelerometer" in types
+        assert "gyroscope" in types
+
+    def test_default_sensor_lookup(self, sensors):
+        sensor = sensors.default_sensor("accelerometer")
+        assert sensor is not None
+        assert sensors.default_sensor("barometer") is None
+
+
+class TestConnections:
+    def test_register_creates_connection_and_channel(self, device,
+                                                     demo_thread, sensors):
+        accel = sensors.default_sensor("accelerometer")
+        sensors.register_listener(lambda e: None, accel.handle)
+        assert sensors.channel_fd is not None
+        sock = demo_thread.process.fds.get(sensors.channel_fd)
+        assert isinstance(sock, UnixSocket)
+        snapshot = device.service("sensor").snapshot(DEMO_PACKAGE)
+        assert snapshot["connections"] == 1
+        assert snapshot["enabled"] == [(accel.handle, 10)]  # default rate
+
+    def test_event_delivery_through_socket(self, device, demo_thread,
+                                           sensors):
+        accel = sensors.default_sensor("accelerometer")
+        events = []
+        sensors.register_listener(events.append, accel.handle)
+        delivered = device.service("sensor").inject_event(accel.handle,
+                                                          b"x:1.0")
+        assert delivered == 1
+        assert sensors.poll_events() == [b"x:1.0"]
+        assert events == [b"x:1.0"]
+
+    def test_disabled_sensor_gets_no_events(self, device, sensors):
+        accel = sensors.default_sensor("accelerometer")
+        sensors.register_listener(lambda e: None, accel.handle)
+        sensors.unregister_listener(accel.handle)
+        assert device.service("sensor").inject_event(accel.handle, b"e") == 0
+
+    def test_rate_clamped_to_sensor_max(self, device, sensors):
+        light = sensors.default_sensor("light")     # max 10 Hz
+        sensors.register_listener(lambda e: None, light.handle,
+                                  sampling_rate=500)
+        snapshot = device.service("sensor").snapshot(DEMO_PACKAGE)
+        assert (light.handle, 10) in snapshot["enabled"]
+
+    def test_unknown_sensor_handle_rejected(self, device, demo_thread,
+                                            sensors):
+        with pytest.raises(ServiceError):
+            sensors.register_listener(lambda e: None, 999)
+
+    def test_connection_calls_are_recorded(self, device, demo_thread,
+                                           sensors):
+        accel = sensors.default_sensor("accelerometer")
+        sensors.register_listener(lambda e: None, accel.handle)
+        log = device.recorder.extract_app_log(DEMO_PACKAGE)
+        methods = [(e.interface, e.method) for e in log]
+        assert ("ISensorService", "createSensorEventConnection") in methods
+        assert ("ISensorEventConnection", "getSensorChannel") in methods
+        assert ("ISensorEventConnection", "enableSensor") in methods
+
+    def test_enable_disable_annihilate_in_log(self, device, demo_thread,
+                                              sensors):
+        accel = sensors.default_sensor("accelerometer")
+        sensors.register_listener(lambda e: None, accel.handle)
+        sensors.unregister_listener(accel.handle)
+        log = device.recorder.extract_app_log(DEMO_PACKAGE)
+        methods = [e.method for e in log]
+        assert "enableSensor" not in methods
+        assert "disableSensor" not in methods
+
+    def test_destroyed_connection_rejects_calls(self, device, demo_thread,
+                                                sensors):
+        accel = sensors.default_sensor("accelerometer")
+        sensors.register_listener(lambda e: None, accel.handle)
+        connection = device.service("sensor").connections[-1]
+        connection.destroy(demo_thread.process)
+        with pytest.raises(ServiceError):
+            connection.enableSensor(demo_thread.process, accel.handle, 5)

@@ -1,0 +1,80 @@
+"""Sticky broadcasts and their role across migration."""
+
+import pytest
+
+from repro.android.app.intent import (
+    ACTION_CONNECTIVITY_CHANGE,
+    ACTION_WIFI_STATE_CHANGED,
+    Intent,
+)
+from tests.conftest import DEMO_PACKAGE, launch_demo
+
+
+class TestStickySemantics:
+    def test_registration_returns_last_sticky(self, device, demo_thread):
+        ams = device.activity_service
+        ams.broadcast_sticky(Intent("STATE", value=7))
+        am = demo_thread.context.get_system_service("activity")
+        sticky = am.registerReceiver("r-1", __import__(
+            "repro.android.app.intent", fromlist=["IntentFilter"]
+        ).IntentFilter(("STATE",)))
+        assert sticky is not None and sticky.get_extra("value") == 7
+
+    def test_non_sticky_not_returned(self, device, demo_thread):
+        from repro.android.app.intent import IntentFilter
+        device.activity_service.broadcast(Intent("PLAIN"))
+        am = demo_thread.context.get_system_service("activity")
+        assert am.registerReceiver("r-2", IntentFilter(("PLAIN",))) is None
+
+    def test_latest_sticky_wins(self, device):
+        ams = device.activity_service
+        ams.broadcast_sticky(Intent("STATE", value=1))
+        ams.broadcast_sticky(Intent("STATE", value=2))
+        assert ams.sticky_intent("STATE").get_extra("value") == 2
+
+    def test_remove_sticky(self, device, demo_thread):
+        ams = device.activity_service
+        ams.broadcast_sticky(Intent("STATE", value=1))
+        ams.removeStickyBroadcast(demo_thread.process, "STATE")
+        assert ams.sticky_intent("STATE") is None
+
+    def test_sticky_also_delivers_live(self, device, demo_thread):
+        hits = []
+        demo_thread.register_receiver(hits.append, ["STATE"])
+        device.activity_service.broadcast_sticky(Intent("STATE"))
+        assert len(hits) == 1
+
+
+class TestFrameworkStickies:
+    def test_wifi_state_change_is_sticky(self, device, demo_thread):
+        wifi = demo_thread.context.get_system_service("wifi")
+        wifi.setWifiEnabled(False)
+        sticky = device.activity_service.sticky_intent(
+            ACTION_WIFI_STATE_CHANGED)
+        assert sticky is not None and sticky.get_extra("state") == 1
+
+    def test_connectivity_interrupt_leaves_connected_sticky(self, device):
+        device.service("connectivity").simulate_connectivity_interrupt()
+        sticky = device.activity_service.sticky_intent(
+            ACTION_CONNECTIVITY_CHANGE)
+        assert sticky.get_extra("connected") is True
+
+    def test_guest_sticky_reflects_reintegration(self, device_pair):
+        """After migration, the guest's sticky connectivity intent is the
+        reconnect signal reintegration broadcast — so any receiver the
+        app registers later immediately sees 'connected'."""
+        home, guest = device_pair
+        thread = launch_demo(home)
+        home.pairing_service.pair(guest)
+        home.migration_service.migrate(guest, DEMO_PACKAGE)
+        sticky = guest.activity_service.sticky_intent(
+            ACTION_CONNECTIVITY_CHANGE)
+        assert sticky is not None
+        assert sticky.get_extra("connected") is True
+        # A post-migration registration learns the state instantly.
+        hits = []
+        returned = thread.register_receiver(hits.append,
+                                            [ACTION_CONNECTIVITY_CHANGE])
+        am = thread.context.get_system_service("activity")
+        assert guest.activity_service.sticky_intent(
+            ACTION_CONNECTIVITY_CHANGE).get_extra("connected") is True

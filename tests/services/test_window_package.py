@@ -1,0 +1,117 @@
+"""WindowManagerService and PackageManagerService."""
+
+import pytest
+
+from repro.android.services.base import ServiceError
+from repro.android.services.package_manager import PackageInfo
+from repro.sim import units
+from tests.conftest import DEMO_PACKAGE, launch_demo
+
+
+class TestWindowManager:
+    def test_windows_sized_to_device_screen(self, device, demo_thread):
+        (window,) = device.window_service.windows_of(DEMO_PACKAGE)
+        assert window.screen == device.profile.screen
+        assert window.has_surface
+
+    def test_live_surface_count(self, device, demo_thread, clock):
+        assert device.window_service.live_surface_count(DEMO_PACKAGE) == 1
+        device.activity_service.background_app(DEMO_PACKAGE)
+        clock.advance(1.0)
+        assert device.window_service.live_surface_count(DEMO_PACKAGE) == 0
+
+    def test_remove_window(self, device, demo_thread):
+        (window,) = device.window_service.windows_of(DEMO_PACKAGE)
+        device.window_service.remove_window(window)
+        assert device.window_service.windows_of(DEMO_PACKAGE) == []
+        assert not window.visible
+
+    def test_windows_isolated_by_package(self, device, demo_thread):
+        launch_demo(device, package="com.other")
+        assert len(device.window_service.windows_of(DEMO_PACKAGE)) == 1
+        assert len(device.window_service.windows_of("com.other")) == 1
+
+
+class TestPackageManager:
+    def _info(self, version=1, **kwargs):
+        defaults = dict(package="com.pkg", version_code=version,
+                        api_level=19, apk_size=units.mb(1))
+        defaults.update(kwargs)
+        return PackageInfo(**defaults)
+
+    def test_install_and_query(self, device):
+        device.package_service.install(self._info())
+        assert device.package_service.is_installed("com.pkg")
+        assert not device.package_service.is_pseudo("com.pkg")
+
+    def test_upgrade_allowed_downgrade_refused(self, device):
+        device.package_service.install(self._info(version=5))
+        device.package_service.install(self._info(version=6))
+        with pytest.raises(ServiceError):
+            device.package_service.install(self._info(version=4))
+
+    def test_pseudo_install_then_native_upgrade(self, device):
+        device.package_service.pseudo_install(self._info(version=3))
+        assert device.package_service.is_pseudo("com.pkg")
+        # A real install replaces the wrapper.
+        device.package_service.install(self._info(version=3))
+        assert not device.package_service.is_pseudo("com.pkg")
+
+    def test_pseudo_over_native_refused(self, device):
+        device.package_service.install(self._info())
+        with pytest.raises(ServiceError):
+            device.package_service.pseudo_install(self._info())
+
+    def test_uninstall(self, device):
+        device.package_service.install(self._info())
+        device.package_service.uninstall("com.pkg")
+        assert not device.package_service.is_installed("com.pkg")
+        with pytest.raises(ServiceError):
+            device.package_service.uninstall("com.pkg")
+
+    def test_permissions(self, device):
+        device.package_service.install(
+            self._info(permissions=("CAMERA",)))
+        assert device.package_service.has_permission("com.pkg", "CAMERA")
+        assert not device.package_service.has_permission("com.pkg", "GPS")
+
+    def test_listing_excludes_pseudo_when_asked(self, device):
+        device.package_service.install(self._info())
+        device.package_service.pseudo_install(
+            self._info(package="com.wrap"))
+        everything = device.package_service.installed_packages()
+        native_only = device.package_service.installed_packages(
+            include_pseudo=False)
+        assert len(everything) == 2
+        assert [p.package for p in native_only] == ["com.pkg"]
+
+    def test_total_apk_bytes(self, device):
+        device.package_service.install(self._info(apk_size=units.mb(3)))
+        device.package_service.install(
+            self._info(package="com.two", apk_size=units.mb(5)))
+        assert device.package_service.total_apk_bytes() == units.mb(8)
+
+
+class TestBenchmarkSuiteUnits:
+    """The Quadrant/SunSpider workloads themselves."""
+
+    def test_scores_scale_with_cpu_factor(self):
+        from repro.benchmarksuite import run_device_suite
+        from repro.android.hardware.profiles import NEXUS_7_2012, NEXUS_7_2013
+        slow = run_device_suite(NEXUS_7_2012, flux_enabled=False)
+        fast = run_device_suite(NEXUS_7_2013, flux_enabled=False)
+        for name in slow:
+            assert fast[name] > slow[name]
+
+    def test_results_deterministic(self):
+        from repro.benchmarksuite import run_device_suite
+        from repro.android.hardware.profiles import NEXUS_4
+        a = run_device_suite(NEXUS_4, flux_enabled=True)
+        b = run_device_suite(NEXUS_4, flux_enabled=True)
+        assert a == b
+
+    def test_flux_score_never_exceeds_aosp(self):
+        from repro.benchmarksuite import run_fig16
+        from repro.android.hardware.profiles import NEXUS_4
+        for score in run_fig16([NEXUS_4]):
+            assert score.flux_score <= score.aosp_score

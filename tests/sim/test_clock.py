@@ -1,0 +1,140 @@
+"""SimClock, timers, Stopwatch."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.clock import ClockError, SimClock, Stopwatch
+
+
+class TestAdvance:
+    def test_starts_at_zero(self):
+        assert SimClock().now == 0.0
+
+    def test_advance_moves_time(self):
+        clock = SimClock()
+        clock.advance(2.5)
+        assert clock.now == 2.5
+
+    def test_advance_to_absolute(self):
+        clock = SimClock(start=1.0)
+        clock.advance_to(4.0)
+        assert clock.now == 4.0
+
+    def test_negative_advance_rejected(self):
+        with pytest.raises(ClockError):
+            SimClock().advance(-1.0)
+
+    def test_backwards_advance_to_rejected(self):
+        clock = SimClock(start=5.0)
+        with pytest.raises(ClockError):
+            clock.advance_to(4.0)
+
+
+class TestTimers:
+    def test_timer_fires_on_advance(self):
+        clock = SimClock()
+        fired = []
+        clock.call_after(1.0, lambda: fired.append(clock.now))
+        clock.advance(0.5)
+        assert fired == []
+        clock.advance(0.6)
+        assert fired == [1.0]
+
+    def test_timer_sees_its_deadline_as_now(self):
+        clock = SimClock()
+        seen = []
+        clock.call_at(3.0, lambda: seen.append(clock.now))
+        clock.advance(10.0)
+        assert seen == [3.0]
+        assert clock.now == 10.0
+
+    def test_timers_fire_in_deadline_order(self):
+        clock = SimClock()
+        order = []
+        clock.call_at(2.0, lambda: order.append("b"))
+        clock.call_at(1.0, lambda: order.append("a"))
+        clock.call_at(3.0, lambda: order.append("c"))
+        clock.advance(5.0)
+        assert order == ["a", "b", "c"]
+
+    def test_cancelled_timer_does_not_fire(self):
+        clock = SimClock()
+        fired = []
+        handle = clock.call_after(1.0, lambda: fired.append(1))
+        handle.cancel()
+        clock.advance(2.0)
+        assert fired == []
+        assert handle.cancelled
+
+    def test_callback_can_schedule_nested_timer(self):
+        clock = SimClock()
+        order = []
+
+        def first():
+            order.append("first")
+            clock.call_after(0.5, lambda: order.append("nested"))
+
+        clock.call_at(1.0, first)
+        clock.advance(2.0)
+        assert order == ["first", "nested"]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ClockError):
+            SimClock().call_after(-0.1, lambda: None)
+
+    def test_pending_and_next_deadline(self):
+        clock = SimClock()
+        assert clock.pending_timers() == 0
+        assert clock.next_deadline() is None
+        handle = clock.call_at(2.0, lambda: None)
+        clock.call_at(5.0, lambda: None)
+        assert clock.pending_timers() == 2
+        assert clock.next_deadline() == 2.0
+        handle.cancel()
+        assert clock.pending_timers() == 1
+        assert clock.next_deadline() == 5.0
+
+    @given(st.lists(st.floats(min_value=0.001, max_value=100.0),
+                    min_size=1, max_size=20))
+    def test_timers_always_fire_in_nondecreasing_time_order(self, delays):
+        clock = SimClock()
+        fire_times = []
+        for delay in delays:
+            clock.call_after(delay, lambda: fire_times.append(clock.now))
+        clock.advance(101.0)
+        assert len(fire_times) == len(delays)
+        assert fire_times == sorted(fire_times)
+
+
+class TestStopwatch:
+    def test_measures_named_spans(self):
+        clock = SimClock()
+        watch = Stopwatch(clock)
+        watch.start("a")
+        clock.advance(1.0)
+        watch.stop()
+        watch.start("b")
+        clock.advance(2.0)
+        watch.stop()
+        assert watch.duration("a") == pytest.approx(1.0)
+        assert watch.duration("b") == pytest.approx(2.0)
+        assert watch.total() == pytest.approx(3.0)
+
+    def test_overlapping_spans_rejected(self):
+        watch = Stopwatch(SimClock())
+        watch.start("a")
+        with pytest.raises(ClockError):
+            watch.start("b")
+
+    def test_stop_without_start_rejected(self):
+        with pytest.raises(ClockError):
+            Stopwatch(SimClock()).stop()
+
+    def test_repeated_name_accumulates(self):
+        clock = SimClock()
+        watch = Stopwatch(clock)
+        for _ in range(2):
+            watch.start("x")
+            clock.advance(0.5)
+            watch.stop()
+        assert watch.duration("x") == pytest.approx(1.0)

@@ -1,0 +1,108 @@
+"""The flux-sim command-line front end."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestListing:
+    def test_devices(self, capsys):
+        assert main(["devices"]) == 0
+        out = capsys.readouterr().out
+        assert "Nexus 7 (2013)" in out and "Adreno 320" in out
+
+    def test_apps(self, capsys):
+        assert main(["apps"]) == 0
+        out = capsys.readouterr().out
+        assert "Candy Crush Saga" in out and "com.whatsapp" in out
+
+
+class TestMigrate:
+    def test_successful_migration(self, capsys):
+        assert main(["migrate", "--app", "WhatsApp"]) == 0
+        out = capsys.readouterr().out
+        assert "migrated WhatsApp" in out
+        assert "transfer" in out and "TOTAL" in out
+
+    def test_substring_match(self, capsys):
+        assert main(["migrate", "--app", "zedge"]) == 0
+        assert "migrated ZEDGE" in capsys.readouterr().out
+
+    def test_refusal_exits_nonzero(self, capsys):
+        assert main(["migrate", "--app", "Facebook"]) == 1
+        out = capsys.readouterr().out
+        assert "REFUSED" in out and "multi-process" in out
+
+    def test_extensions_lift_refusal(self, capsys):
+        assert main(["migrate", "--app", "Facebook",
+                     "--extensions", "multi_process"]) == 0
+        assert "migrated Facebook" in capsys.readouterr().out
+
+    def test_unknown_app(self):
+        with pytest.raises(SystemExit):
+            main(["migrate", "--app", "Angry Birds"])
+
+    def test_unknown_extension(self):
+        with pytest.raises(SystemExit):
+            main(["migrate", "--app", "WhatsApp",
+                  "--extensions", "teleportation"])
+
+    def test_gps_device_pair_flags(self, capsys):
+        assert main(["migrate", "--app", "GroupOn", "--home", "nexus4",
+                     "--guest", "nexus7"]) == 0
+        out = capsys.readouterr().out
+        assert "adapted" in out   # GPS -> network fallback noted
+
+
+class TestPair:
+    def test_pairing_numbers(self, capsys):
+        assert main(["pair", "--home", "nexus7",
+                     "--guest", "nexus7_2013"]) == 0
+        out = capsys.readouterr().out
+        assert "215.0 MB" in out
+        assert "123.0 MB" in out
+        assert "56.0 MB" in out or "55.9 MB" in out
+
+
+class TestExperiments:
+    def test_single_experiment(self, capsys):
+        assert main(["experiments", "fig17"]) == 0
+        assert "CDF(1 MB)" in capsys.readouterr().out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["experiments", "fig99"]) == 2
+
+
+class TestTimelineAndInterface:
+    def test_timeline_rendering(self, capsys):
+        assert main(["migrate", "--app", "Netflix", "--timeline"]) == 0
+        out = capsys.readouterr().out
+        assert "user-perceived" in out and "|" in out
+
+    def test_interface_subcommand(self, capsys):
+        assert main(["interface", "alarm"]) == 0
+        out = capsys.readouterr().out
+        assert "@replayproxy flux.recordreplay.Proxies.alarmMgrSet" in out
+
+    def test_interface_unknown_service(self):
+        import pytest
+        with pytest.raises(SystemExit):
+            main(["interface", "teleporter"])
+
+
+class TestTimelineModule:
+    def test_sweep_strip(self):
+        from repro.core.migration.timeline import render_sweep_strip
+        from repro.experiments.harness import run_pair
+        from repro.android.hardware.profiles import NEXUS_4, NEXUS_7_2013
+        from repro.apps import app_by_title
+        reports, _ = run_pair(NEXUS_4, NEXUS_7_2013,
+                              [app_by_title("ZEDGE"), app_by_title("eBay")],
+                              seed=3)
+        strip = render_sweep_strip(list(reports.values()))
+        assert "legend" in strip
+        assert strip.count("|") >= 4
+
+    def test_empty_inputs(self):
+        from repro.core.migration.timeline import render_sweep_strip
+        assert "no reports" in render_sweep_strip([])
