@@ -1,0 +1,58 @@
+"""Wall-clock bench: the Figure 12 sweep, serial vs parallel workers.
+
+Times the real (not simulated) cost of regenerating the four-pair,
+sixteen-app sweep with ``run_sweep(workers=1)`` against ``workers=4``
+and records the result in ``BENCH_sweep.json`` at the repo root.
+
+The speedup itself is **non-gating**: each device pair is an
+independent simulation, but CPython threads only overlap where the
+interpreter releases the GIL (sqlite3, hashing), so on a single-core
+box the parallel sweep may be no faster.  What *is* gated here is
+correctness — the parallel sweep must stay bit-identical to the serial
+one even while we time it.
+"""
+
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.harness import run_sweep
+
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_sweep.json"
+WORKERS = 4
+
+
+@pytest.mark.perf
+class TestSweepWallClock:
+    def test_parallel_sweep_wall_clock(self):
+        start = time.perf_counter()
+        serial = run_sweep(use_cache=False, workers=1)
+        serial_s = time.perf_counter() - start
+
+        start = time.perf_counter()
+        parallel = run_sweep(use_cache=False, workers=WORKERS)
+        parallel_s = time.perf_counter() - start
+
+        # Gating: determinism.  The parallel run must reproduce the
+        # serial run exactly, whatever the thread interleaving did.
+        assert serial.reports.keys() == parallel.reports.keys()
+        for key, report in serial.reports.items():
+            other = parallel.reports[key]
+            assert report.stages == other.stages, key
+            assert report.transferred_bytes == other.transferred_bytes, key
+
+        payload = {
+            "benchmark": "fig12_sweep_wall_clock",
+            "workers": WORKERS,
+            "serial_s": round(serial_s, 4),
+            "parallel_s": round(parallel_s, 4),
+            "speedup": round(serial_s / parallel_s, 3) if parallel_s else None,
+            "cells": len(serial.reports),
+        }
+        BENCH_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"\nsweep wall clock: serial {serial_s:.3f}s, "
+              f"parallel({WORKERS}) {parallel_s:.3f}s, "
+              f"speedup {payload['speedup']}x -> {BENCH_PATH.name}")

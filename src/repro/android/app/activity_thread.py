@@ -123,6 +123,7 @@ class ActivityThread:
         self.renderer = HardwareRenderer(process, framework.gl)
         self.activities: Dict[int, Activity] = {}
         self.receivers: Dict[str, BroadcastReceiver] = {}
+        self._receiver_seq = 0
         self.app_services: Dict[str, AppService] = {}
         self.providers: Dict[str, ContentProvider] = {}
         self.in_background = False
@@ -268,7 +269,11 @@ class ActivityThread:
     def register_receiver(self, callback, actions) -> str:
         receiver = BroadcastReceiver(callback, IntentFilter(tuple(actions)),
                                      owner_package=self.package)
-        receiver_id = f"{self.package}:recv:{receiver.receiver_id}"
+        # Per-thread sequence, not the process-global receiver counter:
+        # the id string lands in the record log, so its length must not
+        # depend on how many receivers other apps registered before.
+        self._receiver_seq = getattr(self, "_receiver_seq", 0) + 1
+        receiver_id = f"{self.package}:recv:{self._receiver_seq}"
         self.receivers[receiver_id] = receiver
         activity_manager = self.context.get_system_service("activity")
         activity_manager.registerReceiver(receiver_id,

@@ -205,7 +205,10 @@ class PowerManager(SystemServiceManager):
             self.held = False
 
     def new_wake_lock(self, flags: int, tag: str) -> "PowerManager.WakeLock":
-        lock_id = f"{tag}:{id(self) & 0xffff}"
+        # Deterministic per-manager sequence (not id(self): memory
+        # addresses vary run-to-run and would leak into the record log).
+        self._lock_seq = getattr(self, "_lock_seq", 0) + 1
+        lock_id = f"{tag}:{self._lock_seq}"
         return self.WakeLock(self._proxy, lock_id, flags, tag)
 
 

@@ -159,12 +159,16 @@ class Device:
 
         # Flux device-level services (imported here to avoid a cycle:
         # core.migration depends on the android substrate).
+        from repro.core.migration.chunks import ChunkStore
         from repro.core.migration.consistency import ConsistencyManager
         from repro.core.migration.migration import MigrationService
         from repro.core.migration.pairing import PairingService
         self.pairing_service = PairingService(self)
         self.migration_service = MigrationService(self)
         self.consistency = ConsistencyManager(self)
+        #: Content-addressed chunk cache for pipelined transfers;
+        #: persists across migrations so repeat hops transfer less.
+        self.chunk_store = ChunkStore()
 
     # -- boot --------------------------------------------------------------------
 

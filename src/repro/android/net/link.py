@@ -10,7 +10,7 @@ virtual clock.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import List, Optional
 
 from repro.sim import units
 from repro.sim.rng import RngFactory
@@ -56,6 +56,38 @@ class Link:
     def transfer(self, payload_bytes: int, clock) -> TransferResult:
         """Move a payload, charging wire time to the clock."""
         seconds = self.transfer_time(payload_bytes)
+        clock.advance(seconds)
+        self.bytes_transferred += payload_bytes
+        self.transfers += 1
+        effective = (payload_bytes * 8 / seconds / units.MBPS
+                     if seconds > 0 else 0.0)
+        return TransferResult(payload_bytes=payload_bytes, seconds=seconds,
+                              effective_mbps=effective)
+
+    # -- chunked (pipelined) transfers ---------------------------------------
+
+    def burst_send_seconds(self, chunk_bytes: List[float]) -> List[float]:
+        """Per-chunk wire times for one back-to-back burst.
+
+        The congestion jitter is drawn once for the whole burst (one
+        coherence interval), matching the single draw a whole-image
+        transfer makes; per-chunk latency is not charged — the caller
+        adds the link's latency once for the burst.
+        """
+        factor = self.congestion * self._rng.uniform(0.9, 1.1)
+        goodput = units.mbps(self.bandwidth_mbps) * factor
+        for size in chunk_bytes:
+            if size < 0:
+                raise LinkError(f"negative payload {size!r}")
+        return [units.transfer_seconds(size, goodput)
+                for size in chunk_bytes]
+
+    def record_transfer(self, payload_bytes: int, seconds: float,
+                        clock) -> TransferResult:
+        """Account a transfer whose duration was computed externally
+        (e.g. a pipelined chunk schedule), charging it to the clock."""
+        if payload_bytes < 0:
+            raise LinkError(f"negative payload {payload_bytes!r}")
         clock.advance(seconds)
         self.bytes_transferred += payload_bytes
         self.transfers += 1

@@ -5,6 +5,7 @@ from repro.android.storage.filesystem import (
     DeviceStorage,
     FileEntry,
     FsError,
+    TreeSignature,
     content_hash_for,
 )
 from repro.android.storage.framework_files import (
@@ -20,7 +21,8 @@ from repro.android.storage.sync import (
 )
 
 __all__ = [
-    "ApkFile", "DeviceStorage", "FileEntry", "FsError", "content_hash_for",
+    "ApkFile", "DeviceStorage", "FileEntry", "FsError", "TreeSignature",
+    "content_hash_for",
     "COMMON_BYTES", "DEVICE_BYTES", "populate_system_partition",
     "system_partition_bytes", "DEFAULT_COMPRESSION_RATIO", "RsyncEngine",
     "SyncResult",

@@ -10,11 +10,26 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional, Tuple
 
 
 class FsError(Exception):
     pass
+
+
+@dataclass(frozen=True)
+class TreeSignature:
+    """Digest of a subtree's relative paths + contents + sizes.
+
+    Two trees with equal signatures hold byte-identical content at
+    identical relative paths, so a sync between them is a no-op — the
+    rsync engine uses this to skip re-hashing unchanged trees on every
+    migration's verify pass.
+    """
+
+    digest: str
+    file_count: int
+    total_bytes: int
 
 
 @dataclass
@@ -40,6 +55,9 @@ class DeviceStorage:
     def __init__(self, device_name: str = "device") -> None:
         self.device_name = device_name
         self._files: Dict[str, FileEntry] = {}
+        #: Bumped on every mutation; invalidates cached tree signatures.
+        self._generation = 0
+        self._signature_cache: Dict[str, Tuple[int, TreeSignature]] = {}
 
     # -- writes ----------------------------------------------------------------
 
@@ -50,6 +68,7 @@ class DeviceStorage:
                           content_hash=content_hash_for(content_token),
                           mtime=mtime)
         self._files[path] = entry
+        self._generation += 1
         return entry
 
     def add_hard_link(self, path: str, target: str) -> FileEntry:
@@ -59,6 +78,7 @@ class DeviceStorage:
                           content_hash=target_entry.content_hash,
                           mtime=target_entry.mtime, hard_link_of=target)
         self._files[path] = entry
+        self._generation += 1
         return entry
 
     def copy_entry(self, entry: FileEntry, dest_path: str) -> FileEntry:
@@ -66,18 +86,23 @@ class DeviceStorage:
         copied = FileEntry(path=dest_path, size=entry.size,
                            content_hash=entry.content_hash, mtime=entry.mtime)
         self._files[dest_path] = copied
+        self._generation += 1
         return copied
 
     def remove(self, path: str) -> FileEntry:
         try:
-            return self._files.pop(path)
+            entry = self._files.pop(path)
         except KeyError:
             raise FsError(f"no file {path!r}") from None
+        self._generation += 1
+        return entry
 
     def remove_tree(self, prefix: str) -> int:
         doomed = [p for p in self._files if p.startswith(prefix)]
         for path in doomed:
             del self._files[path]
+        if doomed:
+            self._generation += 1
         return len(doomed)
 
     # -- reads ----------------------------------------------------------------
@@ -106,6 +131,31 @@ class DeviceStorage:
 
     def by_hash_under(self, prefix: str) -> Dict[str, FileEntry]:
         return {e.content_hash: e for e in self.files_under(prefix)}
+
+    def tree_signature(self, prefix: str) -> TreeSignature:
+        """Memoized :class:`TreeSignature` of everything under ``prefix``.
+
+        Cached until the filesystem mutates, so the per-migration verify
+        pass compares one digest per tree instead of re-walking and
+        re-hashing every file.
+        """
+        cached = self._signature_cache.get(prefix)
+        if cached is not None and cached[0] == self._generation:
+            return cached[1]
+        digest = hashlib.sha256()
+        count = 0
+        total = 0
+        for entry in self.files_under(prefix):
+            digest.update(entry.path[len(prefix):].encode("utf-8"))
+            digest.update(b"\x00")
+            digest.update(entry.content_hash.encode("ascii"))
+            digest.update(entry.size.to_bytes(8, "big"))
+            count += 1
+            total += entry.size
+        signature = TreeSignature(digest=digest.hexdigest(),
+                                  file_count=count, total_bytes=total)
+        self._signature_cache[prefix] = (self._generation, signature)
+        return signature
 
     def file_count(self, prefix: str = "/") -> int:
         return sum(1 for p in self._files if p.startswith(prefix))

@@ -55,8 +55,22 @@ class RsyncEngine:
         ``link_dest_prefix`` models ``rsync --link-dest``: files whose
         content already exists under it on the target become hard links
         instead of traveling.
+
+        Fast path: when the two trees' memoized signatures match (same
+        relative paths, contents, sizes), the sync is a no-op — nothing
+        is re-hashed or re-walked.  This is what keeps the
+        per-migration ``verify_app`` pass from re-hashing every
+        unchanged app tree.
         """
         result = SyncResult()
+        source_sig = source.tree_signature(source_prefix)
+        target_sig = target.tree_signature(target_prefix.rstrip("/"))
+        if (source_sig.digest == target_sig.digest
+                and source_sig.file_count):
+            result.files_considered = source_sig.file_count
+            result.files_already_synced = source_sig.file_count
+            result.bytes_total = source_sig.total_bytes
+            return result
         link_pool: Dict[str, FileEntry] = {}
         if link_dest_prefix is not None:
             link_pool = target.by_hash_under(link_dest_prefix)
@@ -94,6 +108,9 @@ class RsyncEngine:
     def verify(self, source: DeviceStorage, source_prefix: str,
                target: DeviceStorage, target_prefix: str) -> List[str]:
         """Paths under source that differ from (or are absent on) target."""
+        if (source.tree_signature(source_prefix).digest
+                == target.tree_signature(target_prefix.rstrip("/")).digest):
+            return []
         stale = []
         for entry in source.files_under(source_prefix):
             relative = entry.path[len(source_prefix):]

@@ -152,7 +152,15 @@ def cmd_interface(args) -> int:
 
 
 def cmd_sweep(args) -> int:
+    import os
+
     from repro.experiments import fig12, fig13, fig14, fig15
+    from repro.experiments.harness import SWEEP_WORKERS_ENV
+    if args.workers is not None:
+        # The figure modules call run_sweep() themselves; the env knob
+        # is how their shared sweep picks up the parallelism.  Results
+        # are bit-identical to the serial run either way.
+        os.environ[SWEEP_WORKERS_ENV] = str(args.workers)
     print(fig12.render())
     print()
     print(fig13.render())
@@ -205,8 +213,11 @@ def build_parser() -> argparse.ArgumentParser:
                            help="service key, e.g. notification, alarm")
     interface.set_defaults(func=cmd_interface)
 
-    sub.add_parser("sweep", help="the paper's full migration sweep") \
-        .set_defaults(func=cmd_sweep)
+    sweep = sub.add_parser("sweep", help="the paper's full migration sweep")
+    sweep.add_argument("--workers", type=int, default=None,
+                       help="run device pairs on this many threads "
+                            "(results identical to serial)")
+    sweep.set_defaults(func=cmd_sweep)
 
     experiments = sub.add_parser("experiments",
                                  help="regenerate tables/figures")

@@ -18,7 +18,7 @@ from __future__ import annotations
 import hashlib
 import json
 import struct
-from typing import Any, Dict, List
+from typing import Any, Dict, List, Tuple
 
 from repro.core.cria.errors import CheckpointError
 from repro.core.cria.image import CheckpointImage
@@ -26,6 +26,12 @@ from repro.core.cria.image import CheckpointImage
 
 MAGIC = b"FLUXIMG1"
 _HEADER = struct.Struct(">8sII")    # magic, metadata length, payload length
+
+#: Frame format version.  Version 2 records a per-region ``(offset,
+#: length)`` table in the metadata section and concatenates region
+#: payloads directly; version 1 joined payloads with ``b"\x00"``, which
+#: is ambiguous when a payload itself contains NULs.
+WIRE_VERSION = 2
 
 
 class WireError(CheckpointError):
@@ -46,9 +52,14 @@ def _describe_value(value: Any) -> Any:
 
 
 def image_metadata(image: CheckpointImage) -> Dict[str, Any]:
-    """The JSON-encodable metadata section."""
+    """The JSON-encodable metadata section.
+
+    Region entries gain their payload ``(offset, length)`` into the
+    frame's payload section when framed by :func:`serialize_image`;
+    here they carry identity and digests only.
+    """
     return {
-        "version": 1,
+        "version": WIRE_VERSION,
         "package": image.package,
         "source_device": image.source_device,
         "source_kernel": image.source_kernel,
@@ -85,25 +96,32 @@ def image_metadata(image: CheckpointImage) -> Dict[str, Any]:
 
 
 def serialize_image(image: CheckpointImage) -> bytes:
-    """Frame the image for the wire."""
-    metadata = json.dumps(image_metadata(image),
-                          separators=(",", ":")).encode("utf-8")
+    """Frame the image for the wire.
+
+    Region payloads are concatenated directly into the payload section;
+    each region's metadata entry records its exact ``(offset, length)``
+    so the receiver reconstructs every payload byte-for-byte even when
+    payloads contain NULs or are empty.
+    """
+    metadata_dict = image_metadata(image)
     payload_parts: List[bytes] = []
-    for proc in image.processes:
-        for region in proc.regions:
+    offset = 0
+    for proc, proc_meta in zip(image.processes, metadata_dict["processes"]):
+        for region, region_meta in zip(proc.regions, proc_meta["regions"]):
+            region_meta["offset"] = offset
+            region_meta["length"] = len(region.payload)
             payload_parts.append(region.payload)
-    payload = b"\x00".join(payload_parts)
+            offset += len(region.payload)
+    metadata = json.dumps(metadata_dict,
+                          separators=(",", ":")).encode("utf-8")
+    payload = b"".join(payload_parts)
     body = _HEADER.pack(MAGIC, len(metadata), len(payload)) \
         + metadata + payload
     return body + hashlib.sha256(body).digest()
 
 
-def verify_and_decode(blob: bytes) -> Dict[str, Any]:
-    """Checksum-verify a frame and return its metadata section.
-
-    Raises :class:`WireError` on any corruption; restore must not be
-    attempted from a frame that fails here.
-    """
+def _verify_and_split(blob: bytes) -> Tuple[Dict[str, Any], bytes]:
+    """Checksum-verify a frame; return (metadata, payload section)."""
     if len(blob) < _HEADER.size + 32:
         raise WireError("frame truncated")
     body, checksum = blob[:-32], blob[-32:]
@@ -120,9 +138,41 @@ def verify_and_decode(blob: bytes) -> Dict[str, Any]:
         metadata = json.loads(metadata_bytes.decode("utf-8"))
     except (UnicodeDecodeError, json.JSONDecodeError) as error:
         raise WireError(f"metadata undecodable: {error}") from error
-    if metadata.get("version") != 1:
+    if metadata.get("version") != WIRE_VERSION:
         raise WireError(f"unsupported image version {metadata.get('version')}")
+    return metadata, body[_HEADER.size + metadata_len:]
+
+
+def verify_and_decode(blob: bytes) -> Dict[str, Any]:
+    """Checksum-verify a frame and return its metadata section.
+
+    Raises :class:`WireError` on any corruption; restore must not be
+    attempted from a frame that fails here.
+    """
+    metadata, _ = _verify_and_split(blob)
     return metadata
+
+
+def region_payloads(blob: bytes) -> Dict[Tuple[int, str], bytes]:
+    """Reconstruct every region payload exactly from a verified frame.
+
+    Returns ``(virtual_pid, region_name) -> payload bytes``, sliced by
+    the per-region offset/length table — NUL bytes inside payloads are
+    preserved verbatim.
+    """
+    metadata, payload = _verify_and_split(blob)
+    out: Dict[Tuple[int, str], bytes] = {}
+    for proc in metadata["processes"]:
+        for region in proc["regions"]:
+            offset, length = region["offset"], region["length"]
+            if offset < 0 or length < 0 or offset + length > len(payload):
+                raise WireError(
+                    f"region {region['name']!r} payload slice "
+                    f"[{offset}:{offset + length}] outside payload section "
+                    f"of {len(payload)} bytes")
+            out[(proc["virtual_pid"], region["name"])] = \
+                payload[offset:offset + length]
+    return out
 
 
 def verify_against_image(blob: bytes, image: CheckpointImage) -> None:
@@ -130,7 +180,8 @@ def verify_against_image(blob: bytes, image: CheckpointImage) -> None:
 
     Every region digest in the frame must equal the digest of the region
     about to be restored — the moral equivalent of CRIU verifying its
-    page checksums before injecting them.
+    page checksums before injecting them — and the frame's payload
+    slices must reproduce each region's payload byte-for-byte.
     """
     metadata = verify_and_decode(blob)
     if metadata["package"] != image.package:
@@ -139,6 +190,7 @@ def verify_against_image(blob: bytes, image: CheckpointImage) -> None:
     wire_digests = {
         (proc["virtual_pid"], region["name"]): region["digest"]
         for proc in metadata["processes"] for region in proc["regions"]}
+    payloads = region_payloads(blob)
     for proc in image.processes:
         for region in proc.regions:
             key = (proc.virtual_pid, region.name)
@@ -148,3 +200,7 @@ def verify_against_image(blob: bytes, image: CheckpointImage) -> None:
                 raise WireError(
                     f"region {region.name!r} digest mismatch "
                     "(memory corrupted in transit)")
+            if payloads[key] != region.payload:
+                raise WireError(
+                    f"region {region.name!r} payload mismatch "
+                    "(framing reconstructed the wrong bytes)")

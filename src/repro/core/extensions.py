@@ -25,6 +25,12 @@ tested code:
   tether that device back to the home device over the network ("the
   user is given the option to allow communication with that device to
   continue to take place over the network").
+* ``pipelined_transfer`` — §4 names transfer as the dominant stage and
+  sketches transfer optimization as future work: the checkpoint image
+  is split into content-addressed chunks, compression of chunk *i+1*
+  overlaps the send of chunk *i*, and each device's persistent chunk
+  store lets repeat migrations skip chunks the receiver has already
+  seen.  See :mod:`repro.core.migration.chunks`.
 """
 
 from __future__ import annotations
@@ -39,6 +45,7 @@ class FluxExtensions:
     content_provider_replay: bool = False
     sdcard_network_mount: bool = False
     gps_tether: bool = False
+    pipelined_transfer: bool = False
 
     @classmethod
     def none(cls) -> "FluxExtensions":
@@ -49,7 +56,7 @@ class FluxExtensions:
     def all(cls) -> "FluxExtensions":
         return cls(multi_process=True, gl_record_replay=True,
                    content_provider_replay=True, sdcard_network_mount=True,
-                   gps_tether=True)
+                   gps_tether=True, pipelined_transfer=True)
 
     def with_(self, **flags: bool) -> "FluxExtensions":
         return replace(self, **flags)

@@ -45,6 +45,23 @@ RESTORE_RATE = units.mb(30)
 #: Fixed restore overhead (namespace, wrapper launch, binder injection).
 RESTORE_FIXED = 0.55
 
+# -- pipelined chunked transfer (FluxExtensions.pipelined_transfer) ----------
+#
+# The pipelined path splits CHECKPOINT_RATE's serialize+compress work in
+# two: serialization stays in the checkpoint stage, compression moves
+# into the transfer stage where it overlaps the wire per chunk.  The
+# rates are chosen so 1/SERIALIZE_RATE + 1/COMPRESS_RATE equals
+# 1/CHECKPOINT_RATE exactly — the pipelined path does the same total CPU
+# work as the serial path, it just schedules it differently.
+
+#: Serialize-only rate on the reference CPU, bytes/second.
+SERIALIZE_RATE = units.mb(30)
+#: Compress-only rate on the reference CPU, bytes/second.
+COMPRESS_RATE = units.mb(45)
+#: Wire bytes per entry of the chunk-digest negotiation table
+#: (32-byte digest + offset/length framing).
+CHUNK_DIGEST_BYTES = 40
+
 # -- reintegration ----------------------------------------------------------
 
 #: Fixed reintegration overhead (connectivity + configuration broadcasts,
@@ -73,6 +90,34 @@ def preparation_cost(view_count: int, context_count: int,
 def checkpoint_cost(raw_image_bytes: int, cpu_factor: float) -> float:
     return CHECKPOINT_FIXED / cpu_factor + (
         raw_image_bytes / (CHECKPOINT_RATE * cpu_factor))
+
+
+def serialize_cost(raw_image_bytes: int, cpu_factor: float) -> float:
+    """Checkpoint-stage cost when compression is deferred to transfer."""
+    return CHECKPOINT_FIXED / cpu_factor + (
+        raw_image_bytes / (SERIALIZE_RATE * cpu_factor))
+
+
+def chunk_compress_cost(raw_chunk_bytes: int, cpu_factor: float) -> float:
+    """Compress one chunk just before it enters the wire."""
+    return raw_chunk_bytes / (COMPRESS_RATE * cpu_factor)
+
+
+def pipeline_seconds(prepare_seconds, send_seconds) -> float:
+    """Completion time of a two-stage (compress | send) chunk pipeline.
+
+    Chunk *i* may start sending once it is compressed and the link is
+    free; compression of chunk *i+1* overlaps the send of chunk *i*.
+    The result is fill + bottleneck drain, not sum-of-stages: bounded
+    below by ``max(sum(prepare), sum(send))`` and above by their sum.
+    """
+    prepared = 0.0
+    link_free = 0.0
+    for prep, send in zip(prepare_seconds, send_seconds):
+        prepared += prep
+        start = prepared if prepared > link_free else link_free
+        link_free = start + send
+    return max(prepared, link_free)
 
 
 def restore_cost(raw_image_bytes: int, cpu_factor: float) -> float:

@@ -58,7 +58,17 @@ class CallRecord:
 
 
 class CallLog:
-    """SQLite-indexed append/prune log of recorded service calls."""
+    """SQLite-indexed append/prune log of recorded service calls.
+
+    Appends are buffered and flushed to SQLite in batches (one
+    ``executemany`` instead of a round trip per recorded call) — the
+    index only has to be consistent when something *reads* it, and the
+    recording hot path runs on every decorated Binder transaction, so
+    batching directly lowers the Figure 16 runtime overhead.
+    """
+
+    #: Buffered inserts are flushed at this size (or at any read).
+    FLUSH_THRESHOLD = 128
 
     def __init__(self) -> None:
         self._db = sqlite3.connect(":memory:")
@@ -72,9 +82,11 @@ class CallLog:
         )
         self._db.execute("CREATE INDEX idx_app ON calls (app, interface, method)")
         self._payloads: Dict[int, CallRecord] = {}
+        self._pending: List[tuple] = []
         self._seq = itertools.count(1)
         self.appended = 0
         self.dropped = 0
+        self.flushes = 0
 
     # -- writes ----------------------------------------------------------------
 
@@ -83,17 +95,27 @@ class CallLog:
         record = CallRecord(seq=next(self._seq), time=time, app=app,
                             interface=interface, method=method,
                             args=dict(args), result=result)
-        self._db.execute(
-            "INSERT INTO calls (seq, time, app, interface, method) "
-            "VALUES (?, ?, ?, ?, ?)",
-            (record.seq, record.time, record.app, record.interface,
-             record.method))
+        self._pending.append((record.seq, record.time, record.app,
+                              record.interface, record.method))
         self._payloads[record.seq] = record
         self.appended += 1
+        if len(self._pending) >= self.FLUSH_THRESHOLD:
+            self._flush()
         return record
+
+    def _flush(self) -> None:
+        """Push buffered appends into the SQLite index."""
+        if not self._pending:
+            return
+        self._db.executemany(
+            "INSERT INTO calls (seq, time, app, interface, method) "
+            "VALUES (?, ?, ?, ?, ?)", self._pending)
+        self._pending.clear()
+        self.flushes += 1
 
     def remove(self, seqs: Iterable[int]) -> int:
         """Delete the given entries; returns how many were removed."""
+        self._flush()
         seq_list = list(seqs)
         removed = 0
         for seq in seq_list:
@@ -114,6 +136,7 @@ class CallLog:
     def entries(self, app: str, interface: Optional[str] = None,
                 method: Optional[str] = None) -> List[CallRecord]:
         """Entries for ``app`` in record order, optionally filtered."""
+        self._flush()
         query = "SELECT seq FROM calls WHERE app = ?"
         params: List[Any] = [app]
         if interface is not None:
@@ -128,13 +151,24 @@ class CallLog:
 
     def entries_for_methods(self, app: str, interface: str,
                             methods: Iterable[str]) -> List[CallRecord]:
-        out: List[CallRecord] = []
-        for method in methods:
-            out.extend(self.entries(app, interface, method))
-        out.sort(key=lambda r: r.seq)
-        return out
+        """Entries for any of ``methods``, in record (seq) order.
+
+        One ``method IN (...)`` query; SQLite returns rows ordered by
+        the primary key, so no Python-side sort or merge is needed.
+        """
+        method_list = list(dict.fromkeys(methods))   # dedup, keep order
+        if not method_list:
+            return []
+        self._flush()
+        marks = ",".join("?" * len(method_list))
+        rows = self._db.execute(
+            f"SELECT seq FROM calls WHERE app = ? AND interface = ?"
+            f" AND method IN ({marks}) ORDER BY seq",
+            [app, interface, *method_list]).fetchall()
+        return [self._payloads[seq] for (seq,) in rows]
 
     def count(self, app: Optional[str] = None) -> int:
+        self._flush()
         if app is None:
             (n,) = self._db.execute("SELECT COUNT(*) FROM calls").fetchone()
         else:
@@ -146,6 +180,7 @@ class CallLog:
         return sum(r.estimated_size() for r in self.entries(app))
 
     def apps(self) -> List[str]:
+        self._flush()
         rows = self._db.execute("SELECT DISTINCT app FROM calls").fetchall()
         return sorted(a for (a,) in rows)
 
@@ -207,4 +242,5 @@ class CallLog:
                 for seq, time, app, interface, method, args_json in rows]
 
     def close(self) -> None:
+        self._flush()
         self._db.close()

@@ -12,6 +12,7 @@ from repro.experiments import (
     table1,
     table2,
     table3,
+    transfer_ablation,
 )
 from repro.experiments.harness import (
     SweepResult,
@@ -33,10 +34,12 @@ ALL_EXPERIMENTS = {
     "fig17": fig17,
     "app_support": app_support,
     "pairing_cost": pairing_cost,
+    "transfer_ablation": transfer_ablation,
 }
 
 __all__ = [
     "ALL_EXPERIMENTS", "SweepResult", "format_table", "pair_label",
     "run_pair", "run_sweep", "app_support", "fig12", "fig13", "fig14",
     "fig15", "fig16", "fig17", "pairing_cost", "table1", "table2", "table3",
+    "transfer_ablation",
 ]

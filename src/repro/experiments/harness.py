@@ -7,6 +7,8 @@ it — collecting the per-stage reports Figures 12-15 are drawn from.
 
 from __future__ import annotations
 
+import os
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -94,16 +96,37 @@ def run_pair(home_profile: DeviceProfile, guest_profile: DeviceProfile,
 
 _SWEEP_CACHE: Dict[Tuple, SweepResult] = {}
 
+#: Environment knob for the default sweep parallelism (see README);
+#: ``workers=None`` in :func:`run_sweep` reads it, defaulting to serial.
+SWEEP_WORKERS_ENV = "FLUX_SWEEP_WORKERS"
+
+
+def _resolve_workers(workers: Optional[int], pair_count: int) -> int:
+    if workers is None:
+        try:
+            workers = int(os.environ.get(SWEEP_WORKERS_ENV, "1") or "1")
+        except ValueError:
+            workers = 1
+    return max(1, min(workers, pair_count))
+
 
 def run_sweep(apps: Sequence[AppSpec] = MIGRATABLE_APPS,
               pairs: Sequence[Tuple[DeviceProfile, DeviceProfile]]
               = PAPER_DEVICE_PAIRS,
               seed: int = 0, include_failures: bool = False,
-              use_cache: bool = True) -> SweepResult:
+              use_cache: bool = True,
+              workers: Optional[int] = None) -> SweepResult:
     """The full sweep: every app across every device pair.
 
     Results are cached per (apps, pairs, seed) within the process; the
     sweep is deterministic, so figures 12-15 share one run.
+
+    ``workers`` > 1 runs the device pairs concurrently — each pair is a
+    fully independent simulation (private clock, private RNG factory,
+    freshly booted devices), so the parallel sweep is bit-identical to
+    the serial one; results are merged in pair order regardless of
+    completion order.  Defaults to the ``FLUX_SWEEP_WORKERS``
+    environment variable, else serial.
     """
     key = (tuple(a.package for a in apps),
            tuple((h.name, g.name) for h, g in pairs),
@@ -111,15 +134,27 @@ def run_sweep(apps: Sequence[AppSpec] = MIGRATABLE_APPS,
     if use_cache and key in _SWEEP_CACHE:
         return _SWEEP_CACHE[key]
 
+    workers = _resolve_workers(workers, len(pairs))
+    if workers > 1:
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            futures = [pool.submit(run_pair, home_profile, guest_profile,
+                                   apps, seed=seed,
+                                   include_failures=include_failures)
+                       for home_profile, guest_profile in pairs]
+            pair_results = [f.result() for f in futures]
+    else:
+        pair_results = [run_pair(home_profile, guest_profile, apps,
+                                 seed=seed,
+                                 include_failures=include_failures)
+                        for home_profile, guest_profile in pairs]
+
     labels = []
     reports: Dict[Tuple[str, str], MigrationReport] = {}
     refusals: Dict[Tuple[str, str], MigrationRefusal] = {}
-    for home_profile, guest_profile in pairs:
+    for (home_profile, guest_profile), (pair_reports, pair_refusals) \
+            in zip(pairs, pair_results):
         label = pair_label(home_profile, guest_profile)
         labels.append(label)
-        pair_reports, pair_refusals = run_pair(
-            home_profile, guest_profile, apps, seed=seed,
-            include_failures=include_failures)
         for package, report in pair_reports.items():
             reports[(label, package)] = report
         for package, refusal in pair_refusals.items():

@@ -7,8 +7,10 @@ import pytest
 from repro.android.app.notification import Notification
 from repro.core.cria import checkpoint_app, prepare_app
 from repro.core.cria.wire import (
+    WIRE_VERSION,
     WireError,
     image_metadata,
+    region_payloads,
     serialize_image,
     verify_against_image,
     verify_and_decode,
@@ -49,6 +51,86 @@ class TestFraming:
         assert entry["method"] == "enqueueNotification"
         assert entry["args"]["id"] == 1
         assert entry["args"]["notification"]["__object__"] == "Notification"
+
+
+def _nul_heavy_image():
+    """A hand-built image whose payloads are full of NUL bytes.
+
+    Version 1's ``b"\\x00".join`` framing could not round-trip these:
+    any payload containing (or equal to) NULs made the join ambiguous.
+    Version 2's per-region (offset, length) table must reconstruct every
+    payload byte-for-byte.
+    """
+    from repro.android.kernel.memory import MemoryRegion, RegionKind
+    from repro.core.cria.image import CheckpointImage, ProcessImage
+
+    regions = [
+        MemoryRegion("dalvik-heap", RegionKind.HEAP, 4096,
+                     payload=b"\x00\x00live\x00heap\x00\x00"),
+        MemoryRegion("all-nuls", RegionKind.MMAP, 512,
+                     payload=b"\x00" * 64),
+        MemoryRegion("empty", RegionKind.MMAP, 0, payload=b""),
+        MemoryRegion("stack", RegionKind.STACK, 1024,
+                     payload=b"frame\x00frame\x00"),
+    ]
+    proc = ProcessImage(name="com.nul.demo", virtual_pid=7, uid=10007,
+                        regions=regions, threads=[], fds=[],
+                        binder_refs=[], owned_node_labels=[])
+    return CheckpointImage(
+        package="com.nul.demo", source_device="Nexus 4",
+        source_kernel="3.4", android_version="4.4", api_level=19,
+        checkpoint_time=1.5, processes=[proc], app_payload=None,
+        record_log=[])
+
+
+class TestNulPayloadFraming:
+    def test_round_trip_preserves_nul_payloads(self):
+        image = _nul_heavy_image()
+        blob = serialize_image(image)
+        payloads = region_payloads(blob)
+        for proc in image.processes:
+            for region in proc.regions:
+                assert payloads[(proc.virtual_pid, region.name)] \
+                    == region.payload, region.name
+        verify_against_image(blob, image)
+
+    def test_offset_table_is_exact(self):
+        image = _nul_heavy_image()
+        metadata = verify_and_decode(serialize_image(image))
+        assert metadata["version"] == WIRE_VERSION
+        (proc,) = metadata["processes"]
+        offset = 0
+        for region_meta, region in zip(proc["regions"],
+                                       image.main_process.regions):
+            assert region_meta["offset"] == offset
+            assert region_meta["length"] == len(region.payload)
+            offset += len(region.payload)
+
+    def test_payload_tamper_detected_via_offsets(self):
+        image = _nul_heavy_image()
+        blob = serialize_image(image)
+        # Same length, different bytes, region digest left stale in the
+        # image object: the payload comparison must catch it.
+        image.main_process.regions[0].payload = \
+            b"\x00\x00evil\x00heap\x00\x00"
+        with pytest.raises(WireError, match="mismatch"):
+            verify_against_image(blob, image)
+
+    def test_out_of_bounds_slice_detected(self):
+        image = _nul_heavy_image()
+        blob = serialize_image(image)
+        import hashlib
+        import json
+        import struct
+        header = struct.Struct(">8sII")
+        magic, meta_len, payload_len = header.unpack_from(blob)
+        meta = json.loads(blob[header.size:header.size + meta_len])
+        meta["processes"][0]["regions"][0]["length"] = 10 ** 6
+        raw = json.dumps(meta, separators=(",", ":")).encode()
+        body = header.pack(magic, len(raw), payload_len) + raw \
+            + blob[header.size + meta_len:-32]
+        with pytest.raises(WireError, match="outside payload"):
+            region_payloads(body + hashlib.sha256(body).digest())
 
 
 class TestCorruptionDetection:

@@ -64,6 +64,45 @@ class TestSweepCache:
         assert len(sweep.pair_labels) == 4
 
 
+class TestParallelSweep:
+    APPS = None     # full catalog
+
+    def test_parallel_bit_identical_to_serial(self):
+        serial = run_sweep(use_cache=False)
+        parallel = run_sweep(use_cache=False, workers=4)
+        assert serial.pair_labels == parallel.pair_labels
+        assert serial.reports.keys() == parallel.reports.keys()
+        for key, report in serial.reports.items():
+            other = parallel.reports[key]
+            assert report.stages == other.stages, key
+            assert report.transferred_bytes == other.transferred_bytes, key
+            assert report.total_seconds == other.total_seconds, key
+        assert serial.refusals.keys() == parallel.refusals.keys()
+
+    def test_workers_clamped_to_pair_count(self):
+        from repro.experiments.harness import _resolve_workers
+        assert _resolve_workers(16, 4) == 4
+        assert _resolve_workers(0, 4) == 1
+        assert _resolve_workers(None, 4) == 1   # env unset -> serial
+
+    def test_env_knob_sets_default(self, monkeypatch):
+        from repro.experiments.harness import (
+            SWEEP_WORKERS_ENV,
+            _resolve_workers,
+        )
+        monkeypatch.setenv(SWEEP_WORKERS_ENV, "3")
+        assert _resolve_workers(None, 4) == 3
+        monkeypatch.setenv(SWEEP_WORKERS_ENV, "not-a-number")
+        assert _resolve_workers(None, 4) == 1
+        apps = [app_by_title("ZEDGE")]
+        pairs = [(NEXUS_4, NEXUS_7_2013)]
+        monkeypatch.setenv(SWEEP_WORKERS_ENV, "2")
+        a = run_sweep(apps=apps, pairs=pairs, use_cache=False)
+        b = run_sweep(apps=apps, pairs=pairs, use_cache=False, workers=1)
+        (ra,), (rb,) = a.reports.values(), b.reports.values()
+        assert ra.total_seconds == rb.total_seconds
+
+
 class TestFormatting:
     def test_pair_label(self):
         assert pair_label(NEXUS_4, NEXUS_7_2013) == \

@@ -1,0 +1,216 @@
+"""Content-addressed chunking, the chunk store, and the pipelined path."""
+
+import pytest
+
+from repro.core.cria import checkpoint_app, prepare_app
+from repro.core.extensions import FluxExtensions
+from repro.core.migration import costs
+from repro.core.migration.chunks import (
+    CHUNK_BYTES,
+    Chunk,
+    ChunkStore,
+    chunk_image,
+)
+from tests.conftest import DEMO_PACKAGE, launch_demo
+
+
+@pytest.fixture
+def image(device, demo_thread):
+    prepare_app(device, DEMO_PACKAGE)
+    return checkpoint_app(device, DEMO_PACKAGE)
+
+
+class TestChunkImage:
+    def test_sizes_sum_to_raw_bytes(self, image):
+        chunks = chunk_image(image)
+        assert sum(c.raw_bytes for c in chunks) == image.raw_bytes()
+
+    def test_wire_bytes_track_compression(self, image):
+        from repro.core.cria.image import IMAGE_COMPRESSION_RATIO
+        for chunk in chunk_image(image):
+            assert chunk.wire_bytes == int(
+                chunk.raw_bytes * IMAGE_COMPRESSION_RATIO)
+
+    def test_chunks_respect_chunk_size(self, image):
+        for chunk in chunk_image(image, chunk_bytes=4096):
+            if chunk.label.startswith(("descriptors", "record-log")):
+                continue
+            assert chunk.raw_bytes <= 4096
+
+    def test_digests_stable_across_calls(self, image):
+        a = [c.digest for c in chunk_image(image)]
+        b = [c.digest for c in chunk_image(image)]
+        assert a == b
+
+    def test_region_change_invalidates_its_chunks_only(self, image):
+        before = {c.label: c.digest for c in chunk_image(image)}
+        heap = next(r for r in image.main_process.regions
+                    if r.name == "dalvik-heap")
+        heap.payload += b"mutation"
+        after = {c.label: c.digest for c in chunk_image(image)}
+        assert before.keys() == after.keys()
+        changed = {label for label in before
+                   if before[label] != after[label]}
+        assert changed == {label for label in before
+                           if ":dalvik-heap:" in label}
+
+    def test_code_regions_never_chunked(self, image):
+        labels = {c.label for c in chunk_image(image)}
+        for proc in image.processes:
+            for region in proc.regions:
+                if region.kind.value == "code":
+                    assert not any(f":{region.name}:" in l for l in labels)
+
+    def test_descriptor_chunk_keyed_by_checkpoint_time(self, image):
+        first = chunk_image(image)[0]
+        image.checkpoint_time += 1.0
+        second = chunk_image(image)[0]
+        assert first.label == second.label == "descriptors"
+        assert first.digest != second.digest
+
+    def test_bad_chunk_size_rejected(self, image):
+        with pytest.raises(ValueError):
+            chunk_image(image, chunk_bytes=0)
+
+
+class TestChunkStore:
+    def _chunk(self, n, size=100):
+        return Chunk(digest=f"d{n}", raw_bytes=size, label=f"c{n}")
+
+    def test_split_partitions_and_counts(self):
+        store = ChunkStore()
+        chunks = [self._chunk(i) for i in range(4)]
+        store.add_many(chunks[:2])
+        cached, missing = store.split(chunks)
+        assert [c.digest for c in cached] == ["d0", "d1"]
+        assert [c.digest for c in missing] == ["d2", "d3"]
+        assert store.hits == 2 and store.misses == 2
+        assert store.hit_rate == 0.5
+
+    def test_add_is_idempotent(self):
+        store = ChunkStore()
+        store.add(self._chunk(1))
+        store.add(self._chunk(1))
+        assert len(store) == 1
+        assert store.bytes_stored == 100
+
+    def test_lru_eviction_by_bytes(self):
+        store = ChunkStore(capacity_bytes=250)
+        for i in range(3):
+            store.add(self._chunk(i))
+        # 300 bytes > 250: oldest chunk evicted.
+        assert store.evictions == 1
+        assert "d0" not in store and "d2" in store
+        assert store.bytes_stored == 200
+
+    def test_split_refreshes_lru_position(self):
+        store = ChunkStore(capacity_bytes=200)
+        store.add(self._chunk(0))
+        store.add(self._chunk(1))
+        store.split([self._chunk(0)])          # d0 becomes most recent
+        store.add(self._chunk(2))              # evicts d1, not d0
+        assert "d0" in store and "d1" not in store
+
+    def test_clear(self):
+        store = ChunkStore()
+        store.add_many(self._chunk(i) for i in range(5))
+        store.clear()
+        assert len(store) == 0 and store.bytes_stored == 0
+
+    def test_bad_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            ChunkStore(capacity_bytes=0)
+
+
+class TestCostModel:
+    def test_rate_split_conserves_cpu_work(self):
+        # Pipelined mode must do the same total CPU work as the serial
+        # path: serialize + compress == the calibrated checkpoint cost.
+        for raw in (1, 4096, 13_500_000):
+            for cpu in (0.8, 1.0, 1.4):
+                split = (costs.serialize_cost(raw, cpu)
+                         + costs.chunk_compress_cost(raw, cpu))
+                assert split == pytest.approx(costs.checkpoint_cost(raw, cpu))
+
+    def test_pipeline_bounds(self):
+        prep = [0.3, 0.1, 0.2]
+        send = [0.2, 0.4, 0.1]
+        total = costs.pipeline_seconds(prep, send)
+        assert total >= max(sum(prep), sum(send))
+        assert total < sum(prep) + sum(send)
+
+    def test_pipeline_degenerate_cases(self):
+        assert costs.pipeline_seconds([], []) == 0.0
+        assert costs.pipeline_seconds([1.0], [2.0]) == 3.0
+
+    def test_pipeline_link_bound(self):
+        # Slow link: completion is fill (first compress) + all sends.
+        total = costs.pipeline_seconds([0.1] * 4, [1.0] * 4)
+        assert total == pytest.approx(0.1 + 4.0)
+
+
+class TestPipelinedMigration:
+    EXT = FluxExtensions(pipelined_transfer=True)
+
+    def _migrate(self, home, guest):
+        return home.migration_service.migrate(guest, DEMO_PACKAGE,
+                                              extensions=self.EXT)
+
+    def test_first_migration_all_misses(self, device_pair):
+        home, guest = device_pair
+        launch_demo(home)
+        home.pairing_service.pair(guest)
+        report = self._migrate(home, guest)
+        assert report.success
+        assert report.transfer_chunks_total > 0
+        assert report.transfer_chunks_cached == 0
+        assert report.chunk_hit_rate == 0.0
+
+    def test_repeat_migration_hits_cache(self, device_pair):
+        home, guest = device_pair
+        launch_demo(home)
+        home.pairing_service.pair(guest)
+        first = self._migrate(home, guest)
+        back = self._migrate(guest, home)
+        repeat = self._migrate(home, guest)
+        assert repeat.chunk_hit_rate > 0
+        assert repeat.transfer_chunks_cached > 0
+        assert repeat.image_wire_bytes < first.image_wire_bytes
+        assert repeat.transferred_bytes < first.transferred_bytes
+        assert repeat.stages["transfer"] < first.stages["transfer"]
+        # The return hop also benefits: home cached the chunks it sent.
+        assert back.chunk_hit_rate > 0
+
+    def test_cache_survives_ring(self, device_pair):
+        """home -> guest -> home -> guest: stores persist across hops."""
+        home, guest = device_pair
+        launch_demo(home)
+        home.pairing_service.pair(guest)
+        self._migrate(home, guest)
+        assert len(guest.chunk_store) > 0
+        assert len(home.chunk_store) > 0
+        self._migrate(guest, home)
+        repeat = self._migrate(home, guest)
+        assert repeat.success
+        assert repeat.chunk_hit_rate > 0.5
+
+    def test_cleared_cache_means_full_transfer(self, device_pair):
+        home, guest = device_pair
+        launch_demo(home)
+        home.pairing_service.pair(guest)
+        first = self._migrate(home, guest)
+        self._migrate(guest, home)
+        home.chunk_store.clear()
+        guest.chunk_store.clear()
+        repeat = self._migrate(home, guest)
+        assert repeat.transfer_chunks_cached == 0
+
+    def test_default_path_untouched(self, device_pair):
+        home, guest = device_pair
+        launch_demo(home)
+        home.pairing_service.pair(guest)
+        report = home.migration_service.migrate(guest, DEMO_PACKAGE)
+        assert report.transfer_chunks_total == 0
+        assert report.chunk_hit_rate == 0.0
+        assert report.image_wire_bytes == report.image_compressed_bytes
+        assert len(guest.chunk_store) == 0
