@@ -140,5 +140,16 @@ class Kernel:
         self._namespaces.append(ns)
         return ns
 
+    def destroy_pid_namespace(self, ns: PIDNamespace) -> None:
+        """Drop a namespace (rollback of a failed restore).
+
+        Any processes still bound inside it must be killed first;
+        killing them already unbinds their pids from every namespace.
+        """
+        try:
+            self._namespaces.remove(ns)
+        except ValueError:
+            pass
+
     def namespaces(self) -> List[PIDNamespace]:
         return list(self._namespaces)

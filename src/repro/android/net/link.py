@@ -5,6 +5,12 @@ goodput is the minimum of the two endpoints' effective rates, degraded by
 a seeded congestion factor — the paper measured on "a congested, urban
 environment" campus network.  Transfer time is charged on the shared
 virtual clock.
+
+For robustness testing a link carries an optional :class:`LinkFaultPlan`:
+a deterministic point (cumulative byte offset, or transfer count) at
+which the link drops mid-flight.  The partial transfer is charged to the
+clock and accounted — the bytes that made it across really did — and a
+:class:`LinkDownError` is raised for the migration pipeline to roll back.
 """
 
 from __future__ import annotations
@@ -20,6 +26,48 @@ class LinkError(Exception):
     pass
 
 
+class LinkDownError(LinkError):
+    """The link dropped mid-transfer (injected by a :class:`LinkFaultPlan`).
+
+    ``delivered_bytes`` of the failing payload crossed before the drop;
+    the time for that partial delivery was already charged to the clock.
+    """
+
+    def __init__(self, message: str, delivered_bytes: int = 0,
+                 seconds: float = 0.0) -> None:
+        super().__init__(message)
+        self.delivered_bytes = delivered_bytes
+        self.seconds = seconds
+
+
+@dataclass(frozen=True)
+class LinkFaultPlan:
+    """Deterministic link-drop point.
+
+    ``drop_after_bytes`` — the link dies once its *cumulative* payload
+    byte count reaches this offset; a transfer crossing the offset
+    delivers only the bytes up to it.  ``drop_after_transfers`` — the
+    link dies at the start of transfer number N+1 (0-based count of
+    completed transfers), delivering none of it.  Either or both may be
+    set; whichever trips first wins.
+    """
+
+    drop_after_bytes: Optional[int] = None
+    drop_after_transfers: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.drop_after_bytes is not None and self.drop_after_bytes < 0:
+            raise LinkError(
+                f"bad fault offset {self.drop_after_bytes!r}")
+        if (self.drop_after_transfers is not None
+                and self.drop_after_transfers < 0):
+            raise LinkError(
+                f"bad fault transfer count {self.drop_after_transfers!r}")
+        if self.drop_after_bytes is None and self.drop_after_transfers is None:
+            raise LinkError("empty fault plan: set a byte offset or "
+                            "a transfer count")
+
+
 @dataclass
 class TransferResult:
     payload_bytes: int
@@ -33,32 +81,111 @@ class Link:
     def __init__(self, bandwidth_mbps: float, latency_s: float = 0.004,
                  congestion: float = 0.85,
                  rng_factory: Optional[RngFactory] = None,
-                 name: str = "wifi") -> None:
+                 name: str = "wifi",
+                 fault_plan: Optional[LinkFaultPlan] = None) -> None:
         if bandwidth_mbps <= 0:
             raise LinkError(f"bad bandwidth {bandwidth_mbps!r}")
+        if not 0.0 < congestion <= 1.0:
+            raise LinkError(
+                f"congestion {congestion!r} outside (0, 1]: it is the "
+                "fraction of nominal goodput surviving contention")
+        if latency_s < 0:
+            raise LinkError(f"negative latency {latency_s!r}")
         self.bandwidth_mbps = bandwidth_mbps
         self.latency_s = latency_s
         self.congestion = congestion
         self.name = name
+        self.fault_plan = fault_plan
         self._rng = (rng_factory or RngFactory()).stream("link", name)
         self.bytes_transferred = 0
         self.transfers = 0
+        self.faulted = False
+
+    # -- fault plumbing ------------------------------------------------------
+
+    def inject_fault(self, plan: Optional[LinkFaultPlan]) -> None:
+        """Arm (or with ``None`` disarm) a deterministic drop point."""
+        self.fault_plan = plan
+        self.faulted = False
+
+    def fault_budget(self) -> Optional[int]:
+        """Payload bytes still deliverable before the planned drop.
+
+        ``None`` means unbounded (no plan, or no byte-offset clause).
+        Zero means the very next transfer fails immediately.
+        """
+        plan = self.fault_plan
+        if plan is None:
+            return None
+        if (plan.drop_after_transfers is not None
+                and self.transfers >= plan.drop_after_transfers):
+            return 0
+        if plan.drop_after_bytes is None:
+            return None
+        return max(0, plan.drop_after_bytes - self.bytes_transferred)
+
+    def trip_fault(self, delivered_bytes: int, seconds: float,
+                   clock) -> None:
+        """Account a partial delivery, then raise :class:`LinkDownError`.
+
+        Used by callers that schedule multi-part transfers themselves
+        (the chunked burst): they compute how much crossed before the
+        drop and hand the partial accounting back to the link.
+        """
+        if delivered_bytes < 0:
+            raise LinkError(f"negative payload {delivered_bytes!r}")
+        clock.advance(seconds)
+        self.bytes_transferred += delivered_bytes
+        self.transfers += 1
+        self.faulted = True
+        raise LinkDownError(
+            f"link {self.name!r} dropped after {delivered_bytes} bytes "
+            "of the failing transfer",
+            delivered_bytes=delivered_bytes, seconds=seconds)
+
+    # -- transfers -----------------------------------------------------------
 
     def transfer_time(self, payload_bytes: int) -> float:
-        """Seconds to move ``payload_bytes``, with congestion jitter."""
+        """Seconds to move ``payload_bytes``, with congestion jitter.
+
+        A zero-byte payload charges the latency floor only and draws no
+        congestion jitter — there is no wire occupancy to jitter, and
+        skipping the draw keeps the RNG stream independent of empty
+        control transfers.
+        """
         if payload_bytes < 0:
             raise LinkError(f"negative payload {payload_bytes!r}")
+        if payload_bytes == 0:
+            return self.latency_s
         # Jitter multiplies goodput by congestion +/- 10%.
         factor = self.congestion * self._rng.uniform(0.9, 1.1)
         goodput = units.mbps(self.bandwidth_mbps) * factor
         return self.latency_s + units.transfer_seconds(payload_bytes, goodput)
 
     def transfer(self, payload_bytes: int, clock) -> TransferResult:
-        """Move a payload, charging wire time to the clock."""
+        """Move a payload, charging wire time to the clock.
+
+        Raises :class:`LinkDownError` when the armed fault plan trips
+        inside this transfer; the partial slice up to the drop point is
+        charged and accounted first.
+        """
         seconds = self.transfer_time(payload_bytes)
+        budget = self.fault_budget()
+        if budget is not None and payload_bytes > budget:
+            if payload_bytes > 0:
+                fraction = budget / payload_bytes
+                partial = self.latency_s + (seconds - self.latency_s) * fraction
+            else:
+                partial = self.latency_s
+            self.trip_fault(budget, partial, clock)
         clock.advance(seconds)
         self.bytes_transferred += payload_bytes
         self.transfers += 1
+        if payload_bytes == 0:
+            # Latency-only control round trip: no goodput was exercised,
+            # so no meaningful rate exists (avoid the 0/seconds artifact).
+            return TransferResult(payload_bytes=0, seconds=seconds,
+                                  effective_mbps=0.0)
         effective = (payload_bytes * 8 / seconds / units.MBPS
                      if seconds > 0 else 0.0)
         return TransferResult(payload_bytes=payload_bytes, seconds=seconds,
@@ -85,7 +212,13 @@ class Link:
     def record_transfer(self, payload_bytes: int, seconds: float,
                         clock) -> TransferResult:
         """Account a transfer whose duration was computed externally
-        (e.g. a pipelined chunk schedule), charging it to the clock."""
+        (e.g. a pipelined chunk schedule), charging it to the clock.
+
+        This is an accounting primitive: fault plans are *not* checked
+        here — a caller that schedules its own burst consults
+        :meth:`fault_budget` and reports the partial delivery through
+        :meth:`trip_fault`.
+        """
         if payload_bytes < 0:
             raise LinkError(f"negative payload {payload_bytes!r}")
         clock.advance(seconds)

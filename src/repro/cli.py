@@ -107,13 +107,41 @@ def cmd_migrate(args) -> int:
     home, guest = _boot_pair(args.home, args.guest, args.seed)
     spec.install_and_launch(home)
     home.pairing_service.pair(guest)
+
+    # Deterministic fault injection (see DESIGN.md / README): a link
+    # that drops at a byte offset, and/or a restore that fails after N
+    # steps.  Both exercise the stage pipeline's rollback path.
+    link = None
+    restore_fault = None
+    if args.drop_link_after_bytes is not None:
+        from repro.android.net.link import LinkFaultPlan, link_between
+        link = link_between(home.profile, guest.profile, home.rng_factory)
+        link.inject_fault(
+            LinkFaultPlan(drop_after_bytes=args.drop_link_after_bytes))
+    if args.fail_restore_after is not None:
+        from repro.core.cria.restore import RestoreFaultPlan
+        restore_fault = RestoreFaultPlan(
+            fail_after_steps=args.fail_restore_after)
+
     try:
-        report = home.migration_service.migrate(guest, spec.package,
-                                                extensions=extensions)
+        report = home.migration_service.migrate(
+            guest, spec.package, link=link, extensions=extensions,
+            restore_fault=restore_fault)
     except MigrationError as error:
-        print(f"REFUSED: {error}")
+        failed = home.migration_service.history[-1]
+        if failed.faulted_stage:
+            print(f"FAULTED in {failed.faulted_stage} stage: {error}")
+            print(f"rolled back: {spec.title} still running on "
+                  f"{home.profile.model} "
+                  f"(guest processes: "
+                  f"{len(guest.kernel.processes_of_package(spec.package))})")
+        else:
+            print(f"REFUSED: {error}")
         if error.reason.value in ("multi-process", "preserved-egl-context"):
             print("hint: retry with --extensions all")
+        if args.trace_out:
+            home.tracer.write_chrome_trace(args.trace_out)
+            print(f"wrote Chrome trace to {args.trace_out}")
         return 1
     print(f"migrated {spec.title}: {home.profile.model} -> "
           f"{guest.profile.model}")
@@ -132,6 +160,9 @@ def cmd_migrate(args) -> int:
         from repro.core.migration.timeline import render_timeline
         print()
         print(render_timeline(report))
+    if args.trace_out:
+        home.tracer.write_chrome_trace(args.trace_out)
+        print(f"wrote Chrome trace to {args.trace_out}")
     return 0
 
 
@@ -205,6 +236,18 @@ def build_parser() -> argparse.ArgumentParser:
     migrate.add_argument("--seed", type=int, default=0)
     migrate.add_argument("--timeline", action="store_true",
                          help="render an ASCII stage timeline")
+    migrate.add_argument("--trace-out", metavar="PATH", default=None,
+                         help="write the migration's hierarchical span "
+                              "tree as Chrome-trace JSON "
+                              "(chrome://tracing / Perfetto)")
+    migrate.add_argument("--drop-link-after-bytes", type=int, default=None,
+                         metavar="N",
+                         help="fault injection: drop the link once N "
+                              "cumulative payload bytes crossed it")
+    migrate.add_argument("--fail-restore-after", type=int, default=None,
+                         metavar="N",
+                         help="fault injection: fail the guest-side "
+                              "restore after N completed steps")
     migrate.set_defaults(func=cmd_migrate)
 
     interface = sub.add_parser(

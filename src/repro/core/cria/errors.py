@@ -20,6 +20,21 @@ class MigrationRefusal(enum.Enum):
     NOT_PAIRED = "not-paired"
     NOT_RUNNING = "not-running"
     DEVICE_STATE_RESIDUE = "device-specific-state-residue"
+    # Runtime faults (as opposed to static app-shape refusals): the
+    # migration started and was aborted by the stage pipeline, which
+    # rolled the app back to the home device.
+    LINK_DOWN = "link-down"
+    RESTORE_FAILED = "restore-failed"
+
+
+#: Reasons that are mid-flight faults, not up-front policy refusals.
+#: Only these (and unexpected exceptions) mark a report's
+#: ``faulted_stage`` — a refusal means "this app cannot migrate", a
+#: fault means "this migration attempt died and was rolled back".
+RUNTIME_FAULTS = frozenset({
+    MigrationRefusal.LINK_DOWN,
+    MigrationRefusal.RESTORE_FAILED,
+})
 
 
 class MigrationError(Exception):
@@ -30,6 +45,10 @@ class MigrationError(Exception):
         self.detail = detail
         message = reason.value if not detail else f"{reason.value}: {detail}"
         super().__init__(message)
+
+    @property
+    def is_fault(self) -> bool:
+        return self.reason in RUNTIME_FAULTS
 
 
 class CheckpointError(Exception):

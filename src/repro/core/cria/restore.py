@@ -24,6 +24,44 @@ from repro.core.cria.errors import (
 from repro.core.cria.image import BinderRefKind, CheckpointImage, ProcessImage
 
 
+class RestoreFault(CheckpointError):
+    """An injected restore failure (see :class:`RestoreFaultPlan`)."""
+
+
+@dataclass(frozen=True)
+class RestoreFaultPlan:
+    """Fail the restore after N completed sub-operations.
+
+    Restore proceeds in counted steps (per process: memory, threads,
+    fds, binder injection, driver state, freeze; plus the final rebind).
+    ``fail_after_steps=N`` raises :class:`RestoreFault` once N steps have
+    completed — deterministically, at a layer boundary — so tests can
+    probe every intermediate state the guest can be left in.
+    """
+
+    fail_after_steps: int
+
+    def __post_init__(self) -> None:
+        if self.fail_after_steps < 0:
+            raise ValueError(
+                f"bad fail_after_steps {self.fail_after_steps!r}")
+
+
+class _StepCounter:
+    def __init__(self, plan: Optional[RestoreFaultPlan]) -> None:
+        self._plan = plan
+        self.steps = 0
+
+    def tick(self, label: str) -> None:
+        """One restore sub-operation completed; fire the fault if due."""
+        if (self._plan is not None
+                and self.steps >= self._plan.fail_after_steps):
+            raise RestoreFault(
+                f"injected restore fault after {self.steps} steps "
+                f"(before {label})")
+        self.steps += 1
+
+
 @dataclass
 class RestoredApp:
     package: str
@@ -36,31 +74,73 @@ class RestoredApp:
     secondary_processes: List[object] = field(default_factory=list)
 
 
-def restore_app(device, image: CheckpointImage) -> RestoredApp:
-    """Restore ``image`` on ``device`` (the guest)."""
+def rollback_restore(device, namespace, processes) -> None:
+    """Erase a (possibly partial) restore from the guest.
+
+    Kills every process the restore created (killing also unbinds its
+    pid from all namespaces) and drops the private namespace — the guest
+    is left exactly as if the restore never started.  Idempotent: dead
+    pids and an already-removed namespace are skipped.
+    """
+    for process in processes:
+        if device.kernel.has_pid(process.pid):
+            device.kernel.kill_process(process.pid)
+    if namespace is not None:
+        device.kernel.destroy_pid_namespace(namespace)
+
+
+def restore_app(device, image: CheckpointImage,
+                fault_plan: Optional[RestoreFaultPlan] = None) -> RestoredApp:
+    """Restore ``image`` on ``device`` (the guest).
+
+    Atomic with respect to guest state: any failure (a real
+    :class:`CheckpointError` or an injected :class:`RestoreFault`)
+    rolls back everything created so far — partial processes are
+    killed and the private PID namespace is dropped — before the error
+    propagates.  The checkpointed thread is only rebound to the guest
+    after every process restored, so a failed restore never leaves the
+    app's heap pointing at the guest.
+    """
     package = image.package
     _check_wrapper(device, image)
 
+    counter = _StepCounter(fault_plan)
     namespace = device.kernel.create_pid_namespace(f"flux:{package}")
 
     main_process = None
     secondary = []
+    created = []
     pending: List[object] = []
     reserved: List[int] = []
-    for proc_image in image.processes:
-        process = device.kernel.create_process(
-            proc_image.name, uid=proc_image.uid, package=package)
-        namespace.bind(proc_image.virtual_pid, process.pid)
-        _restore_memory(process, proc_image)
-        _restore_threads(process, proc_image)
-        reserved.extend(_restore_fds(process, proc_image))
-        pending.extend(_restore_binder(device, process, proc_image))
-        _restore_drivers(device, process, proc_image)
-        process.freeze()   # thawed at reintegration
-        if main_process is None:
-            main_process = process
-        else:
-            secondary.append(process)
+    try:
+        for proc_image in image.processes:
+            process = device.kernel.create_process(
+                proc_image.name, uid=proc_image.uid, package=package)
+            created.append(process)
+            namespace.bind(proc_image.virtual_pid, process.pid)
+            counter.tick("memory")
+            _restore_memory(process, proc_image)
+            counter.tick("threads")
+            _restore_threads(process, proc_image)
+            counter.tick("fds")
+            reserved.extend(_restore_fds(process, proc_image))
+            counter.tick("binder")
+            pending.extend(_restore_binder(device, process, proc_image))
+            counter.tick("drivers")
+            _restore_drivers(device, process, proc_image)
+            counter.tick("freeze")
+            process.freeze()   # thawed at reintegration
+            if main_process is None:
+                main_process = process
+            else:
+                secondary.append(process)
+        counter.tick("rebind")
+    except Exception:
+        rollback_restore(device, namespace, created)
+        device.tracer.emit("cria", "restore-rollback", package=package,
+                           processes_killed=len(created),
+                           steps_completed=counter.steps)
+        raise
 
     thread = image.app_payload
     thread.rebind(device.framework, main_process)

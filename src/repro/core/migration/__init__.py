@@ -25,6 +25,12 @@ from repro.core.migration.pairing import (
     flux_root,
 )
 from repro.core.migration.policies import BatteryRescuePolicy, PolicyEvent
+from repro.core.migration.stages import (
+    MigrationContext,
+    Stage,
+    StagePipeline,
+    default_stages,
+)
 from repro.core.migration.ui import (
     MenuDecision,
     MenuError,
@@ -40,4 +46,5 @@ __all__ = [
     "MigrationService", "PairedApp", "PairingReport", "PairingService",
     "flux_root", "costs", "BatteryRescuePolicy", "PolicyEvent",
     "MenuDecision", "MenuError", "MigrationTargetMenu", "TargetEntry",
+    "MigrationContext", "Stage", "StagePipeline", "default_stages",
 ]

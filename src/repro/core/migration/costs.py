@@ -103,20 +103,34 @@ def chunk_compress_cost(raw_chunk_bytes: int, cpu_factor: float) -> float:
     return raw_chunk_bytes / (COMPRESS_RATE * cpu_factor)
 
 
-def pipeline_seconds(prepare_seconds, send_seconds) -> float:
-    """Completion time of a two-stage (compress | send) chunk pipeline.
+def pipeline_schedule(prepare_seconds, send_seconds):
+    """Per-chunk send windows of a (compress | send) chunk pipeline.
 
-    Chunk *i* may start sending once it is compressed and the link is
-    free; compression of chunk *i+1* overlaps the send of chunk *i*.
-    The result is fill + bottleneck drain, not sum-of-stages: bounded
-    below by ``max(sum(prepare), sum(send))`` and above by their sum.
+    Returns a ``(start, end)`` pair per chunk, measured from the start
+    of the burst: chunk *i* starts sending once it is compressed and
+    the link is free; compression of chunk *i+1* overlaps the send of
+    chunk *i*.
     """
+    windows = []
     prepared = 0.0
     link_free = 0.0
     for prep, send in zip(prepare_seconds, send_seconds):
         prepared += prep
         start = prepared if prepared > link_free else link_free
         link_free = start + send
+        windows.append((start, link_free))
+    return windows
+
+
+def pipeline_seconds(prepare_seconds, send_seconds) -> float:
+    """Completion time of a two-stage (compress | send) chunk pipeline.
+
+    The result is fill + bottleneck drain, not sum-of-stages: bounded
+    below by ``max(sum(prepare), sum(send))`` and above by their sum.
+    """
+    windows = pipeline_schedule(prepare_seconds, send_seconds)
+    prepared = sum(p for p, _ in zip(prepare_seconds, send_seconds))
+    link_free = windows[-1][1] if windows else 0.0
     return max(prepared, link_free)
 
 

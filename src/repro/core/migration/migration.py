@@ -12,6 +12,13 @@
    connectivity interrupt and hardware changes, bring the app to the
    foreground.
 
+Each stage is a :class:`repro.core.migration.stages.Stage` object with a
+forward action and a rollback action; the :class:`StagePipeline` runs
+them atomically — a fault at any stage (an injected link drop, a failed
+restore) rolls completed stages back so the app is still running on the
+home device and the guest holds no partial process state.  Stage timing
+comes from the pipeline's hierarchical tracer spans.
+
 The report separates total, user-perceived (preparation and checkpoint
 hide behind the target-selection menu) and non-transfer times, matching
 the paper's Figures 12-14 definitions.
@@ -23,15 +30,11 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.android.net.link import Link, link_between
-from repro.core.cria.checkpoint import checkpoint_app
 from repro.core.cria.errors import MigrationError, MigrationRefusal
-from repro.core.cria.image import CheckpointImage
-from repro.core.cria.preparation import check_preparable, prepare_app
-from repro.core.cria.restore import restore_app
+from repro.core.cria.restore import RestoreFaultPlan
 from repro.core.extensions import FluxExtensions
-from repro.core.migration import costs
-from repro.core.replay.engine import ReplayReport, replay_log
-from repro.sim.clock import Stopwatch
+from repro.core.migration.stages import MigrationContext, StagePipeline
+from repro.core.replay.engine import ReplayReport
 
 
 STAGES = ("preparation", "checkpoint", "transfer", "restore", "reintegration")
@@ -45,12 +48,19 @@ class MigrationReport:
     success: bool = False
     refusal: Optional[MigrationRefusal] = None
     refusal_detail: str = ""
+    #: Stage name -> seconds, derived from the pipeline's tracer spans.
+    #: On a faulted migration this holds every completed stage plus the
+    #: faulted stage's partial duration.
     stages: Dict[str, float] = field(default_factory=dict)
+    #: Name of the stage a fault aborted the migration in (None when
+    #: the migration succeeded or was refused before the pipeline ran).
+    faulted_stage: Optional[str] = None
     image_raw_bytes: int = 0
     image_compressed_bytes: int = 0
     #: Image bytes that actually crossed the wire.  Equal to
     #: ``image_compressed_bytes`` on the serial path; smaller under
-    #: ``pipelined_transfer`` when the guest's chunk store hit.
+    #: ``pipelined_transfer`` when the guest's chunk store hit.  On a
+    #: link-faulted migration: the bytes delivered before the drop.
     image_wire_bytes: int = 0
     data_delta_bytes: int = 0
     record_log_entries: int = 0
@@ -75,6 +85,16 @@ class MigrationReport:
     def non_transfer_seconds(self) -> float:
         """Figure 14: user-perceived time excluding data transfer."""
         return self.perceived_seconds - self.stages.get("transfer", 0.0)
+
+    @property
+    def interaction_seconds(self) -> float:
+        """Time until the user can interact again, excluding transfer.
+
+        Alias of :attr:`non_transfer_seconds` under the name the
+        experiment harness uses for the Figure 14 "time to interactive"
+        reading.
+        """
+        return self.non_transfer_seconds
 
     @property
     def transferred_bytes(self) -> int:
@@ -119,12 +139,17 @@ class MigrationService:
 
     def migrate(self, guest, package: str,
                 link: Optional[Link] = None,
-                extensions: Optional[FluxExtensions] = None
+                extensions: Optional[FluxExtensions] = None,
+                restore_fault: Optional[RestoreFaultPlan] = None
                 ) -> MigrationReport:
         """Migrate ``package`` from this device to ``guest``.
 
-        Raises :class:`MigrationError` on refusal; the failed report is
-        still appended to ``history`` with the refusal reason.
+        Raises :class:`MigrationError` on refusal or on a fault (link
+        drop, restore failure); the failed report is still appended to
+        ``history`` with the refusal reason and, for pipeline faults,
+        the faulted stage.  ``restore_fault`` arms deterministic restore
+        fault injection (tests/experiments); link faults are armed on
+        the ``link`` itself via :class:`LinkFaultPlan`.
         """
         home = self.device
         report = MigrationReport(package=package, home=home.name,
@@ -132,7 +157,7 @@ class MigrationService:
         self.history.append(report)
         try:
             self._migrate(guest, package, link, report,
-                          self._extensions(extensions))
+                          self._extensions(extensions), restore_fault)
         except MigrationError as error:
             report.refusal = error.reason
             report.refusal_detail = error.detail
@@ -145,7 +170,8 @@ class MigrationService:
 
     def _migrate(self, guest, package: str, link: Optional[Link],
                  report: MigrationReport,
-                 extensions: FluxExtensions) -> None:
+                 extensions: FluxExtensions,
+                 restore_fault: Optional[RestoreFaultPlan] = None) -> None:
         home = self.device
         pairing = home.pairing_service
         if not pairing.is_paired_with(guest.name):
@@ -163,141 +189,20 @@ class MigrationService:
 
         link = link or link_between(home.profile, guest.profile,
                                     home.rng_factory)
-        watch = Stopwatch(home.clock)
-        process = thread.process
+        ctx = MigrationContext(
+            home=home, guest=guest, package=package, link=link,
+            report=report, extensions=extensions,
+            restore_fault=restore_fault,
+            thread=thread, process=thread.process)
+        StagePipeline().run(ctx)
 
-        # Stage 1: preparation.
-        watch.start("preparation")
-        check_preparable(home, package, extensions)
-        view_count = sum(a.view_root.view_count()
-                         for a in thread.activities.values()
-                         if a.view_root is not None)
-        context_count = home.vendor_gl.live_context_count(process.pid)
-        prep_report = prepare_app(home, package, extensions)
-        home.clock.advance(costs.preparation_cost(
-            view_count, context_count, home.profile.cpu_factor))
-        watch.stop()
-
-        # Stage 2: checkpoint.  On the pipelined path compression is
-        # deferred to the transfer stage where it overlaps the wire;
-        # the serial path serializes+compresses here, as published.
-        watch.start("checkpoint")
-        image = checkpoint_app(home, package, extensions)
-        if prep_report.gl_capture is not None:
-            image.metadata["gl_capture"] = prep_report.gl_capture
-        report.image_raw_bytes = image.raw_bytes()
-        report.image_compressed_bytes = image.compressed_bytes()
-        report.record_log_entries = len(image.record_log)
-        report.record_log_bytes = image.record_log_bytes()
-        if extensions.pipelined_transfer:
-            home.clock.advance(costs.serialize_cost(
-                report.image_raw_bytes, home.profile.cpu_factor))
-        else:
-            home.clock.advance(costs.checkpoint_cost(
-                report.image_raw_bytes, home.profile.cpu_factor))
-        watch.stop()
-
-        # Stage 3: transfer (verify + sync deltas, then the image).
-        watch.start("transfer")
-        from repro.core.cria.wire import serialize_image, verify_against_image
-        frame = serialize_image(image)
-        report.data_delta_bytes = pairing.verify_app(guest, package, link)
-        if extensions.pipelined_transfer:
-            self._transfer_pipelined(guest, image, link, report)
-        else:
-            report.image_wire_bytes = report.image_compressed_bytes
-            link.transfer(report.transferred_bytes, home.clock)
-        watch.stop()
-
-        # Stage 4: restore on the guest — only after the received frame
-        # passes its integrity checks.
-        watch.start("restore")
-        verify_against_image(frame, image)
-        restored = restore_app(guest, image)
-        home.clock.advance(costs.restore_cost(
-            report.image_raw_bytes, guest.profile.cpu_factor))
-        watch.stop()
-
-        # Stage 5: reintegration.
-        watch.start("reintegration")
-        report.replay = replay_log(
-            guest, restored, image, extensions,
-            home_location_service=(home.service("location")
-                                   if extensions.gps_tether else None))
-        restored.process.thaw()
-        for proc in restored.secondary_processes:
-            proc.thaw()
-        self._reintegrate(guest, restored, image, extensions)
-        home.clock.advance(costs.reintegration_cost(
-            report.replay.total_handled, guest.profile.cpu_factor))
-        watch.stop()
-
-        for span in watch.spans():
-            report.stages[span.name] = span.duration
-
+        # Post-commit: every stage succeeded; the app now lives on the
+        # guest, so erase the home-side residuals and mark consistency.
         self._cleanup_home(package)
         home.consistency.mark_migrated_out(package, guest.name)
         home.tracer.emit("migration", "migrated", package=package,
                          guest=guest.name,
                          total=round(report.total_seconds, 3))
-
-    def _transfer_pipelined(self, guest, image, link,
-                            report: MigrationReport) -> None:
-        """Chunked transfer: digest negotiation, chunk cache, pipeline.
-
-        The image is split into content-addressed chunks; the guest's
-        chunk store is consulted so only unseen chunks travel, and the
-        compression of chunk *i+1* overlaps the send of chunk *i* on
-        the virtual clock (pipeline fill + drain, not sum-of-stages).
-        The app-data delta was already synced by ``verify_app``.
-        """
-        from repro.core.migration.chunks import chunk_image
-
-        home = self.device
-        plan = chunk_image(image)
-        cached, missing = guest.chunk_store.split(plan)
-        report.transfer_chunks_total = len(plan)
-        report.transfer_chunks_cached = len(cached)
-        report.chunk_bytes_cached = sum(c.raw_bytes for c in cached)
-
-        # Digest negotiation + the data delta ride one round trip.
-        negotiation_bytes = costs.CHUNK_DIGEST_BYTES * len(plan)
-        link.transfer(report.data_delta_bytes + negotiation_bytes,
-                      home.clock)
-
-        wire_sizes = [c.wire_bytes for c in missing]
-        compress_times = [costs.chunk_compress_cost(
-            c.raw_bytes, home.profile.cpu_factor) for c in missing]
-        send_times = link.burst_send_seconds(wire_sizes)
-        burst_seconds = link.latency_s + costs.pipeline_seconds(
-            compress_times, send_times)
-        link.record_transfer(sum(wire_sizes), burst_seconds, home.clock)
-        report.image_wire_bytes = sum(wire_sizes) + negotiation_bytes
-
-        # Both ends now hold every chunk: the guest received them, the
-        # home sent (and can re-derive) them — so a later return hop
-        # (guest -> home) benefits symmetrically.
-        guest.chunk_store.add_many(plan)
-        home.chunk_store.add_many(plan)
-
-    def _reintegrate(self, guest, restored, image,
-                     extensions: FluxExtensions) -> None:
-        """Hardware-change + connectivity signals, then foreground."""
-        thread = restored.thread
-        # Conditional initialization rebuilds the UI sized for the guest.
-        thread.rebuild_view_roots()
-        gl_capture = image.metadata.get("gl_capture")
-        if gl_capture is not None and extensions.gl_record_replay:
-            from repro.core.glreplay import replay_capture
-            uploaded = replay_capture(thread, gl_capture)
-            guest.tracer.emit("glreplay", "replayed",
-                              package=restored.package, bytes=uploaded)
-        config = {"screen": guest.profile.screen,
-                  "country": guest.profile.country}
-        thread.on_configuration_changed(config)
-        # Connectivity appears as a loss followed by a new connection.
-        guest.service("connectivity").simulate_connectivity_interrupt()
-        guest.activity_service.foreground_app(restored.package)
 
     # -- home-side aftermath -----------------------------------------------------
 
@@ -324,7 +229,13 @@ class MigrationService:
                 service.drop_app_state(package)
 
     def _recover_home(self, package: str) -> None:
-        """After a refusal mid-flight, bring the app back if still here."""
+        """Final safety net after a refusal or rolled-back fault.
+
+        The stage pipeline already compensated stage by stage; this
+        re-checks the invariant (app thawed and foregrounded if it is
+        still here) so even a failed compensation leaves the home
+        device usable.
+        """
         home = self.device
         thread = home.thread_of(package)
         if thread is None:

@@ -40,7 +40,6 @@ def render_timeline(report: MigrationReport, width: int = BAR_WIDTH) -> str:
         f"({total:.2f}s total)",
         f"|{strip}|",
     ]
-    cursor = 0
     for stage in STAGES:
         seconds = report.stages.get(stage, 0.0)
         glyph = STAGE_GLYPHS[stage]

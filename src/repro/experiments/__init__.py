@@ -2,6 +2,7 @@
 
 from repro.experiments import (
     app_support,
+    fault_ablation,
     fig12,
     fig13,
     fig14,
@@ -35,11 +36,12 @@ ALL_EXPERIMENTS = {
     "app_support": app_support,
     "pairing_cost": pairing_cost,
     "transfer_ablation": transfer_ablation,
+    "fault_ablation": fault_ablation,
 }
 
 __all__ = [
     "ALL_EXPERIMENTS", "SweepResult", "format_table", "pair_label",
-    "run_pair", "run_sweep", "app_support", "fig12", "fig13", "fig14",
-    "fig15", "fig16", "fig17", "pairing_cost", "table1", "table2", "table3",
-    "transfer_ablation",
+    "run_pair", "run_sweep", "app_support", "fault_ablation", "fig12",
+    "fig13", "fig14", "fig15", "fig16", "fig17", "pairing_cost", "table1",
+    "table2", "table3", "transfer_ablation",
 ]

@@ -2,7 +2,7 @@
 
 from repro.sim.clock import ClockError, SimClock, Stopwatch, StopwatchSpan, TimerHandle
 from repro.sim.rng import DEFAULT_SEED, RngFactory, derive_seed
-from repro.sim.trace import TraceEvent, Tracer
+from repro.sim.trace import Span, TraceEvent, Tracer
 from repro.sim import units
 
 __all__ = [
@@ -14,6 +14,7 @@ __all__ = [
     "DEFAULT_SEED",
     "RngFactory",
     "derive_seed",
+    "Span",
     "TraceEvent",
     "Tracer",
     "units",

@@ -1,15 +1,25 @@
-"""Structured event tracing.
+"""Structured event tracing and hierarchical spans.
 
 Components append :class:`TraceEvent` records to a shared :class:`Tracer`.
 Tests assert on the event stream (e.g. "trim-memory ran before eglUnload")
 and the experiment harness uses it for debugging; it is cheap enough to be
-always on.
+always on.  Event lookup by ``(category, name)`` is index-backed so the
+harness's assertions do not rescan the full event list.
+
+Long-running operations additionally open :class:`Span` records via
+``tracer.span("migration")``: spans nest (a stage span inside the
+migration span, chunk spans inside the transfer stage), measure start and
+end on the virtual clock, and export as Chrome-trace JSON
+(``chrome://tracing`` / Perfetto "traceEvents" format) for offline
+inspection.  Spans never advance the clock or touch the RNG, so enabling
+them cannot perturb simulation results.
 """
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterator, List, Optional
+from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 
 @dataclass(frozen=True)
@@ -24,33 +34,106 @@ class TraceEvent:
         return f"[{self.time:10.4f}] {self.category}:{self.name} {extras}".rstrip()
 
 
+@dataclass
+class Span:
+    """A named interval on the virtual clock, possibly nested.
+
+    ``end is None`` while the span is open.  Children are appended in
+    the order they close their parents opened them, preserving the
+    execution order of sibling stages.
+    """
+
+    name: str
+    category: str
+    start: float
+    end: Optional[float] = None
+    detail: Dict[str, Any] = field(default_factory=dict)
+    children: List["Span"] = field(default_factory=list)
+
+    @property
+    def duration(self) -> float:
+        if self.end is None:
+            raise ValueError(f"span {self.name!r} still open")
+        return self.end - self.start
+
+    @property
+    def closed(self) -> bool:
+        return self.end is not None
+
+    def annotate(self, **detail: Any) -> None:
+        self.detail.update(detail)
+
+    def child(self, name: str, category: Optional[str] = None) -> Optional["Span"]:
+        """First direct child with ``name`` (and category, if given)."""
+        for span in self.children:
+            if span.name == name and (category is None
+                                      or span.category == category):
+                return span
+        return None
+
+    def walk(self) -> Iterator["Span"]:
+        """This span and every descendant, depth-first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+
+class _SpanHandle:
+    """Context manager returned by :meth:`Tracer.span`."""
+
+    def __init__(self, tracer: "Tracer", span: Span) -> None:
+        self._tracer = tracer
+        self.span = span
+
+    def __enter__(self) -> Span:
+        return self.span
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._tracer.end_span(self.span)
+        return None
+
+
 class Tracer:
-    """Append-only event log keyed to a virtual clock."""
+    """Append-only event log plus a span tree, keyed to a virtual clock."""
 
     def __init__(self, clock) -> None:
         self._clock = clock
         self._events: List[TraceEvent] = []
+        # Position indexes into _events, maintained on emit so filtered
+        # lookups never rescan the full list.
+        self._by_pair: Dict[Tuple[str, str], List[int]] = {}
+        self._by_category: Dict[str, List[int]] = {}
+        self._by_name: Dict[str, List[int]] = {}
+        self._roots: List[Span] = []
+        self._open_spans: List[Span] = []
         self.enabled = True
+
+    # -- flat events ---------------------------------------------------------
 
     def emit(self, category: str, name: str, **detail: Any) -> None:
         if not self.enabled:
             return
+        position = len(self._events)
         self._events.append(
             TraceEvent(time=self._clock.now, category=category, name=name,
                        detail=detail)
         )
+        self._by_pair.setdefault((category, name), []).append(position)
+        self._by_category.setdefault(category, []).append(position)
+        self._by_name.setdefault(name, []).append(position)
 
     def events(self, category: Optional[str] = None,
                name: Optional[str] = None) -> List[TraceEvent]:
         """Events filtered by category and/or name, in emission order."""
-        out = []
-        for event in self._events:
-            if category is not None and event.category != category:
-                continue
-            if name is not None and event.name != name:
-                continue
-            out.append(event)
-        return out
+        if category is None and name is None:
+            return list(self._events)
+        if category is not None and name is not None:
+            positions = self._by_pair.get((category, name), [])
+        elif category is not None:
+            positions = self._by_category.get(category, [])
+        else:
+            positions = self._by_name.get(name, [])
+        return [self._events[i] for i in positions]
 
     def __iter__(self) -> Iterator[TraceEvent]:
         return iter(self._events)
@@ -60,10 +143,107 @@ class Tracer:
 
     def clear(self) -> None:
         self._events.clear()
+        self._by_pair.clear()
+        self._by_category.clear()
+        self._by_name.clear()
+        self._roots.clear()
+        self._open_spans.clear()
 
     def index_of(self, category: str, name: str) -> int:
         """Index of the first matching event; -1 when absent."""
-        for i, event in enumerate(self._events):
-            if event.category == category and event.name == name:
-                return i
-        return -1
+        positions = self._by_pair.get((category, name))
+        return positions[0] if positions else -1
+
+    # -- hierarchical spans ----------------------------------------------------
+
+    def span(self, name: str, category: str = "span",
+             **detail: Any) -> _SpanHandle:
+        """Open a span nested under the innermost still-open span.
+
+        Use as a context manager::
+
+            with tracer.span("migration", package=pkg) as root:
+                with tracer.span("transfer", category="stage"):
+                    ...
+
+        The span closes (records its end time) when the ``with`` block
+        exits — also on exception, so a faulted stage still has a
+        measured duration.
+        """
+        span = Span(name=name, category=category, start=self._clock.now,
+                    detail=detail)
+        if self._open_spans:
+            self._open_spans[-1].children.append(span)
+        else:
+            self._roots.append(span)
+        self._open_spans.append(span)
+        return _SpanHandle(self, span)
+
+    def add_span(self, name: str, start: float, end: float,
+                 category: str = "span", **detail: Any) -> Span:
+        """Attach an already-measured interval under the open span.
+
+        Used for sub-operations whose schedule was computed analytically
+        (e.g. individual chunks of a pipelined burst charged to the
+        clock as one block): the interval is recorded without touching
+        the clock.
+        """
+        if end < start:
+            raise ValueError(f"span {name!r} ends before it starts")
+        span = Span(name=name, category=category, start=start, end=end,
+                    detail=detail)
+        if self._open_spans:
+            self._open_spans[-1].children.append(span)
+        else:
+            self._roots.append(span)
+        return span
+
+    def end_span(self, span: Span) -> None:
+        if span.end is None:
+            span.end = self._clock.now
+        while self._open_spans and self._open_spans[-1] is not span:
+            dangling = self._open_spans.pop()
+            if dangling.end is None:
+                dangling.end = self._clock.now
+        if self._open_spans:
+            self._open_spans.pop()
+
+    def root_spans(self, category: Optional[str] = None) -> List[Span]:
+        """Top-level spans, in open order."""
+        if category is None:
+            return list(self._roots)
+        return [s for s in self._roots if s.category == category]
+
+    # -- Chrome-trace export -----------------------------------------------------
+
+    def chrome_trace(self) -> Dict[str, Any]:
+        """The span tree as a Chrome-trace ("traceEvents") dict.
+
+        Complete ("ph": "X") events with microsecond timestamps; the
+        viewer reconstructs nesting from the containment of intervals.
+        Open spans are exported as zero-length instants at their start.
+        """
+        trace_events: List[Dict[str, Any]] = []
+        for root in self._roots:
+            for span in root.walk():
+                event: Dict[str, Any] = {
+                    "name": span.name,
+                    "cat": span.category,
+                    "pid": 1,
+                    "tid": 1,
+                    "ts": round(span.start * 1e6, 3),
+                }
+                if span.closed:
+                    event["ph"] = "X"
+                    event["dur"] = round(span.duration * 1e6, 3)
+                else:
+                    event["ph"] = "i"
+                    event["s"] = "t"
+                if span.detail:
+                    event["args"] = {k: v for k, v in span.detail.items()}
+                trace_events.append(event)
+        return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+
+    def write_chrome_trace(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.chrome_trace(), handle, indent=1)

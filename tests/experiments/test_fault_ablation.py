@@ -1,0 +1,48 @@
+"""The fault_ablation experiment: resume beats from-scratch on retry."""
+
+import pytest
+
+from repro.experiments import fault_ablation
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return fault_ablation.run()
+
+
+class TestFaultAblation:
+    def test_both_configs_fault_in_transfer(self, rows):
+        assert len(rows) == 2
+        assert all(r.faulted_stage == "transfer" for r in rows)
+
+    def test_rollback_invariant_holds_everywhere(self, rows):
+        assert all(r.home_still_running for r in rows)
+        assert all(r.guest_partial_processes == 0 for r in rows)
+
+    def test_resume_moves_strictly_fewer_bytes(self, rows):
+        scratch = next(r for r in rows if "scratch" in r.config)
+        resume = next(r for r in rows if "resume" in r.config)
+        # The acceptance claim: a pipelined retry after a mid-transfer
+        # fault moves strictly fewer image bytes than retry-from-scratch
+        # — and even than the first attempt delivered before the drop.
+        assert resume.retry_wire_bytes < scratch.retry_wire_bytes
+        assert resume.retry_wire_bytes < resume.first_wire_bytes
+        assert resume.retry_chunk_hit_rate > 0.0
+        assert scratch.retry_chunk_hit_rate == 0.0
+
+    def test_deterministic_under_fixed_seed(self, rows):
+        again = fault_ablation.run()
+        assert [(r.first_wire_bytes, r.retry_wire_bytes, r.retry_seconds)
+                for r in again] \
+            == [(r.first_wire_bytes, r.retry_wire_bytes, r.retry_seconds)
+                for r in rows]
+
+    def test_savings_fraction_sensible(self, rows):
+        savings = fault_ablation.resume_savings(rows)
+        assert 0.0 < savings < 1.0
+
+    def test_render_mentions_both_configs(self, rows):
+        text = fault_ablation.render()
+        assert "Fault ablation" in text
+        assert "retry from scratch" in text
+        assert "retry with resume" in text

@@ -1,0 +1,260 @@
+"""Stage pipeline: fault injection, rollback atomicity, resume on retry.
+
+The atomicity contract under test: a fault at any stage leaves the app
+running (thawed, foregrounded) on the home device, the guest holding no
+partial process state, and the record log intact — while what
+legitimately survives as *cache* (synced deltas, received chunks) makes
+a retry cheaper than the first attempt.
+"""
+
+import pytest
+
+from repro.android.app.activity import ActivityState
+from repro.android.app.notification import Notification
+from repro.android.net.link import LinkFaultPlan, link_between
+from repro.core.cria.errors import MigrationError, MigrationRefusal
+from repro.core.cria.restore import RestoreFaultPlan
+from repro.core.extensions import FluxExtensions
+from repro.core.migration.migration import STAGES, MigrationReport
+from repro.core.migration.stages import (
+    MigrationContext,
+    Stage,
+    StagePipeline,
+    default_stages,
+)
+from repro.sim import units
+from tests.conftest import DEMO_PACKAGE, launch_demo
+
+
+PIPELINED = FluxExtensions(pipelined_transfer=True)
+
+
+@pytest.fixture
+def paired(device_pair):
+    home, guest = device_pair
+    thread = launch_demo(home)
+    nm = thread.context.get_system_service("notification")
+    nm.notify(1, Notification("survive me"))
+    home.pairing_service.pair(guest)
+    return home, guest, thread
+
+
+def armed_link(home, guest, drop_after_bytes=None, drop_after_transfers=None):
+    link = link_between(home.profile, guest.profile, home.rng_factory)
+    link.inject_fault(LinkFaultPlan(drop_after_bytes=drop_after_bytes,
+                                    drop_after_transfers=drop_after_transfers))
+    return link
+
+
+class TestLinkFaultRollback:
+    def drop_mid_transfer(self, home, guest, extensions=None):
+        """Drop the link 1 MB in — past the deltas, inside the image."""
+        link = armed_link(home, guest, drop_after_bytes=units.mb(1))
+        with pytest.raises(MigrationError) as exc:
+            home.migration_service.migrate(
+                guest, DEMO_PACKAGE, link=link,
+                extensions=extensions or FluxExtensions.none())
+        assert exc.value.reason is MigrationRefusal.LINK_DOWN
+        return home.migration_service.history[-1]
+
+    def test_home_keeps_running_app(self, paired):
+        home, guest, thread = paired
+        self.drop_mid_transfer(home, guest)
+        assert home.running_packages() == [DEMO_PACKAGE]
+        assert thread.process.state.value != "frozen"
+        activity = next(iter(thread.activities.values()))
+        assert activity.state is ActivityState.RESUMED
+
+    def test_guest_holds_no_partial_state(self, paired):
+        home, guest, _ = paired
+        self.drop_mid_transfer(home, guest)
+        assert guest.kernel.processes_of_package(DEMO_PACKAGE) == []
+        assert guest.running_packages() == []
+
+    def test_failed_report_records_faulted_stage(self, paired):
+        home, guest, _ = paired
+        report = self.drop_mid_transfer(home, guest)
+        assert not report.success
+        assert report.faulted_stage == "transfer"
+        assert report.refusal is MigrationRefusal.LINK_DOWN
+        # Completed stages plus the faulted stage's partial duration.
+        assert set(report.stages) == {"preparation", "checkpoint",
+                                      "transfer"}
+        assert all(v > 0 for v in report.stages.values())
+        # Only the bytes delivered before the drop are accounted.
+        assert report.image_wire_bytes < report.image_compressed_bytes
+
+    def test_record_log_survives_rollback(self, paired):
+        home, guest, _ = paired
+        self.drop_mid_transfer(home, guest)
+        log = home.recorder.extract_app_log(DEMO_PACKAGE)
+        assert len(log) >= 1
+
+    def test_no_consistency_mark_after_rollback(self, paired):
+        home, guest, _ = paired
+        self.drop_mid_transfer(home, guest)
+        assert home.consistency.is_migrated_out(DEMO_PACKAGE) is None
+
+    def test_retry_over_healthy_link_succeeds(self, paired):
+        home, guest, _ = paired
+        self.drop_mid_transfer(home, guest)
+        report = home.migration_service.migrate(guest, DEMO_PACKAGE)
+        assert report.success
+        assert guest.running_packages() == [DEMO_PACKAGE]
+        assert home.running_packages() == []
+
+    def test_drop_after_transfers_faults_too(self, paired):
+        home, guest, _ = paired
+        # The serial path's single image+delta send is transfer 0; it
+        # dies on departure, delivering nothing.
+        link = armed_link(home, guest, drop_after_transfers=0)
+        with pytest.raises(MigrationError) as exc:
+            home.migration_service.migrate(guest, DEMO_PACKAGE, link=link)
+        assert exc.value.reason is MigrationRefusal.LINK_DOWN
+        assert home.migration_service.history[-1].image_wire_bytes == 0
+        assert home.running_packages() == [DEMO_PACKAGE]
+
+
+class TestResumeOnRetry:
+    def test_pipelined_fault_seeds_chunk_store(self, paired):
+        home, guest, _ = paired
+        link = armed_link(home, guest, drop_after_bytes=units.mb(1))
+        with pytest.raises(MigrationError):
+            home.migration_service.migrate(guest, DEMO_PACKAGE, link=link,
+                                           extensions=PIPELINED)
+        # The fully-delivered prefix entered the guest's store (cache,
+        # not app state — the rollback invariant holds separately).
+        assert len(guest.chunk_store) > 0
+        assert guest.kernel.processes_of_package(DEMO_PACKAGE) == []
+
+    def test_pipelined_retry_resumes(self, paired):
+        home, guest, _ = paired
+        link = armed_link(home, guest, drop_after_bytes=units.mb(1))
+        with pytest.raises(MigrationError):
+            home.migration_service.migrate(guest, DEMO_PACKAGE, link=link,
+                                           extensions=PIPELINED)
+        retry = home.migration_service.migrate(guest, DEMO_PACKAGE,
+                                               extensions=PIPELINED)
+        assert retry.success
+        # The resume signal: chunks delivered before the drop hit the
+        # guest's cache, so strictly fewer image bytes travel than the
+        # image the retry is moving.
+        assert retry.transfer_chunks_cached > 0
+        assert retry.chunk_bytes_cached > 0
+        assert retry.image_wire_bytes < retry.image_compressed_bytes
+
+    def test_serial_retry_has_no_resume(self, paired):
+        home, guest, _ = paired
+        link = armed_link(home, guest, drop_after_bytes=units.mb(1))
+        with pytest.raises(MigrationError):
+            home.migration_service.migrate(guest, DEMO_PACKAGE, link=link)
+        retry = home.migration_service.migrate(guest, DEMO_PACKAGE)
+        assert retry.success
+        assert retry.transfer_chunks_cached == 0
+        assert retry.image_wire_bytes == retry.image_compressed_bytes
+
+
+class TestRestoreFaultRollback:
+    @pytest.mark.parametrize("steps", [0, 2, 5])
+    def test_rollback_at_every_probe_point(self, paired, steps):
+        home, guest, thread = paired
+        with pytest.raises(MigrationError) as exc:
+            home.migration_service.migrate(
+                guest, DEMO_PACKAGE,
+                restore_fault=RestoreFaultPlan(fail_after_steps=steps))
+        assert exc.value.reason is MigrationRefusal.RESTORE_FAILED
+        report = home.migration_service.history[-1]
+        assert report.faulted_stage == "restore"
+        assert guest.kernel.processes_of_package(DEMO_PACKAGE) == []
+        assert home.running_packages() == [DEMO_PACKAGE]
+        assert thread.process.state.value != "frozen"
+
+    def test_retry_after_restore_fault(self, paired):
+        home, guest, _ = paired
+        with pytest.raises(MigrationError):
+            home.migration_service.migrate(
+                guest, DEMO_PACKAGE,
+                restore_fault=RestoreFaultPlan(fail_after_steps=1))
+        report = home.migration_service.migrate(guest, DEMO_PACKAGE)
+        assert report.success
+        assert guest.running_packages() == [DEMO_PACKAGE]
+
+    def test_plan_validates(self):
+        with pytest.raises(ValueError):
+            RestoreFaultPlan(fail_after_steps=-1)
+
+
+class _Boom(Stage):
+    name = "boom"
+
+    def run(self, ctx):
+        raise RuntimeError("kaboom")
+
+
+class _Flaky(Stage):
+    name = "flaky"
+
+    def __init__(self):
+        self.rolled_back = False
+
+    def run(self, ctx):
+        pass
+
+    def rollback(self, ctx):
+        self.rolled_back = True
+        raise ValueError("compensation bug")
+
+
+class TestPipelineMechanics:
+    def test_default_stage_order_matches_figure_13(self):
+        assert [s.name for s in default_stages()] == list(STAGES)
+
+    def _context(self, device_pair):
+        home, guest = device_pair
+        report = MigrationReport(package="p", home=home.name,
+                                 guest=guest.name)
+        return home, MigrationContext(
+            home=home, guest=guest, package="p", link=None, report=report,
+            extensions=FluxExtensions.none())
+
+    def test_rollback_failure_never_masks_fault(self, device_pair):
+        home, ctx = self._context(device_pair)
+        flaky = _Flaky()
+        with pytest.raises(RuntimeError, match="kaboom"):
+            StagePipeline([flaky, _Boom()]).run(ctx)
+        assert flaky.rolled_back
+        errors = home.tracer.events("migration", "rollback-error")
+        assert len(errors) == 1 and errors[0].detail["stage"] == "flaky"
+        assert ctx.report.faulted_stage == "boom"
+
+    def test_rollback_order_faulted_first_then_reverse(self, device_pair):
+        _, ctx = self._context(device_pair)
+        order = []
+
+        def witness(name):
+            stage = Stage()
+            stage.name = name
+            stage.run = lambda c: None
+            stage.rollback = lambda c: order.append(name)
+            return stage
+
+        boom = _Boom()
+        boom.rollback = lambda c: order.append("boom")
+        with pytest.raises(RuntimeError):
+            StagePipeline([witness("a"), witness("b"), boom]).run(ctx)
+        assert order == ["boom", "b", "a"]
+
+    def test_faulted_stage_still_timed(self, device_pair):
+        home, ctx = self._context(device_pair)
+
+        slow = Stage()
+        slow.name = "slow"
+
+        def run(c):
+            home.clock.advance(2.5)
+            raise RuntimeError("late fault")
+
+        slow.run = run
+        with pytest.raises(RuntimeError):
+            StagePipeline([slow]).run(ctx)
+        assert ctx.report.stages["slow"] == pytest.approx(2.5)

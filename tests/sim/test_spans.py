@@ -1,0 +1,156 @@
+"""Hierarchical tracer spans, the event indexes, Chrome-trace export."""
+
+import json
+
+import pytest
+
+from repro.sim import SimClock
+from repro.sim.trace import Tracer
+
+
+@pytest.fixture
+def clock():
+    return SimClock()
+
+
+@pytest.fixture
+def tracer(clock):
+    return Tracer(clock)
+
+
+class TestSpanNesting:
+    def test_spans_nest_and_measure_on_the_clock(self, tracer, clock):
+        with tracer.span("migration", category="migration") as root:
+            with tracer.span("preparation", category="stage"):
+                clock.advance(1.0)
+            with tracer.span("transfer", category="stage"):
+                clock.advance(3.5)
+        assert tracer.root_spans() == [root]
+        assert [c.name for c in root.children] == ["preparation", "transfer"]
+        assert root.duration == pytest.approx(4.5)
+        assert root.child("transfer").duration == pytest.approx(3.5)
+        prep = root.child("preparation", category="stage")
+        assert prep.start == pytest.approx(0.0)
+        assert prep.end == pytest.approx(1.0)
+
+    def test_exception_still_closes_span(self, tracer, clock):
+        with pytest.raises(RuntimeError):
+            with tracer.span("faulty") as span:
+                clock.advance(2.0)
+                raise RuntimeError("mid-span fault")
+        assert span.closed
+        assert span.duration == pytest.approx(2.0)
+
+    def test_open_span_refuses_duration(self, tracer):
+        handle = tracer.span("open")
+        assert not handle.span.closed
+        with pytest.raises(ValueError):
+            handle.span.duration
+
+    def test_add_span_attaches_measured_interval(self, tracer, clock):
+        with tracer.span("burst") as burst:
+            child = tracer.add_span("chunk:0", 1.0, 2.5, category="chunk",
+                                    wire_bytes=100)
+        assert burst.children == [child]
+        assert child.duration == pytest.approx(1.5)
+        assert child.detail["wire_bytes"] == 100
+        # The analytic interval never advanced the clock.
+        assert clock.now == 0.0
+
+    def test_add_span_rejects_backwards_interval(self, tracer):
+        with pytest.raises(ValueError):
+            tracer.add_span("bad", 2.0, 1.0)
+
+    def test_end_span_closes_dangling_children(self, tracer, clock):
+        with tracer.span("outer") as outer:
+            inner = tracer.span("inner").span   # opened, never exited
+            clock.advance(1.0)
+        assert outer.closed and inner.closed
+        assert inner.end == pytest.approx(1.0)
+
+    def test_annotate_merges_detail(self, tracer):
+        with tracer.span("m", package="a") as span:
+            span.annotate(faulted_stage="transfer")
+        assert span.detail == {"package": "a", "faulted_stage": "transfer"}
+
+    def test_walk_is_depth_first(self, tracer):
+        with tracer.span("a") as a:
+            with tracer.span("b"):
+                tracer.add_span("c", 0.0, 0.0)
+            with tracer.span("d"):
+                pass
+        assert [s.name for s in a.walk()] == ["a", "b", "c", "d"]
+
+    def test_root_spans_filter_by_category(self, tracer):
+        with tracer.span("m", category="migration"):
+            pass
+        with tracer.span("other"):
+            pass
+        assert [s.name for s in tracer.root_spans("migration")] == ["m"]
+
+
+class TestChromeTraceExport:
+    def test_complete_events_in_microseconds(self, tracer, clock):
+        with tracer.span("migration", category="migration", package="p"):
+            with tracer.span("transfer", category="stage"):
+                clock.advance(2.0)
+        doc = tracer.chrome_trace()
+        assert doc["displayTimeUnit"] == "ms"
+        events = {e["name"]: e for e in doc["traceEvents"]}
+        assert events["migration"]["ph"] == "X"
+        assert events["migration"]["dur"] == pytest.approx(2_000_000)
+        assert events["transfer"]["cat"] == "stage"
+        assert events["migration"]["args"] == {"package": "p"}
+
+    def test_open_span_exported_as_instant(self, tracer, clock):
+        clock.advance(1.5)
+        tracer.span("never-closed")
+        [event] = tracer.chrome_trace()["traceEvents"]
+        assert event["ph"] == "i"
+        assert event["ts"] == pytest.approx(1_500_000)
+
+    def test_export_is_valid_json(self, tracer, clock, tmp_path):
+        with tracer.span("m"):
+            clock.advance(1.0)
+        path = tmp_path / "trace.json"
+        tracer.write_chrome_trace(str(path))
+        doc = json.loads(path.read_text())
+        assert doc["traceEvents"][0]["name"] == "m"
+
+
+class TestEventIndexes:
+    def test_filtered_lookups_preserve_emission_order(self, tracer, clock):
+        tracer.emit("cria", "freeze", pid=1)
+        clock.advance(1.0)
+        tracer.emit("net", "send", n=1)
+        tracer.emit("cria", "freeze", pid=2)
+        tracer.emit("cria", "thaw", pid=1)
+        assert [e.detail["pid"] for e in tracer.events("cria", "freeze")] \
+            == [1, 2]
+        assert [e.name for e in tracer.events(category="cria")] \
+            == ["freeze", "freeze", "thaw"]
+        assert [e.category for e in tracer.events(name="send")] == ["net"]
+        assert len(tracer.events()) == 4
+
+    def test_index_of_first_match(self, tracer):
+        tracer.emit("a", "x")
+        tracer.emit("b", "y")
+        tracer.emit("a", "x")
+        assert tracer.index_of("b", "y") == 1
+        assert tracer.index_of("a", "x") == 0
+        assert tracer.index_of("a", "missing") == -1
+
+    def test_clear_resets_indexes_and_spans(self, tracer):
+        tracer.emit("a", "x")
+        with tracer.span("s"):
+            pass
+        tracer.clear()
+        assert len(tracer) == 0
+        assert tracer.events("a", "x") == []
+        assert tracer.index_of("a", "x") == -1
+        assert tracer.root_spans() == []
+
+    def test_disabled_tracer_indexes_nothing(self, tracer):
+        tracer.enabled = False
+        tracer.emit("a", "x")
+        assert tracer.events("a", "x") == []

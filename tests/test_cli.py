@@ -106,3 +106,84 @@ class TestTimelineModule:
     def test_empty_inputs(self):
         from repro.core.migration.timeline import render_sweep_strip
         assert "no reports" in render_sweep_strip([])
+
+
+class TestFaultInjectionFlags:
+    def test_link_drop_rolls_back(self, capsys):
+        assert main(["migrate", "--app", "WhatsApp",
+                     "--drop-link-after-bytes", "1000000"]) == 1
+        out = capsys.readouterr().out
+        assert "FAULTED in transfer stage" in out
+        assert "link-down" in out
+        assert "still running" in out and "guest processes: 0" in out
+
+    def test_restore_fault_rolls_back(self, capsys):
+        assert main(["migrate", "--app", "WhatsApp",
+                     "--fail-restore-after", "3"]) == 1
+        out = capsys.readouterr().out
+        assert "FAULTED in restore stage" in out
+        assert "restore-failed" in out and "guest processes: 0" in out
+
+
+class TestTraceExport:
+    def test_trace_out_nests_five_stages(self, capsys, tmp_path):
+        import json
+
+        from repro.core.migration.migration import STAGES
+
+        path = tmp_path / "trace.json"
+        assert main(["migrate", "--app", "WhatsApp",
+                     "--trace-out", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert f"wrote Chrome trace to {path}" in out
+        doc = json.loads(path.read_text())
+        events = doc["traceEvents"]
+        [migration] = [e for e in events if e["cat"] == "migration"]
+        stages = [e for e in events if e["cat"] == "stage"]
+        assert [e["name"] for e in stages] == list(STAGES)
+        # Stage intervals nest inside the migration span.
+        span_end = migration["ts"] + migration["dur"]
+        for stage in stages:
+            assert stage["ts"] >= migration["ts"]
+            assert stage["ts"] + stage["dur"] <= span_end + 1e-3
+
+    def test_trace_durations_match_report_stages(self, tmp_path):
+        import json
+
+        from repro.android.device import Device
+        from repro.android.hardware.profiles import NEXUS_4, NEXUS_7_2013
+        from repro.apps import app_by_title
+        from repro.sim import SimClock
+        from repro.sim.rng import RngFactory
+
+        clock = SimClock()
+        factory = RngFactory(0)
+        home = Device(NEXUS_4, clock, factory, name="home")
+        guest = Device(NEXUS_7_2013, clock, factory, name="guest")
+        spec = app_by_title("WhatsApp")
+        spec.install_and_launch(home)
+        home.pairing_service.pair(guest)
+        report = home.migration_service.migrate(guest, spec.package)
+        path = tmp_path / "trace.json"
+        home.tracer.write_chrome_trace(str(path))
+        doc = json.loads(path.read_text())
+        durations = {e["name"]: e["dur"] for e in doc["traceEvents"]
+                     if e["cat"] == "stage"}
+        for stage, seconds in report.stages.items():
+            assert durations[stage] == pytest.approx(seconds * 1e6,
+                                                     abs=1e-2)
+
+    def test_trace_written_on_fault_too(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "faulted.json"
+        assert main(["migrate", "--app", "WhatsApp",
+                     "--drop-link-after-bytes", "1000000",
+                     "--trace-out", str(path)]) == 1
+        doc = json.loads(path.read_text())
+        [migration] = [e for e in doc["traceEvents"]
+                       if e["cat"] == "migration"]
+        assert migration["args"]["faulted_stage"] == "transfer"
+        names = [e["name"] for e in doc["traceEvents"]
+                 if e["cat"] == "stage"]
+        assert names == ["preparation", "checkpoint", "transfer"]
