@@ -2,39 +2,31 @@
 
 Times the real (not simulated) cost of regenerating the four-pair,
 sixteen-app sweep with ``run_sweep(workers=1)`` against ``workers=4``
-and records the result in ``BENCH_sweep.json`` at the repo root.
+and records the schema-2 payload in ``BENCH_sweep.json`` at the repo
+root via :mod:`repro.experiments.bench`.
 
 The speedup itself is **non-gating**: each device pair is an
 independent simulation, but CPython threads only overlap where the
 interpreter releases the GIL (sqlite3, hashing), so on a single-core
 box the parallel sweep may be no faster.  What *is* gated here is
 correctness — the parallel sweep must stay bit-identical to the serial
-one even while we time it.
+one (reports *and* aggregated metrics) even while we time it.  The
+``sim`` section of the payload is gated separately by
+``flux-sim bench-check``.
 """
 
 import json
-import time
-from pathlib import Path
 
 import pytest
 
-from repro.experiments.harness import run_sweep
-
-
-BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_sweep.json"
-WORKERS = 4
+from repro.experiments import bench
 
 
 @pytest.mark.perf
 class TestSweepWallClock:
     def test_parallel_sweep_wall_clock(self):
-        start = time.perf_counter()
-        serial = run_sweep(use_cache=False, workers=1)
-        serial_s = time.perf_counter() - start
-
-        start = time.perf_counter()
-        parallel = run_sweep(use_cache=False, workers=WORKERS)
-        parallel_s = time.perf_counter() - start
+        serial, parallel, serial_s, parallel_s = bench.measure_sweep(
+            workers=bench.WORKERS)
 
         # Gating: determinism.  The parallel run must reproduce the
         # serial run exactly, whatever the thread interleaving did.
@@ -43,16 +35,12 @@ class TestSweepWallClock:
             other = parallel.reports[key]
             assert report.stages == other.stages, key
             assert report.transferred_bytes == other.transferred_bytes, key
+        assert serial.merged_metrics() == parallel.merged_metrics()
 
-        payload = {
-            "benchmark": "fig12_sweep_wall_clock",
-            "workers": WORKERS,
-            "serial_s": round(serial_s, 4),
-            "parallel_s": round(parallel_s, 4),
-            "speedup": round(serial_s / parallel_s, 3) if parallel_s else None,
-            "cells": len(serial.reports),
-        }
-        BENCH_PATH.write_text(json.dumps(payload, indent=2) + "\n")
-        print(f"\nsweep wall clock: serial {serial_s:.3f}s, "
-              f"parallel({WORKERS}) {parallel_s:.3f}s, "
-              f"speedup {payload['speedup']}x -> {BENCH_PATH.name}")
+        payload = bench.build_payload(serial, serial_s, parallel_s,
+                                      workers=bench.WORKERS)
+        bench.BENCH_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+        wall = payload["wall"]
+        print(f"\nsweep wall clock: serial {wall['serial_s']:.3f}s, "
+              f"parallel({bench.WORKERS}) {wall['parallel_s']:.3f}s, "
+              f"speedup {wall['speedup']}x -> {bench.BENCH_PATH.name}")

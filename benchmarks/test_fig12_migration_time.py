@@ -9,8 +9,7 @@ from repro.experiments.harness import run_pair
 
 
 def one_pair():
-    reports, _ = run_pair(NEXUS_4, NEXUS_7_2013, MIGRATABLE_APPS, seed=99)
-    return reports
+    return run_pair(NEXUS_4, NEXUS_7_2013, MIGRATABLE_APPS, seed=99).reports
 
 
 def test_fig12_one_pair_sweep(benchmark):

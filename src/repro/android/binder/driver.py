@@ -20,10 +20,25 @@ from typing import Any, Callable, Dict, List, Optional
 
 from repro.android.kernel.process import Process
 from repro.android.binder.parcel import Parcel
+from repro.sim.metrics import MetricsRegistry, TIME_BUCKETS_S
 
 
 class BinderError(Exception):
     """Binder protocol violations."""
+
+
+def _metric_interface(label: str) -> str:
+    """Metric label for a node: per-instance ids stripped.
+
+    Node labels like ``sensor-connection:7`` carry a process-global
+    instance id whose value depends on allocation order across sweep
+    workers; folding them to ``sensor-connection`` keeps metric keys
+    deterministic (and the label cardinality bounded).
+    """
+    base, sep, suffix = label.rpartition(":")
+    if sep and suffix.isdigit():
+        return base
+    return label
 
 
 class DeadObjectError(BinderError):
@@ -78,12 +93,17 @@ class BinderDriver:
 
     SERVICE_MANAGER_HANDLE = 0
 
-    def __init__(self, kernel, transaction_cost: float = 0.0) -> None:
+    def __init__(self, kernel, transaction_cost: float = 0.0,
+                 metrics: Optional[MetricsRegistry] = None) -> None:
         self.kernel = kernel
         self.transaction_cost = transaction_cost
         self._states: Dict[int, ProcessBinderState] = {}
         self._context_manager: Optional[BinderNode] = None
         self.total_transactions = 0
+        #: Telemetry sink; a disabled registry when the driver is used
+        #: standalone (unit tests), the device's registry otherwise.
+        self.metrics = (metrics if metrics is not None
+                        else MetricsRegistry(enabled=False))
         kernel.binder = self
 
     # -- state bookkeeping ---------------------------------------------------
@@ -206,18 +226,35 @@ class BinderDriver:
         state.transactions += 1
         state.buffer_bytes = max(state.buffer_bytes, parcel.size_bytes())
         self.total_transactions += 1
+        metrics = self.metrics
+        interface = _metric_interface(node.label)
+        metrics.counter("binder", "transactions",
+                        interface=interface, app=caller.package).inc()
+        metrics.counter("binder", "parcel_bytes",
+                        app=caller.package).inc(parcel.size_bytes())
+        dispatch_start = self.kernel.clock.now
         if self.transaction_cost:
             self.kernel.clock.advance(self.transaction_cost)
         self.kernel.tracer.emit("binder", "transact", caller=caller.pid,
                                 target=node.label, method=method)
-        dispatcher = getattr(node.service, "on_transact", None)
-        if dispatcher is not None:
-            return dispatcher(method, parcel, caller)
-        func = getattr(node.service, method, None)
-        if func is None or not callable(func):
-            raise BinderError(
-                f"node {node.label!r} has no transaction method {method!r}")
-        return func(*parcel.values())
+        try:
+            dispatcher = getattr(node.service, "on_transact", None)
+            if dispatcher is not None:
+                return dispatcher(method, parcel, caller)
+            func = getattr(node.service, method, None)
+            if func is None or not callable(func):
+                raise BinderError(
+                    f"node {node.label!r} has no transaction method "
+                    f"{method!r}")
+            return func(*parcel.values())
+        finally:
+            # Dispatch latency on the virtual clock: the fixed driver
+            # cost plus whatever the service handler charged (e.g. the
+            # recorder's enqueue cost on decorated methods).
+            metrics.histogram(
+                "binder", "transact_seconds", bounds=TIME_BUCKETS_S,
+                interface=interface,
+            ).observe(self.kernel.clock.now - dispatch_start)
 
     # -- process teardown --------------------------------------------------------
 

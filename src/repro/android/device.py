@@ -9,6 +9,7 @@ share a single virtual clock so migration timelines are coherent.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Type
 
@@ -55,7 +56,13 @@ from repro.android.storage import (
 )
 from repro.core.record import CallLog, Recorder
 from repro.sim import SimClock, Tracer, units
+from repro.sim.metrics import MetricsRegistry
 from repro.sim.rng import RngFactory
+
+#: Set to ``0`` to disable metrics collection device-wide.  Exists for
+#: the determinism regression tests: the simulation must be
+#: byte-identical with metrics on and off.
+METRICS_ENV = "FLUX_METRICS"
 
 
 class DeviceError(Exception):
@@ -100,6 +107,11 @@ class Device:
         self.clock = clock or SimClock()
         self.rng_factory = rng_factory or RngFactory()
         self.tracer = Tracer(self.clock)
+        #: Per-device telemetry; reads the clock for timeline samples
+        #: but never advances it, so collection cannot perturb results.
+        self.metrics = MetricsRegistry(
+            clock=self.clock,
+            enabled=os.environ.get(METRICS_ENV, "1") != "0")
         self.flux_enabled = flux_enabled
 
         # Kernel + binder.
@@ -107,7 +119,8 @@ class Device:
                              hostname=self.name, tracer=self.tracer)
         self.binder = BinderDriver(
             self.kernel,
-            transaction_cost=self.BINDER_TRANSACTION_COST / profile.cpu_factor)
+            transaction_cost=self.BINDER_TRANSACTION_COST / profile.cpu_factor,
+            metrics=self.metrics)
         self.system_process = self.kernel.create_process(
             "system_server", uid=1000, package="android")
         self.service_manager = ServiceManager(self.binder, self.system_process)
@@ -117,7 +130,8 @@ class Device:
         self.registry.compile_source(all_sources())
         self.call_log = CallLog()
         self.recorder = Recorder(self.registry, self.call_log, self.clock,
-                                 cpu_factor=profile.cpu_factor)
+                                 cpu_factor=profile.cpu_factor,
+                                 metrics=self.metrics)
         self.recorder.enabled = flux_enabled
 
         # Battery.
@@ -168,7 +182,7 @@ class Device:
         self.consistency = ConsistencyManager(self)
         #: Content-addressed chunk cache for pipelined transfers;
         #: persists across migrations so repeat hops transfer less.
-        self.chunk_store = ChunkStore()
+        self.chunk_store = ChunkStore(metrics=self.metrics)
 
     # -- boot --------------------------------------------------------------------
 

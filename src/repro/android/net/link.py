@@ -19,6 +19,7 @@ from dataclasses import dataclass
 from typing import List, Optional
 
 from repro.sim import units
+from repro.sim.metrics import MetricsRegistry, RATE_BUCKETS_MBPS
 from repro.sim.rng import RngFactory
 
 
@@ -82,7 +83,8 @@ class Link:
                  congestion: float = 0.85,
                  rng_factory: Optional[RngFactory] = None,
                  name: str = "wifi",
-                 fault_plan: Optional[LinkFaultPlan] = None) -> None:
+                 fault_plan: Optional[LinkFaultPlan] = None,
+                 metrics: Optional[MetricsRegistry] = None) -> None:
         if bandwidth_mbps <= 0:
             raise LinkError(f"bad bandwidth {bandwidth_mbps!r}")
         if not 0.0 < congestion <= 1.0:
@@ -99,12 +101,30 @@ class Link:
         self._rng = (rng_factory or RngFactory()).stream("link", name)
         self.bytes_transferred = 0
         self.transfers = 0
+        self.retries = 0
         self.faulted = False
+        self.metrics = (metrics if metrics is not None
+                        else MetricsRegistry(enabled=False))
+
+    def _account(self, payload_bytes: int, effective_mbps: float) -> None:
+        self.metrics.counter("link", "bytes_total").inc(payload_bytes)
+        self.metrics.counter("link", "transfers").inc()
+        if effective_mbps > 0:
+            self.metrics.histogram(
+                "link", "effective_mbps",
+                bounds=RATE_BUCKETS_MBPS).observe(effective_mbps)
 
     # -- fault plumbing ------------------------------------------------------
 
     def inject_fault(self, plan: Optional[LinkFaultPlan]) -> None:
-        """Arm (or with ``None`` disarm) a deterministic drop point."""
+        """Arm (or with ``None`` disarm) a deterministic drop point.
+
+        Disarming a *tripped* link counts as a retry: the caller is
+        re-establishing connectivity to attempt the transfer again.
+        """
+        if self.faulted and plan is None:
+            self.retries += 1
+            self.metrics.counter("link", "retries").inc()
         self.fault_plan = plan
         self.faulted = False
 
@@ -138,6 +158,9 @@ class Link:
         self.bytes_transferred += delivered_bytes
         self.transfers += 1
         self.faulted = True
+        self.metrics.counter("link", "bytes_total").inc(delivered_bytes)
+        self.metrics.counter("link", "transfers").inc()
+        self.metrics.counter("link", "faults").inc()
         raise LinkDownError(
             f"link {self.name!r} dropped after {delivered_bytes} bytes "
             "of the failing transfer",
@@ -184,10 +207,12 @@ class Link:
         if payload_bytes == 0:
             # Latency-only control round trip: no goodput was exercised,
             # so no meaningful rate exists (avoid the 0/seconds artifact).
+            self._account(0, 0.0)
             return TransferResult(payload_bytes=0, seconds=seconds,
                                   effective_mbps=0.0)
         effective = (payload_bytes * 8 / seconds / units.MBPS
                      if seconds > 0 else 0.0)
+        self._account(payload_bytes, effective)
         return TransferResult(payload_bytes=payload_bytes, seconds=seconds,
                               effective_mbps=effective)
 
@@ -226,6 +251,7 @@ class Link:
         self.transfers += 1
         effective = (payload_bytes * 8 / seconds / units.MBPS
                      if seconds > 0 else 0.0)
+        self._account(payload_bytes, effective)
         return TransferResult(payload_bytes=payload_bytes, seconds=seconds,
                               effective_mbps=effective)
 
@@ -237,7 +263,8 @@ ADHOC_EFFICIENCY = 0.6
 
 def link_between(home_profile, guest_profile,
                  rng_factory: Optional[RngFactory] = None,
-                 adhoc: bool = False) -> Link:
+                 adhoc: bool = False,
+                 metrics: Optional[MetricsRegistry] = None) -> Link:
     """Link whose goodput is limited by the slower endpoint.
 
     ``adhoc=True`` models the paper's disconnected-operation mode (§1:
@@ -250,5 +277,6 @@ def link_between(home_profile, guest_profile,
     if adhoc:
         return Link(bandwidth_mbps=bandwidth * ADHOC_EFFICIENCY,
                     latency_s=0.002, rng_factory=rng_factory,
-                    name=f"{name}(adhoc)")
-    return Link(bandwidth_mbps=bandwidth, rng_factory=rng_factory, name=name)
+                    name=f"{name}(adhoc)", metrics=metrics)
+    return Link(bandwidth_mbps=bandwidth, rng_factory=rng_factory, name=name,
+                metrics=metrics)

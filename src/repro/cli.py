@@ -8,6 +8,11 @@ Subcommands::
     flux-sim migrate --home P --guest P --app TITLE [--extensions ...]
     flux-sim sweep                         the paper's 4-pair x 16-app sweep
     flux-sim experiments [NAME ...]        regenerate tables/figures
+    flux-sim bench-check [--update]        gate sweep metrics vs BENCH_sweep.json
+
+``migrate`` and ``sweep`` take ``--metrics-out PATH`` to dump the
+per-subsystem metrics registry as JSON, and ``migrate --trace-out``
+includes the registry's counter tracks in the Chrome trace.
 
 Installed as a console script (``pip install -e .``), or run with
 ``python -m repro.cli``.
@@ -140,8 +145,12 @@ def cmd_migrate(args) -> int:
         if error.reason.value in ("multi-process", "preserved-egl-context"):
             print("hint: retry with --extensions all")
         if args.trace_out:
-            home.tracer.write_chrome_trace(args.trace_out)
+            home.tracer.write_chrome_trace(args.trace_out,
+                                           metrics=home.metrics)
             print(f"wrote Chrome trace to {args.trace_out}")
+        if args.metrics_out:
+            _write_migrate_metrics(args.metrics_out, home, guest, failed)
+            print(f"wrote metrics to {args.metrics_out}")
         return 1
     print(f"migrated {spec.title}: {home.profile.model} -> "
           f"{guest.profile.model}")
@@ -156,14 +165,55 @@ def cmd_migrate(args) -> int:
           f"proxy, {report.replay.skipped} skipped)")
     for note in report.replay.adaptations:
         print(f"  adapted: {note}")
+    if report.transfer_chunks_total:
+        cached = report.transfer_chunks_cached
+        total = report.transfer_chunks_total
+        print(f"chunk cache: {cached}/{total} chunks served from the "
+              f"guest's store ({report.chunk_hit_rate:.0%} hit rate, "
+              f"{units.format_size(report.chunk_bytes_cached)} not resent)")
+    if report.dominant_stage:
+        chain = " > ".join(
+            f"{entry['name']} {float(entry['seconds']):.3f}s"
+            for entry in report.critical_path)
+        print(f"critical path: {chain}")
     if args.timeline:
         from repro.core.migration.timeline import render_timeline
         print()
         print(render_timeline(report))
     if args.trace_out:
-        home.tracer.write_chrome_trace(args.trace_out)
+        home.tracer.write_chrome_trace(args.trace_out, metrics=home.metrics)
         print(f"wrote Chrome trace to {args.trace_out}")
+    if args.metrics_out:
+        _write_migrate_metrics(args.metrics_out, home, guest, report)
+        print(f"wrote metrics to {args.metrics_out}")
     return 0
+
+
+def _write_migrate_metrics(path: str, home, guest, report) -> None:
+    """One migration's merged metrics + critical path, as JSON."""
+    import json
+
+    from repro.sim.metrics import merge_snapshots, rollup_counters
+    merged = merge_snapshots([home.metrics.snapshot(),
+                              guest.metrics.snapshot()])
+    document = {
+        "schema": 1,
+        "migration": {
+            "package": report.package,
+            "success": report.success,
+            "refusal": report.refusal.value if report.refusal else None,
+            "faulted_stage": report.faulted_stage,
+            "stages": {s: round(v, 6) for s, v in report.stages.items()},
+            "dominant_stage": report.dominant_stage,
+            "critical_path": report.critical_path,
+            "transferred_bytes": report.transferred_bytes,
+            "chunk_hit_rate": round(report.chunk_hit_rate, 4),
+        },
+        "metrics": merged,
+        "rollup": rollup_counters(merged),
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=1)
 
 
 def cmd_interface(args) -> int:
@@ -199,7 +249,31 @@ def cmd_sweep(args) -> int:
     print(fig14.render())
     print()
     print(fig15.render())
+    if args.metrics_out:
+        import json
+
+        from repro.experiments.harness import (
+            run_sweep,
+            sweep_metrics_document,
+        )
+        document = sweep_metrics_document(run_sweep())
+        with open(args.metrics_out, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, indent=1)
+        print(f"\nwrote sweep metrics to {args.metrics_out} "
+              f"({len(document['rollup'])} counter series, "
+              f"{len(document['apps'])} apps)")
     return 0
+
+
+def cmd_bench_check(args) -> int:
+    from repro.experiments import bench
+    tolerance = (bench.SIM_TOLERANCE if args.tolerance is None
+                 else args.tolerance)
+    code, text = bench.run_check(baseline_path=args.baseline,
+                                 update=args.update,
+                                 tolerance=tolerance)
+    print(text)
+    return code
 
 
 def cmd_experiments(args) -> int:
@@ -248,6 +322,10 @@ def build_parser() -> argparse.ArgumentParser:
                          metavar="N",
                          help="fault injection: fail the guest-side "
                               "restore after N completed steps")
+    migrate.add_argument("--metrics-out", metavar="PATH", default=None,
+                         help="write the merged home+guest metrics "
+                              "registry (counters, gauges, histograms, "
+                              "critical path) as JSON")
     migrate.set_defaults(func=cmd_migrate)
 
     interface = sub.add_parser(
@@ -260,7 +338,25 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--workers", type=int, default=None,
                        help="run device pairs on this many threads "
                             "(results identical to serial)")
+    sweep.add_argument("--metrics-out", metavar="PATH", default=None,
+                       help="write per-pair, per-app and total metrics "
+                            "snapshots for the sweep as JSON")
     sweep.set_defaults(func=cmd_sweep)
+
+    bench_check = sub.add_parser(
+        "bench-check",
+        help="regenerate the sweep and gate its deterministic metrics "
+             "against BENCH_sweep.json")
+    bench_check.add_argument("--baseline", metavar="PATH", default=None,
+                             help="baseline file (default: repo root "
+                                  "BENCH_sweep.json)")
+    bench_check.add_argument("--update", action="store_true",
+                             help="rewrite the baseline from this run "
+                                  "instead of gating")
+    bench_check.add_argument("--tolerance", type=float, default=None,
+                             help="relative drift band for simulated "
+                                  "quantities (default 0.02)")
+    bench_check.set_defaults(func=cmd_bench_check)
 
     experiments = sub.add_parser("experiments",
                                  help="regenerate tables/figures")

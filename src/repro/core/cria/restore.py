@@ -48,8 +48,11 @@ class RestoreFaultPlan:
 
 
 class _StepCounter:
-    def __init__(self, plan: Optional[RestoreFaultPlan]) -> None:
+    def __init__(self, plan: Optional[RestoreFaultPlan],
+                 metrics=None, package: str = "") -> None:
         self._plan = plan
+        self._metrics = metrics
+        self._package = package
         self.steps = 0
 
     def tick(self, label: str) -> None:
@@ -60,6 +63,9 @@ class _StepCounter:
                 f"injected restore fault after {self.steps} steps "
                 f"(before {label})")
         self.steps += 1
+        if self._metrics is not None:
+            self._metrics.counter("cria", "restore_sub_ops",
+                                  app=self._package, step=label).inc()
 
 
 @dataclass
@@ -104,7 +110,8 @@ def restore_app(device, image: CheckpointImage,
     package = image.package
     _check_wrapper(device, image)
 
-    counter = _StepCounter(fault_plan)
+    metrics = getattr(device, "metrics", None)
+    counter = _StepCounter(fault_plan, metrics=metrics, package=package)
     namespace = device.kernel.create_pid_namespace(f"flux:{package}")
 
     main_process = None
@@ -140,6 +147,8 @@ def restore_app(device, image: CheckpointImage,
         device.tracer.emit("cria", "restore-rollback", package=package,
                            processes_killed=len(created),
                            steps_completed=counter.steps)
+        if metrics is not None:
+            metrics.counter("cria", "restore_rollbacks", app=package).inc()
         raise
 
     thread = image.app_payload

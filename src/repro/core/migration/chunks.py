@@ -31,6 +31,7 @@ from typing import Iterable, List, Optional, Tuple
 
 from repro.core.cria.image import CheckpointImage, IMAGE_COMPRESSION_RATIO
 from repro.sim import units
+from repro.sim.metrics import MetricsRegistry
 
 
 #: Raw (uncompressed) bytes per chunk.  256 KB keeps the digest table
@@ -124,7 +125,8 @@ class ChunkStore:
     payload.
     """
 
-    def __init__(self, capacity_bytes: Optional[int] = None) -> None:
+    def __init__(self, capacity_bytes: Optional[int] = None,
+                 metrics: Optional[MetricsRegistry] = None) -> None:
         if capacity_bytes is not None and capacity_bytes <= 0:
             raise ValueError(f"bad capacity {capacity_bytes!r}")
         self.capacity_bytes = capacity_bytes
@@ -133,6 +135,8 @@ class ChunkStore:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.metrics = (metrics if metrics is not None
+                        else MetricsRegistry(enabled=False))
 
     def __len__(self) -> int:
         return len(self._chunks)
@@ -148,6 +152,7 @@ class ChunkStore:
         self._chunks[chunk.digest] = chunk.raw_bytes
         self.bytes_stored += chunk.raw_bytes
         self._evict()
+        self.metrics.gauge("chunks", "store_bytes").set(self.bytes_stored)
 
     def add_many(self, chunks: Iterable[Chunk]) -> None:
         for chunk in chunks:
@@ -170,6 +175,12 @@ class ChunkStore:
             else:
                 missing.append(chunk)
                 self.misses += 1
+        if cached:
+            self.metrics.counter("chunks", "store_hits").inc(len(cached))
+            self.metrics.counter("chunks", "store_bytes_avoided").inc(
+                sum(c.wire_bytes for c in cached))
+        if missing:
+            self.metrics.counter("chunks", "store_misses").inc(len(missing))
         return cached, missing
 
     def clear(self) -> None:
@@ -188,3 +199,4 @@ class ChunkStore:
             _, size = self._chunks.popitem(last=False)
             self.bytes_stored -= size
             self.evictions += 1
+            self.metrics.counter("chunks", "store_evictions").inc()

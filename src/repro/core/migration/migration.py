@@ -70,6 +70,11 @@ class MigrationReport:
     transfer_chunks_cached: int = 0
     chunk_bytes_cached: int = 0
     replay: Optional[ReplayReport] = None
+    #: The stage that dominated this migration's wall time, and the
+    #: dominant-descendant chain under it (derived from the span tree):
+    #: each entry is ``{"name", "category", "seconds", "self_seconds"}``.
+    dominant_stage: Optional[str] = None
+    critical_path: List[Dict[str, object]] = field(default_factory=list)
 
     @property
     def total_seconds(self) -> float:
@@ -112,6 +117,13 @@ class MigrationReport:
     def stage_fraction(self, stage: str) -> float:
         total = self.total_seconds
         return self.stages.get(stage, 0.0) / total if total else 0.0
+
+    def stage_self_seconds(self, stage: str) -> float:
+        """Self time of a stage on the critical path (0.0 if absent)."""
+        for entry in self.critical_path:
+            if entry["name"] == stage:
+                return float(entry["self_seconds"])
+        return 0.0
 
 
 class MigrationService:
@@ -188,7 +200,11 @@ class MigrationService:
                 f"{guest.profile.api_level}")
 
         link = link or link_between(home.profile, guest.profile,
-                                    home.rng_factory)
+                                    home.rng_factory, metrics=home.metrics)
+        if not link.metrics.enabled:
+            # Caller-built links (fault injection, tests) inherit the
+            # home device's registry so transfer metrics are not lost.
+            link.metrics = home.metrics
         ctx = MigrationContext(
             home=home, guest=guest, package=package, link=link,
             report=report, extensions=extensions,

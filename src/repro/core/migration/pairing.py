@@ -76,7 +76,8 @@ class PairingService:
         """Pair this home device with ``guest``; returns the report."""
         home = self.device
         link = link or link_between(home.profile, guest.profile,
-                                    home.rng_factory)
+                                    home.rng_factory,
+                                    metrics=getattr(home, "metrics", None))
         started = home.clock.now
         rsync = RsyncEngine()
 
@@ -154,7 +155,8 @@ class PairingService:
             raise MigrationError(MigrationRefusal.NOT_PAIRED,
                                  f"{home.name} not paired with {guest.name}")
         link = link or link_between(home.profile, guest.profile,
-                                    home.rng_factory)
+                                    home.rng_factory,
+                                    metrics=getattr(home, "metrics", None))
         rsync = RsyncEngine()
         root = flux_root(home.name)
         apk_sync = rsync.sync(home.storage, f"/data/app/{package}.apk",

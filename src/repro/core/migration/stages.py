@@ -187,11 +187,32 @@ class TransferStage(Stage):
             else:
                 report.image_wire_bytes = report.image_compressed_bytes
                 link.transfer(report.transferred_bytes, home.clock)
+                self._index_serial(ctx)
         except LinkDownError as error:
             if not ctx.extensions.pipelined_transfer:
                 report.image_wire_bytes = error.delivered_bytes
             raise MigrationError(MigrationRefusal.LINK_DOWN,
                                  str(error)) from error
+        home.metrics.counter("link", "migration_bytes",
+                             app=ctx.package).inc(report.transferred_bytes)
+
+    def _index_serial(self, ctx: MigrationContext) -> None:
+        """Index the whole-image transfer's chunks in both chunk stores.
+
+        The serial path moves the full compressed image, but both ends
+        still record what crossed: the store is a digest index of chunks
+        a device has received (or sent), whatever transfer mode moved
+        them — so a later ``pipelined_transfer`` hop can dedupe against
+        a serial one.  Pure bookkeeping: no clock, no RNG, no wire.
+        """
+        from repro.core.migration.chunks import chunk_image
+
+        chunks = chunk_image(ctx.image)
+        ctx.guest.chunk_store.add_many(chunks)
+        ctx.home.chunk_store.add_many(chunks)
+        ctx.home.metrics.counter(
+            "chunks", "wire_bytes", app=ctx.package).inc(
+            sum(c.wire_bytes for c in chunks))
 
     def _pipelined(self, ctx: MigrationContext) -> None:
         """Chunked transfer: digest negotiation, chunk cache, pipeline.
@@ -211,6 +232,13 @@ class TransferStage(Stage):
         report.transfer_chunks_total = len(plan)
         report.transfer_chunks_cached = len(cached)
         report.chunk_bytes_cached = sum(c.raw_bytes for c in cached)
+        metrics = home.metrics
+        metrics.counter("chunks", "hits", app=ctx.package).inc(len(cached))
+        metrics.counter("chunks", "misses", app=ctx.package).inc(len(missing))
+        metrics.counter("chunks", "bytes_avoided", app=ctx.package).inc(
+            sum(c.wire_bytes for c in cached))
+        metrics.counter("chunks", "wire_bytes", app=ctx.package).inc(
+            sum(c.wire_bytes for c in missing))
 
         # Digest negotiation + the data delta ride one round trip.
         negotiation_bytes = costs.CHUNK_DIGEST_BYTES * len(plan)
@@ -431,9 +459,24 @@ class StagePipeline:
 
     def _derive_stage_times(self, ctx: MigrationContext, root) -> None:
         """``report.stages`` from the span tree (was: ad-hoc Stopwatch)."""
-        for span in root.children:
-            if span.category == "stage" and span.closed:
-                ctx.report.stages[span.name] = span.duration
+        from repro.sim.trace import critical_path
+
+        stage_spans = [span for span in root.children
+                       if span.category == "stage" and span.closed]
+        for span in stage_spans:
+            ctx.report.stages[span.name] = span.duration
+        if not stage_spans:
+            return
+        dominant = max(stage_spans, key=lambda s: s.duration)
+        ctx.report.dominant_stage = dominant.name
+        ctx.report.critical_path = [
+            {"name": span.name, "category": span.category,
+             "seconds": span.duration, "self_seconds": span.self_seconds}
+            for span in critical_path(dominant)]
+        metrics = getattr(ctx.home, "metrics", None)
+        if metrics is not None:
+            metrics.counter("migration", "dominant_stage",
+                            stage=dominant.name, app=ctx.package).inc()
 
     def _rollback(self, ctx: MigrationContext, faulted: Stage,
                   completed: List[Stage], reason: str) -> None:

@@ -15,6 +15,7 @@ from typing import Any, Dict, Optional
 from repro.android.aidl.registry import InterfaceRegistry
 from repro.core.record.log import CallLog, CallRecord
 from repro.core.record.rules import apply_drop_rules
+from repro.sim.metrics import MetricsRegistry
 
 
 class RecorderError(Exception):
@@ -30,11 +31,14 @@ class Recorder:
     RECORD_CPU_COST = 2e-5
 
     def __init__(self, registry: InterfaceRegistry, log: CallLog, clock,
-                 cpu_factor: float = 1.0) -> None:
+                 cpu_factor: float = 1.0,
+                 metrics: Optional[MetricsRegistry] = None) -> None:
         self._registry = registry
         self._log = log
         self._clock = clock
         self._cpu_factor = cpu_factor
+        self.metrics = (metrics if metrics is not None
+                        else MetricsRegistry(enabled=False))
         self.enabled = True
         #: When False, drop rules are skipped and every decorated call is
         #: kept — the strawman "record everything" design the paper argues
@@ -57,6 +61,7 @@ class Recorder:
         if not self.enabled:
             return None
         self.calls_seen += 1
+        self.metrics.counter("record", "calls_seen", app=app).inc()
         meta = self._registry.meta(descriptor).method(method)
         if not meta.recorded or meta.decoration is None:
             raise RecorderError(
@@ -67,13 +72,25 @@ class Recorder:
         if self.prune:
             outcome = apply_drop_rules(self._log, app, descriptor, method,
                                        args, meta.decoration)
+            if outcome.removed_count:
+                # Stale entries dropped, attributed to the rule (the
+                # decorated method) that pruned them.
+                self.metrics.counter(
+                    "record", "calls_pruned", app=app,
+                    rule=f"{descriptor}.{method}",
+                ).inc(outcome.removed_count)
             if outcome.suppress_current:
                 self.calls_suppressed += 1
+                self.metrics.counter("record", "calls_suppressed",
+                                     app=app).inc()
                 return None
         record = self._log.append(time=self._clock.now, app=app,
                                   interface=descriptor, method=method,
                                   args=args, result=result)
         self.calls_recorded += 1
+        self.metrics.counter("record", "calls_recorded", app=app).inc()
+        self.metrics.counter("record", "log_bytes",
+                             app=app).inc(record.estimated_size())
         return record
 
     def extract_app_log(self, app: str):

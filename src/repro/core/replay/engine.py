@@ -18,6 +18,7 @@ from typing import Any, Dict, List, Optional
 from repro.android.binder.ibinder import IBinder
 from repro.android.services.aidl_sources import SERVICE_SPECS
 from repro.core.replay.proxies import lookup as lookup_proxy
+from repro.sim.metrics import MetricsRegistry
 
 
 DESCRIPTOR_TO_KEY: Dict[str, str] = {
@@ -68,6 +69,9 @@ class ReplaySession:
         self.home_location_service = home_location_service
         self.checkpoint_time = image.checkpoint_time
         self.report = ReplayReport(package=image.package)
+        device_metrics = getattr(device, "metrics", None)
+        self.metrics = (device_metrics if device_metrics is not None
+                        else MetricsRegistry(enabled=False))
         self._home_volumes: Dict[int, int] = dict(
             image.metadata.get("stream_max_volumes", {}))
         self._pending = {ref.handle: ref for ref in restored.pending_refs}
@@ -103,6 +107,11 @@ class ReplaySession:
     # -- the replay loop ---------------------------------------------------------
 
     def replay_all(self) -> ReplayReport:
+        # inc(0) still creates the series: an app whose log pruned to
+        # nothing shows up as "0 entries replayed", not as a gap.
+        self.metrics.counter("replay", "log_entries",
+                             app=self.report.package).inc(
+            len(self.image.record_log))
         for entry in self.image.record_log:
             self._dispatch(entry)
         if self._pending:
@@ -116,15 +125,20 @@ class ReplaySession:
         return self.report
 
     def _dispatch(self, entry) -> None:
+        app = self.report.package
         meta = self.device.registry.meta(entry.interface).method(entry.method)
         proxy_name = meta.replay_proxy
         if proxy_name is not None:
             lookup_proxy(proxy_name)(self, entry)
+            self.metrics.counter("replay", "calls_proxied", app=app,
+                                 proxy=proxy_name).inc()
             return
         if self._should_skip(entry):
+            self.metrics.counter("replay", "calls_skipped", app=app).inc()
             return
         self.invoke(entry)
         self.report.replayed += 1
+        self.metrics.counter("replay", "calls_replayed", app=app).inc()
 
     def _should_skip(self, entry) -> bool:
         """Calls that cannot be expressed at all on the guest's hardware."""
@@ -189,6 +203,9 @@ class ReplaySession:
                 f"guest lacks provider {provider!r}; falling back to "
                 f"{fallback!r} (user may instead proxy {provider} over the "
                 "network to the home device)")
+            self.metrics.counter("replay", "calls_remapped",
+                                 app=self.report.package,
+                                 provider=str(provider)).inc()
             args = dict(args)
             args["provider"] = fallback
         return args

@@ -16,11 +16,13 @@ from repro.experiments import (
     transfer_ablation,
 )
 from repro.experiments.harness import (
+    PairOutcome,
     SweepResult,
     format_table,
     pair_label,
     run_pair,
     run_sweep,
+    sweep_metrics_document,
 )
 
 ALL_EXPERIMENTS = {
@@ -40,8 +42,9 @@ ALL_EXPERIMENTS = {
 }
 
 __all__ = [
-    "ALL_EXPERIMENTS", "SweepResult", "format_table", "pair_label",
-    "run_pair", "run_sweep", "app_support", "fault_ablation", "fig12",
-    "fig13", "fig14", "fig15", "fig16", "fig17", "pairing_cost", "table1",
-    "table2", "table3", "transfer_ablation",
+    "ALL_EXPERIMENTS", "PairOutcome", "SweepResult", "format_table",
+    "pair_label", "run_pair", "run_sweep", "sweep_metrics_document",
+    "app_support", "fault_ablation", "fig12", "fig13", "fig14", "fig15",
+    "fig16", "fig17", "pairing_cost", "table1", "table2", "table3",
+    "transfer_ablation",
 ]

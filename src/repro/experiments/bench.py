@@ -1,0 +1,194 @@
+"""Sweep benchmark payloads and the ``bench-check`` regression gate.
+
+``BENCH_sweep.json`` (repo root) records what regenerating the Figure 12
+sweep costs and produces.  Schema 2 splits the record in two:
+
+* ``wall`` — real serial/parallel wall-clock seconds for the sweep.
+  **Informational only**: wall clock depends on the machine, the
+  interpreter, and background load, so it is reported but never gated.
+* ``sim`` — quantities computed *inside* the simulation: average stage
+  timings on the virtual clock and the per-subsystem counter totals
+  from the metrics registry.  These are deterministic for a given seed,
+  so a drift here means the simulation's behavior changed — that is
+  what :func:`check` gates, within a small tolerance band that absorbs
+  intentional rounding.
+
+``flux-sim bench-check`` runs the sweep, rebuilds the payload, and
+compares it against the committed baseline; ``--update`` rewrites the
+baseline instead (do this deliberately, in the commit that changes the
+simulation, and say why in CHANGES.md).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from repro.experiments.harness import SweepResult, run_sweep
+from repro.sim.metrics import rollup_counters
+
+
+SCHEMA_VERSION = 2
+BENCH_PATH = Path(__file__).resolve().parents[3] / "BENCH_sweep.json"
+WORKERS = 4
+
+#: Relative drift allowed on gated simulation quantities.  The sweep is
+#: deterministic, so in principle this could be zero; 2% absorbs
+#: deliberate rounding in the payload and tiny float-summation changes.
+SIM_TOLERANCE = 0.02
+
+#: The counter totals the gate watches — one load-bearing series per
+#: instrumented subsystem, so a silent regression in any layer
+#: (interposition, record, replay, chunk cache, link, CRIA) moves at
+#: least one of them.
+GATED_COUNTERS = (
+    "binder/transactions",
+    "binder/parcel_bytes",
+    "record/calls_recorded",
+    "record/calls_pruned",
+    "replay/calls_replayed",
+    "replay/calls_proxied",
+    "chunks/wire_bytes",
+    "link/bytes_total",
+    "link/transfers",
+    "cria/checkpoints",
+    "cria/pages",
+    "cria/restore_sub_ops",
+)
+
+
+def measure_sweep(workers: int = WORKERS
+                  ) -> Tuple[SweepResult, SweepResult, float, float]:
+    """Time the serial and parallel sweep; returns both plus seconds."""
+    start = time.perf_counter()
+    serial = run_sweep(use_cache=False, workers=1)
+    serial_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    parallel = run_sweep(use_cache=False, workers=workers)
+    parallel_s = time.perf_counter() - start
+    return serial, parallel, serial_s, parallel_s
+
+
+def build_payload(sweep: SweepResult, serial_s: float, parallel_s: float,
+                  workers: int = WORKERS) -> Dict:
+    """The schema-2 ``BENCH_sweep.json`` document for one sweep run."""
+    rollup = rollup_counters(sweep.merged_metrics())
+    dominant: Dict[str, int] = {}
+    for report in sweep.all_reports():
+        stage = report.dominant_stage or "?"
+        dominant[stage] = dominant.get(stage, 0) + 1
+    return {
+        "benchmark": "fig12_sweep_wall_clock",
+        "schema": SCHEMA_VERSION,
+        "workers": workers,
+        "cells": len(sweep.reports),
+        "wall": {
+            "serial_s": round(serial_s, 4),
+            "parallel_s": round(parallel_s, 4),
+            "speedup": (round(serial_s / parallel_s, 3)
+                        if parallel_s else None),
+        },
+        "sim": {
+            "avg_total_seconds": round(sweep.average_total_seconds(), 4),
+            "avg_perceived_seconds": round(
+                sweep.average_perceived_seconds(), 4),
+            "avg_non_transfer_seconds": round(
+                sweep.average_non_transfer_seconds(), 4),
+            "dominant_stages": dict(sorted(dominant.items())),
+            "counters": {key: rollup.get(key, 0) for key in GATED_COUNTERS},
+        },
+    }
+
+
+def _relative_drift(current: float, baseline: float) -> float:
+    if baseline == 0:
+        return 0.0 if current == 0 else float("inf")
+    return abs(current - baseline) / abs(baseline)
+
+
+def check(current: Dict, baseline: Dict,
+          tolerance: float = SIM_TOLERANCE) -> List[str]:
+    """Problems (empty = pass) comparing ``current`` vs ``baseline``.
+
+    Only the ``sim`` section gates; a schema-1 baseline (no ``sim``)
+    is itself a problem — refresh it with ``bench-check --update``.
+    """
+    problems: List[str] = []
+    base_sim = baseline.get("sim")
+    if not base_sim:
+        return [f"baseline has no 'sim' section (schema "
+                f"{baseline.get('schema', 1)}); refresh it with "
+                "'flux-sim bench-check --update'"]
+    sim = current["sim"]
+
+    if current.get("cells") != baseline.get("cells"):
+        problems.append(f"sweep cells changed: {baseline.get('cells')} "
+                        f"-> {current.get('cells')}")
+
+    for field in ("avg_total_seconds", "avg_perceived_seconds",
+                  "avg_non_transfer_seconds"):
+        drift = _relative_drift(sim[field], base_sim.get(field, 0))
+        if drift > tolerance:
+            problems.append(
+                f"{field}: {base_sim.get(field)} -> {sim[field]} "
+                f"({drift:+.1%} > {tolerance:.0%} band)")
+
+    base_counters = base_sim.get("counters", {})
+    for key, value in sim["counters"].items():
+        if key not in base_counters:
+            continue            # counter added since the baseline: fine
+        drift = _relative_drift(value, base_counters[key])
+        if drift > tolerance:
+            problems.append(
+                f"counter {key}: {base_counters[key]} -> {value} "
+                f"({drift:+.1%} > {tolerance:.0%} band)")
+
+    if sim.get("dominant_stages") != base_sim.get("dominant_stages"):
+        problems.append(
+            f"dominant-stage mix changed: {base_sim.get('dominant_stages')} "
+            f"-> {sim.get('dominant_stages')}")
+    return problems
+
+
+def format_report(current: Dict, baseline: Dict,
+                  problems: List[str]) -> str:
+    lines = []
+    wall = current.get("wall", {})
+    base_wall = baseline.get("wall", {})
+    lines.append(
+        f"sweep wall clock: serial {wall.get('serial_s')}s, "
+        f"parallel({current.get('workers')}) {wall.get('parallel_s')}s "
+        f"(baseline {base_wall.get('serial_s', '?')}s / "
+        f"{base_wall.get('parallel_s', '?')}s; informational)")
+    if problems:
+        lines.append(f"BENCH CHECK FAILED ({len(problems)} problem(s)):")
+        lines.extend(f"  - {p}" for p in problems)
+    else:
+        sim = current.get("sim", {})
+        lines.append(
+            f"bench check OK: {current.get('cells')} cells, avg total "
+            f"{sim.get('avg_total_seconds')}s, all "
+            f"{len(sim.get('counters', {}))} gated counters within "
+            f"{SIM_TOLERANCE:.0%}")
+    return "\n".join(lines)
+
+
+def run_check(baseline_path: Optional[Path] = None, update: bool = False,
+              tolerance: float = SIM_TOLERANCE,
+              workers: int = WORKERS) -> Tuple[int, str]:
+    """Drive a full bench check (or baseline refresh); (exit, text)."""
+    path = Path(baseline_path) if baseline_path else BENCH_PATH
+    sweep, _, serial_s, parallel_s = measure_sweep(workers=workers)
+    current = build_payload(sweep, serial_s, parallel_s, workers=workers)
+
+    if update or not path.exists():
+        path.write_text(json.dumps(current, indent=2) + "\n")
+        return 0, (f"wrote baseline {path} (schema {SCHEMA_VERSION}, "
+                   f"{current['cells']} cells)")
+
+    baseline = json.loads(path.read_text())
+    problems = check(current, baseline, tolerance=tolerance)
+    return (1 if problems else 0), format_report(current, baseline, problems)

@@ -10,7 +10,7 @@ from __future__ import annotations
 import os
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, NamedTuple, Optional, Sequence, Tuple
 
 from repro.android.device import Device
 from repro.android.hardware.profiles import PAPER_DEVICE_PAIRS, DeviceProfile
@@ -19,6 +19,12 @@ from repro.apps.common import AppSpec
 from repro.core.cria.errors import MigrationError, MigrationRefusal
 from repro.core.migration.migration import MigrationReport
 from repro.sim import SimClock
+from repro.sim.metrics import (
+    empty_snapshot,
+    merge_snapshots,
+    rollup_counters,
+    snapshot_by_label,
+)
 from repro.sim.rng import RngFactory
 
 
@@ -35,6 +41,8 @@ class SweepResult:
     #: (pair_label, package) -> refusal for expected failures
     refusals: Dict[Tuple[str, str], MigrationRefusal] = field(
         default_factory=dict)
+    #: pair_label -> merged (home + guest) metrics snapshot for the pair.
+    pair_metrics: Dict[str, Dict] = field(default_factory=dict)
 
     def report_for(self, pair: str, package: str) -> MigrationReport:
         return self.reports[(pair, package)]
@@ -63,12 +71,35 @@ class SweepResult:
         reports = self.all_reports()
         return sum(r.stage_fraction(stage) for r in reports) / len(reports)
 
+    # -- metrics aggregation ---------------------------------------------------
+
+    def merged_metrics(self) -> Dict:
+        """One snapshot over every device pair (counters/histograms add,
+        gauges take the maximum) — deterministic regardless of sweep
+        parallelism because snapshots merge in pair-label order."""
+        return merge_snapshots(
+            self.pair_metrics.get(label) or empty_snapshot()
+            for label in self.pair_labels)
+
+    def app_metrics(self) -> Dict[str, Dict]:
+        """Per-app snapshots: the merged snapshot partitioned by the
+        ``app`` label (device-level series land under ``""``)."""
+        return snapshot_by_label(self.merged_metrics(), "app")
+
+
+class PairOutcome(NamedTuple):
+    """What one device pair's simulation produced."""
+
+    reports: Dict[str, MigrationReport]
+    refusals: Dict[str, MigrationRefusal]
+    #: Merged home + guest metrics snapshot for this pair's simulation.
+    metrics: Dict
+
 
 def run_pair(home_profile: DeviceProfile, guest_profile: DeviceProfile,
              apps: Sequence[AppSpec], seed: int = 0,
              include_failures: bool = False,
-             ) -> Tuple[Dict[str, MigrationReport],
-                        Dict[str, MigrationRefusal]]:
+             ) -> PairOutcome:
     """One device pair: install, pair, run workloads, migrate each app."""
     clock = SimClock()
     rng_factory = RngFactory(seed)
@@ -91,7 +122,9 @@ def run_pair(home_profile: DeviceProfile, guest_profile: DeviceProfile,
                 raise
             refusals[spec.package] = error.reason
             home.terminate_app(spec.package)
-    return reports, refusals
+    metrics = merge_snapshots([home.metrics.snapshot(),
+                               guest.metrics.snapshot()])
+    return PairOutcome(reports=reports, refusals=refusals, metrics=metrics)
 
 
 _SWEEP_CACHE: Dict[Tuple, SweepResult] = {}
@@ -151,21 +184,58 @@ def run_sweep(apps: Sequence[AppSpec] = MIGRATABLE_APPS,
     labels = []
     reports: Dict[Tuple[str, str], MigrationReport] = {}
     refusals: Dict[Tuple[str, str], MigrationRefusal] = {}
-    for (home_profile, guest_profile), (pair_reports, pair_refusals) \
-            in zip(pairs, pair_results):
+    pair_metrics: Dict[str, Dict] = {}
+    for (home_profile, guest_profile), outcome in zip(pairs, pair_results):
         label = pair_label(home_profile, guest_profile)
         labels.append(label)
-        for package, report in pair_reports.items():
+        for package, report in outcome.reports.items():
             reports[(label, package)] = report
-        for package, refusal in pair_refusals.items():
+        for package, refusal in outcome.refusals.items():
             refusals[(label, package)] = refusal
+        pair_metrics[label] = outcome.metrics
 
     result = SweepResult(pair_labels=labels,
                          app_titles=[a.title for a in apps],
-                         reports=reports, refusals=refusals)
+                         reports=reports, refusals=refusals,
+                         pair_metrics=pair_metrics)
     if use_cache:
         _SWEEP_CACHE[key] = result
     return result
+
+
+def sweep_metrics_document(sweep: SweepResult) -> Dict:
+    """JSON-ready observability document for a finished sweep.
+
+    Deterministic (sorted keys, virtual-clock quantities only except
+    where noted): per-pair snapshots, the cross-pair merge, label-free
+    counter totals, per-app partitions, and one row per migration with
+    its dominant stage and critical path.
+    """
+    merged = sweep.merged_metrics()
+    migrations = []
+    for (pair, package) in sorted(sweep.reports):
+        report = sweep.reports[(pair, package)]
+        migrations.append({
+            "pair": pair,
+            "package": package,
+            "total_seconds": round(report.total_seconds, 6),
+            "stages": {s: round(v, 6) for s, v in report.stages.items()},
+            "dominant_stage": report.dominant_stage,
+            "critical_path": report.critical_path,
+            "transferred_bytes": report.transferred_bytes,
+            "chunk_hit_rate": round(report.chunk_hit_rate, 4),
+        })
+    return {
+        "schema": 1,
+        "pairs": dict(sorted(sweep.pair_metrics.items())),
+        "totals": merged,
+        "rollup": rollup_counters(merged),
+        "apps": sweep.app_metrics(),
+        "migrations": migrations,
+        "refusals": {f"{pair}/{package}": refusal.value
+                     for (pair, package), refusal
+                     in sorted(sweep.refusals.items())},
+    }
 
 
 def format_table(headers: Sequence[str], rows: Sequence[Sequence],

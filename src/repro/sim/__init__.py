@@ -1,8 +1,16 @@
 """Deterministic simulation substrate: virtual clock, seeded RNG, tracing."""
 
 from repro.sim.clock import ClockError, SimClock, Stopwatch, StopwatchSpan, TimerHandle
+from repro.sim.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsError,
+    MetricsRegistry,
+    merge_snapshots,
+)
 from repro.sim.rng import DEFAULT_SEED, RngFactory, derive_seed
-from repro.sim.trace import Span, TraceEvent, Tracer
+from repro.sim.trace import Span, TraceEvent, Tracer, critical_path
 from repro.sim import units
 
 __all__ = [
@@ -17,5 +25,12 @@ __all__ = [
     "Span",
     "TraceEvent",
     "Tracer",
+    "critical_path",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsError",
+    "MetricsRegistry",
+    "merge_snapshots",
     "units",
 ]

@@ -60,6 +60,17 @@ class Span:
     def closed(self) -> bool:
         return self.end is not None
 
+    @property
+    def self_seconds(self) -> float:
+        """Time spent in this span itself, excluding closed children.
+
+        Analytic child intervals may overlap (pipelined chunk windows),
+        so the subtraction is clamped at zero rather than allowed to go
+        negative.
+        """
+        child_time = sum(c.duration for c in self.children if c.closed)
+        return max(0.0, self.duration - child_time)
+
     def annotate(self, **detail: Any) -> None:
         self.detail.update(detail)
 
@@ -76,6 +87,26 @@ class Span:
         yield self
         for child in self.children:
             yield from child.walk()
+
+
+def critical_path(span: Span) -> List[Span]:
+    """The dominant-descendant chain starting at ``span``.
+
+    At each level the closed child with the largest duration is
+    followed (first such child on ties, which is deterministic because
+    children keep execution order).  For a migration span this names
+    the dominant stage, then the dominant sub-operation inside it —
+    the chain an optimization would have to shorten to move the
+    end-to-end number.
+    """
+    path = [span]
+    node = span
+    while True:
+        closed_children = [c for c in node.children if c.closed]
+        if not closed_children:
+            return path
+        node = max(closed_children, key=lambda c: c.duration)
+        path.append(node)
 
 
 class _SpanHandle:
@@ -216,12 +247,20 @@ class Tracer:
 
     # -- Chrome-trace export -----------------------------------------------------
 
-    def chrome_trace(self) -> Dict[str, Any]:
+    def chrome_trace(self, metrics=None) -> Dict[str, Any]:
         """The span tree as a Chrome-trace ("traceEvents") dict.
 
         Complete ("ph": "X") events with microsecond timestamps; the
         viewer reconstructs nesting from the containment of intervals.
-        Open spans are exported as zero-length instants at their start.
+        A span still open at export time is closed *at the current
+        virtual time* and marked with a ``"flux.incomplete": true``
+        arg, so the viewer shows a real interval instead of a
+        malformed/invisible event and the reader can tell it never
+        finished.
+
+        ``metrics`` (a :class:`repro.sim.metrics.MetricsRegistry`)
+        additionally appends the registry's timeline samples as counter
+        ("C"-phase) tracks.
         """
         trace_events: List[Dict[str, Any]] = []
         for root in self._roots:
@@ -232,18 +271,26 @@ class Tracer:
                     "pid": 1,
                     "tid": 1,
                     "ts": round(span.start * 1e6, 3),
+                    "ph": "X",
                 }
+                args = {k: v for k, v in span.detail.items()}
                 if span.closed:
-                    event["ph"] = "X"
                     event["dur"] = round(span.duration * 1e6, 3)
                 else:
-                    event["ph"] = "i"
-                    event["s"] = "t"
-                if span.detail:
-                    event["args"] = {k: v for k, v in span.detail.items()}
+                    if self._clock.now < span.start:
+                        raise ValueError(
+                            f"span {span.name!r} starts in the future; "
+                            "cannot export an open span before its start")
+                    event["dur"] = round(
+                        (self._clock.now - span.start) * 1e6, 3)
+                    args["flux.incomplete"] = True
+                if args:
+                    event["args"] = args
                 trace_events.append(event)
+        if metrics is not None:
+            trace_events.extend(metrics.chrome_counter_events())
         return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
 
-    def write_chrome_trace(self, path: str) -> None:
+    def write_chrome_trace(self, path: str, metrics=None) -> None:
         with open(path, "w", encoding="utf-8") as handle:
-            json.dump(self.chrome_trace(), handle, indent=1)
+            json.dump(self.chrome_trace(metrics=metrics), handle, indent=1)

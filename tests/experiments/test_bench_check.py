@@ -1,0 +1,111 @@
+"""The bench-check gate's comparison logic (pure, no sweep runs)."""
+
+import pytest
+
+from repro.experiments import bench
+
+
+def _payload(**overrides):
+    sim = {
+        "avg_total_seconds": 10.0,
+        "avg_perceived_seconds": 4.0,
+        "avg_non_transfer_seconds": 2.0,
+        "dominant_stages": {"transfer": 60, "checkpoint": 4},
+        "counters": {"binder/transactions": 1000, "cria/pages": 5000},
+    }
+    sim.update(overrides.pop("sim", {}))
+    payload = {
+        "benchmark": "fig12_sweep_wall_clock",
+        "schema": bench.SCHEMA_VERSION,
+        "workers": 4,
+        "cells": 64,
+        "wall": {"serial_s": 0.4, "parallel_s": 0.4, "speedup": 1.0},
+        "sim": sim,
+    }
+    payload.update(overrides)
+    return payload
+
+
+class TestCheck:
+    def test_identical_payloads_pass(self):
+        assert bench.check(_payload(), _payload()) == []
+
+    def test_drift_within_band_passes(self):
+        current = _payload(sim={"avg_total_seconds": 10.1})
+        assert bench.check(current, _payload(), tolerance=0.02) == []
+
+    def test_sim_timing_drift_fails(self):
+        current = _payload(sim={"avg_total_seconds": 11.0})
+        problems = bench.check(current, _payload(), tolerance=0.02)
+        assert any("avg_total_seconds" in p for p in problems)
+
+    def test_counter_drift_fails(self):
+        current = _payload(
+            sim={"counters": {"binder/transactions": 1500,
+                              "cria/pages": 5000}})
+        problems = bench.check(current, _payload())
+        assert any("binder/transactions" in p for p in problems)
+
+    def test_new_counter_not_in_baseline_is_fine(self):
+        current = _payload(
+            sim={"counters": {"binder/transactions": 1000,
+                              "cria/pages": 5000,
+                              "link/bytes_total": 123}})
+        assert bench.check(current, _payload()) == []
+
+    def test_cell_count_change_fails(self):
+        problems = bench.check(_payload(cells=60), _payload())
+        assert any("cells" in p for p in problems)
+
+    def test_dominant_stage_mix_change_fails(self):
+        current = _payload(
+            sim={"dominant_stages": {"transfer": 59, "checkpoint": 5}})
+        problems = bench.check(current, _payload())
+        assert any("dominant-stage" in p for p in problems)
+
+    def test_schema1_baseline_demands_update(self):
+        baseline = {"benchmark": "fig12_sweep_wall_clock", "serial_s": 0.4}
+        problems = bench.check(_payload(), baseline)
+        assert len(problems) == 1
+        assert "--update" in problems[0]
+
+    def test_zero_baseline_counter_gates_exactly(self):
+        baseline = _payload(
+            sim={"counters": {"binder/transactions": 0,
+                              "cria/pages": 5000}})
+        same = _payload(
+            sim={"counters": {"binder/transactions": 0,
+                              "cria/pages": 5000}})
+        assert bench.check(same, baseline) == []
+        grown = _payload(
+            sim={"counters": {"binder/transactions": 1,
+                              "cria/pages": 5000}})
+        assert bench.check(grown, baseline) != []
+
+
+class TestFormatReport:
+    def test_pass_report_mentions_counters(self):
+        text = bench.format_report(_payload(), _payload(), [])
+        assert "bench check OK" in text
+        assert "informational" in text
+
+    def test_fail_report_lists_problems(self):
+        problems = ["counter cria/pages: 5000 -> 9000 (+80.0% > 2% band)"]
+        text = bench.format_report(_payload(), _payload(), problems)
+        assert "BENCH CHECK FAILED" in text
+        assert "cria/pages" in text
+
+
+class TestRunCheck:
+    @pytest.fixture
+    def baseline_path(self, tmp_path):
+        return tmp_path / "BENCH_sweep.json"
+
+    def test_missing_baseline_writes_one(self, baseline_path):
+        code, text = bench.run_check(baseline_path=baseline_path, workers=2)
+        assert code == 0
+        assert "wrote baseline" in text
+        assert baseline_path.exists()
+        code, text = bench.run_check(baseline_path=baseline_path, workers=2)
+        assert code == 0
+        assert "bench check OK" in text

@@ -205,12 +205,30 @@ class TestPipelinedMigration:
         repeat = self._migrate(home, guest)
         assert repeat.transfer_chunks_cached == 0
 
-    def test_default_path_untouched(self, device_pair):
+    def test_default_path_moves_whole_image(self, device_pair):
         home, guest = device_pair
         launch_demo(home)
         home.pairing_service.pair(guest)
         report = home.migration_service.migrate(guest, DEMO_PACKAGE)
+        # No digest negotiation on the serial path: the full compressed
+        # image crosses the wire and nothing is reported as chunked.
         assert report.transfer_chunks_total == 0
         assert report.chunk_hit_rate == 0.0
         assert report.image_wire_bytes == report.image_compressed_bytes
-        assert len(guest.chunk_store) == 0
+        # ...but both ends still index what crossed, so a later
+        # pipelined hop can dedupe against a serial one.
+        assert len(guest.chunk_store) > 0
+        assert guest.chunk_store.hits == 0
+        assert guest.chunk_store.misses == 0
+
+    def test_pipelined_after_serial_dedupes(self, device_pair):
+        home, guest = device_pair
+        launch_demo(home)
+        home.pairing_service.pair(guest)
+        home.migration_service.migrate(guest, DEMO_PACKAGE)
+        # Send it back serially too, then pipeline a repeat hop: the
+        # unchanged regions were indexed by the serial transfers.
+        guest.migration_service.migrate(home, DEMO_PACKAGE)
+        repeat = self._migrate(home, guest)
+        assert repeat.transfer_chunks_cached > 0
+        assert repeat.image_wire_bytes < repeat.image_compressed_bytes

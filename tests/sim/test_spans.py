@@ -102,12 +102,15 @@ class TestChromeTraceExport:
         assert events["transfer"]["cat"] == "stage"
         assert events["migration"]["args"] == {"package": "p"}
 
-    def test_open_span_exported_as_instant(self, tracer, clock):
+    def test_open_span_closed_at_now_and_flagged(self, tracer, clock):
         clock.advance(1.5)
         tracer.span("never-closed")
+        clock.advance(0.5)
         [event] = tracer.chrome_trace()["traceEvents"]
-        assert event["ph"] == "i"
+        assert event["ph"] == "X"
         assert event["ts"] == pytest.approx(1_500_000)
+        assert event["dur"] == pytest.approx(500_000)
+        assert event["args"]["flux.incomplete"] is True
 
     def test_export_is_valid_json(self, tracer, clock, tmp_path):
         with tracer.span("m"):

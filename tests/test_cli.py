@@ -96,9 +96,9 @@ class TestTimelineModule:
         from repro.experiments.harness import run_pair
         from repro.android.hardware.profiles import NEXUS_4, NEXUS_7_2013
         from repro.apps import app_by_title
-        reports, _ = run_pair(NEXUS_4, NEXUS_7_2013,
-                              [app_by_title("ZEDGE"), app_by_title("eBay")],
-                              seed=3)
+        reports = run_pair(NEXUS_4, NEXUS_7_2013,
+                           [app_by_title("ZEDGE"), app_by_title("eBay")],
+                           seed=3).reports
         strip = render_sweep_strip(list(reports.values()))
         assert "legend" in strip
         assert strip.count("|") >= 4
