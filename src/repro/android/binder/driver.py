@@ -20,25 +20,16 @@ from typing import Any, Callable, Dict, List, Optional
 
 from repro.android.kernel.process import Process
 from repro.android.binder.parcel import Parcel
-from repro.sim.metrics import MetricsRegistry, TIME_BUCKETS_S
+from repro.sim.events import FlightRecorder
+from repro.sim.metrics import (
+    MetricsRegistry,
+    TIME_BUCKETS_S,
+    fold_instance_label,
+)
 
 
 class BinderError(Exception):
     """Binder protocol violations."""
-
-
-def _metric_interface(label: str) -> str:
-    """Metric label for a node: per-instance ids stripped.
-
-    Node labels like ``sensor-connection:7`` carry a process-global
-    instance id whose value depends on allocation order across sweep
-    workers; folding them to ``sensor-connection`` keeps metric keys
-    deterministic (and the label cardinality bounded).
-    """
-    base, sep, suffix = label.rpartition(":")
-    if sep and suffix.isdigit():
-        return base
-    return label
 
 
 class DeadObjectError(BinderError):
@@ -94,16 +85,24 @@ class BinderDriver:
     SERVICE_MANAGER_HANDLE = 0
 
     def __init__(self, kernel, transaction_cost: float = 0.0,
-                 metrics: Optional[MetricsRegistry] = None) -> None:
+                 metrics: Optional[MetricsRegistry] = None,
+                 events: Optional[FlightRecorder] = None) -> None:
         self.kernel = kernel
         self.transaction_cost = transaction_cost
         self._states: Dict[int, ProcessBinderState] = {}
         self._context_manager: Optional[BinderNode] = None
+        #: Monotonic per-device transaction counter; doubles as the
+        #: causal transaction id (``txn``) in the event log.  It
+        #: increments whether or not event logging is enabled, so ids
+        #: are stable across both modes.
         self.total_transactions = 0
         #: Telemetry sink; a disabled registry when the driver is used
         #: standalone (unit tests), the device's registry otherwise.
         self.metrics = (metrics if metrics is not None
                         else MetricsRegistry(enabled=False))
+        #: Causal event log; a disabled recorder standalone.
+        self.events = (events if events is not None
+                       else FlightRecorder(enabled=False))
         kernel.binder = self
 
     # -- state bookkeeping ---------------------------------------------------
@@ -226,8 +225,10 @@ class BinderDriver:
         state.transactions += 1
         state.buffer_bytes = max(state.buffer_bytes, parcel.size_bytes())
         self.total_transactions += 1
+        txn_id = self.total_transactions
         metrics = self.metrics
-        interface = _metric_interface(node.label)
+        events = self.events
+        interface = fold_instance_label(node.label)
         metrics.counter("binder", "transactions",
                         interface=interface, app=caller.package).inc()
         metrics.counter("binder", "parcel_bytes",
@@ -237,6 +238,14 @@ class BinderDriver:
             self.kernel.clock.advance(self.transaction_cost)
         self.kernel.tracer.emit("binder", "transact", caller=caller.pid,
                                 target=node.label, method=method)
+        # Enter the transaction's causal context: nested transactions
+        # and everything the dispatch touches (the recorder, services)
+        # emit events tagged with this txn id.
+        parent_txn = events.current_txn
+        events.push_txn(txn_id)
+        events.emit("binder.transact", txn=txn_id, parent_txn=parent_txn,
+                    interface=interface, method=method, caller=caller.pid,
+                    app=caller.package)
         try:
             dispatcher = getattr(node.service, "on_transact", None)
             if dispatcher is not None:
@@ -248,6 +257,7 @@ class BinderDriver:
                     f"{method!r}")
             return func(*parcel.values())
         finally:
+            events.pop_txn()
             # Dispatch latency on the virtual clock: the fixed driver
             # cost plus whatever the service handler charged (e.g. the
             # recorder's enqueue cost on decorated methods).

@@ -56,6 +56,12 @@ from repro.android.storage import (
 )
 from repro.core.record import CallLog, Recorder
 from repro.sim import SimClock, Tracer, units
+from repro.sim.events import (
+    DEFAULT_CAPACITY,
+    EVENTS_CAP_ENV,
+    EVENTS_ENV,
+    FlightRecorder,
+)
 from repro.sim.metrics import MetricsRegistry
 from repro.sim.rng import RngFactory
 
@@ -63,6 +69,14 @@ from repro.sim.rng import RngFactory
 #: the determinism regression tests: the simulation must be
 #: byte-identical with metrics on and off.
 METRICS_ENV = "FLUX_METRICS"
+
+
+def _events_capacity() -> int:
+    try:
+        return max(1, int(os.environ.get(EVENTS_CAP_ENV,
+                                         str(DEFAULT_CAPACITY))))
+    except ValueError:
+        return DEFAULT_CAPACITY
 
 
 class DeviceError(Exception):
@@ -112,6 +126,15 @@ class Device:
         self.metrics = MetricsRegistry(
             clock=self.clock,
             enabled=os.environ.get(METRICS_ENV, "1") != "0")
+        #: Causal event log (flight recorder): a bounded ring of
+        #: structured events with Binder-transaction causality.  Same
+        #: determinism contract as metrics — reads the clock, never
+        #: advances it; ``FLUX_EVENTS=0`` disables collection,
+        #: ``FLUX_EVENTS_CAP`` bounds per-device memory.
+        self.events = FlightRecorder(
+            clock=self.clock, device=self.name,
+            capacity=_events_capacity(), tracer=self.tracer,
+            enabled=os.environ.get(EVENTS_ENV, "1") != "0")
         self.flux_enabled = flux_enabled
 
         # Kernel + binder.
@@ -120,7 +143,7 @@ class Device:
         self.binder = BinderDriver(
             self.kernel,
             transaction_cost=self.BINDER_TRANSACTION_COST / profile.cpu_factor,
-            metrics=self.metrics)
+            metrics=self.metrics, events=self.events)
         self.system_process = self.kernel.create_process(
             "system_server", uid=1000, package="android")
         self.service_manager = ServiceManager(self.binder, self.system_process)
@@ -131,7 +154,7 @@ class Device:
         self.call_log = CallLog()
         self.recorder = Recorder(self.registry, self.call_log, self.clock,
                                  cpu_factor=profile.cpu_factor,
-                                 metrics=self.metrics)
+                                 metrics=self.metrics, events=self.events)
         self.recorder.enabled = flux_enabled
 
         # Battery.

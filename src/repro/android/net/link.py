@@ -19,6 +19,7 @@ from dataclasses import dataclass
 from typing import List, Optional
 
 from repro.sim import units
+from repro.sim.events import FlightRecorder
 from repro.sim.metrics import MetricsRegistry, RATE_BUCKETS_MBPS
 from repro.sim.rng import RngFactory
 
@@ -84,7 +85,8 @@ class Link:
                  rng_factory: Optional[RngFactory] = None,
                  name: str = "wifi",
                  fault_plan: Optional[LinkFaultPlan] = None,
-                 metrics: Optional[MetricsRegistry] = None) -> None:
+                 metrics: Optional[MetricsRegistry] = None,
+                 events: Optional[FlightRecorder] = None) -> None:
         if bandwidth_mbps <= 0:
             raise LinkError(f"bad bandwidth {bandwidth_mbps!r}")
         if not 0.0 < congestion <= 1.0:
@@ -105,6 +107,8 @@ class Link:
         self.faulted = False
         self.metrics = (metrics if metrics is not None
                         else MetricsRegistry(enabled=False))
+        self.events = (events if events is not None
+                       else FlightRecorder(enabled=False))
 
     def _account(self, payload_bytes: int, effective_mbps: float) -> None:
         self.metrics.counter("link", "bytes_total").inc(payload_bytes)
@@ -113,6 +117,9 @@ class Link:
             self.metrics.histogram(
                 "link", "effective_mbps",
                 bounds=RATE_BUCKETS_MBPS).observe(effective_mbps)
+        self.events.emit("link.transfer", link=self.name,
+                         bytes=payload_bytes,
+                         mbps=round(effective_mbps, 3))
 
     # -- fault plumbing ------------------------------------------------------
 
@@ -125,6 +132,8 @@ class Link:
         if self.faulted and plan is None:
             self.retries += 1
             self.metrics.counter("link", "retries").inc()
+            self.events.emit("link.retry", link=self.name,
+                             retries=self.retries)
         self.fault_plan = plan
         self.faulted = False
 
@@ -161,6 +170,9 @@ class Link:
         self.metrics.counter("link", "bytes_total").inc(delivered_bytes)
         self.metrics.counter("link", "transfers").inc()
         self.metrics.counter("link", "faults").inc()
+        self.events.emit("link.fault", link=self.name,
+                         delivered_bytes=delivered_bytes,
+                         seconds=round(seconds, 6))
         raise LinkDownError(
             f"link {self.name!r} dropped after {delivered_bytes} bytes "
             "of the failing transfer",
@@ -264,7 +276,8 @@ ADHOC_EFFICIENCY = 0.6
 def link_between(home_profile, guest_profile,
                  rng_factory: Optional[RngFactory] = None,
                  adhoc: bool = False,
-                 metrics: Optional[MetricsRegistry] = None) -> Link:
+                 metrics: Optional[MetricsRegistry] = None,
+                 events: Optional[FlightRecorder] = None) -> Link:
     """Link whose goodput is limited by the slower endpoint.
 
     ``adhoc=True`` models the paper's disconnected-operation mode (§1:
@@ -277,6 +290,6 @@ def link_between(home_profile, guest_profile,
     if adhoc:
         return Link(bandwidth_mbps=bandwidth * ADHOC_EFFICIENCY,
                     latency_s=0.002, rng_factory=rng_factory,
-                    name=f"{name}(adhoc)", metrics=metrics)
+                    name=f"{name}(adhoc)", metrics=metrics, events=events)
     return Link(bandwidth_mbps=bandwidth, rng_factory=rng_factory, name=name,
-                metrics=metrics)
+                metrics=metrics, events=events)

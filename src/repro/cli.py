@@ -9,10 +9,13 @@ Subcommands::
     flux-sim sweep                         the paper's 4-pair x 16-app sweep
     flux-sim experiments [NAME ...]        regenerate tables/figures
     flux-sim bench-check [--update]        gate sweep metrics vs BENCH_sweep.json
+    flux-sim explain EVENTS_JSONL          post-mortem a migration's event log
 
 ``migrate`` and ``sweep`` take ``--metrics-out PATH`` to dump the
-per-subsystem metrics registry as JSON, and ``migrate --trace-out``
-includes the registry's counter tracks in the Chrome trace.
+per-subsystem metrics registry as JSON and ``--events-out PATH`` to dump
+the causal event log as JSONL (see ``flux-sim explain``); ``migrate
+--trace-out`` includes the registry's counter tracks and the event log's
+instants in the Chrome trace.
 
 Installed as a console script (``pip install -e .``), or run with
 ``python -m repro.cli``.
@@ -98,6 +101,18 @@ def cmd_pair(args) -> int:
     return 0
 
 
+def _merged_events(home, guest):
+    """Both devices' flight recorders as one causal JSONL-ready stream."""
+    from repro.sim.events import merge_streams
+    return merge_streams(home.events.export(), guest.events.export())
+
+
+def _write_events(path: str, home, guest) -> None:
+    from repro.sim.events import write_jsonl
+    count = write_jsonl(path, _merged_events(home, guest))
+    print(f"wrote {count} events to {path} (flux-sim explain {path})")
+
+
 def cmd_migrate(args) -> int:
     try:
         spec = app_by_title(args.app)
@@ -146,11 +161,14 @@ def cmd_migrate(args) -> int:
             print("hint: retry with --extensions all")
         if args.trace_out:
             home.tracer.write_chrome_trace(args.trace_out,
-                                           metrics=home.metrics)
+                                           metrics=home.metrics,
+                                           events=_merged_events(home, guest))
             print(f"wrote Chrome trace to {args.trace_out}")
         if args.metrics_out:
             _write_migrate_metrics(args.metrics_out, home, guest, failed)
             print(f"wrote metrics to {args.metrics_out}")
+        if args.events_out:
+            _write_events(args.events_out, home, guest)
         return 1
     print(f"migrated {spec.title}: {home.profile.model} -> "
           f"{guest.profile.model}")
@@ -181,11 +199,14 @@ def cmd_migrate(args) -> int:
         print()
         print(render_timeline(report))
     if args.trace_out:
-        home.tracer.write_chrome_trace(args.trace_out, metrics=home.metrics)
+        home.tracer.write_chrome_trace(args.trace_out, metrics=home.metrics,
+                                       events=_merged_events(home, guest))
         print(f"wrote Chrome trace to {args.trace_out}")
     if args.metrics_out:
         _write_migrate_metrics(args.metrics_out, home, guest, report)
         print(f"wrote metrics to {args.metrics_out}")
+    if args.events_out:
+        _write_events(args.events_out, home, guest)
     return 0
 
 
@@ -262,6 +283,12 @@ def cmd_sweep(args) -> int:
         print(f"\nwrote sweep metrics to {args.metrics_out} "
               f"({len(document['rollup'])} counter series, "
               f"{len(document['apps'])} apps)")
+    if args.events_out:
+        from repro.experiments.harness import run_sweep
+        from repro.sim.events import write_jsonl
+        count = write_jsonl(args.events_out, run_sweep().merged_events())
+        print(f"wrote {count} events to {args.events_out} "
+              f"(flux-sim explain {args.events_out})")
     return 0
 
 
@@ -274,6 +301,38 @@ def cmd_bench_check(args) -> int:
                                  tolerance=tolerance)
     print(text)
     return code
+
+
+def cmd_explain(args) -> int:
+    import json
+
+    from repro.core.migration.postmortem import (
+        PostmortemError,
+        build_postmortem,
+        critical_path_from_metrics,
+        render_postmortem,
+    )
+    from repro.sim.events import read_jsonl
+    try:
+        events = read_jsonl(args.events)
+    except OSError as error:
+        raise SystemExit(f"cannot read {args.events!r}: {error}")
+    critical_path = None
+    if args.metrics:
+        try:
+            with open(args.metrics, "r", encoding="utf-8") as handle:
+                document = json.load(handle)
+        except (OSError, ValueError) as error:
+            raise SystemExit(f"cannot read {args.metrics!r}: {error}")
+        critical_path = critical_path_from_metrics(document, args.package)
+    try:
+        postmortem = build_postmortem(events, package=args.package,
+                                      last=args.last,
+                                      critical_path=critical_path)
+    except PostmortemError as error:
+        raise SystemExit(f"{args.events}: {error}")
+    print(render_postmortem(postmortem))
+    return 0
 
 
 def cmd_experiments(args) -> int:
@@ -326,6 +385,9 @@ def build_parser() -> argparse.ArgumentParser:
                          help="write the merged home+guest metrics "
                               "registry (counters, gauges, histograms, "
                               "critical path) as JSON")
+    migrate.add_argument("--events-out", metavar="PATH", default=None,
+                         help="write the merged home+guest causal event "
+                              "log as JSONL (input to flux-sim explain)")
     migrate.set_defaults(func=cmd_migrate)
 
     interface = sub.add_parser(
@@ -341,6 +403,9 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--metrics-out", metavar="PATH", default=None,
                        help="write per-pair, per-app and total metrics "
                             "snapshots for the sweep as JSON")
+    sweep.add_argument("--events-out", metavar="PATH", default=None,
+                       help="write every pair's causal event stream, "
+                            "pair-labeled, as JSONL")
     sweep.set_defaults(func=cmd_sweep)
 
     bench_check = sub.add_parser(
@@ -357,6 +422,25 @@ def build_parser() -> argparse.ArgumentParser:
                              help="relative drift band for simulated "
                                   "quantities (default 0.02)")
     bench_check.set_defaults(func=cmd_bench_check)
+
+    explain = sub.add_parser(
+        "explain",
+        help="post-mortem a migration from its --events-out JSONL: "
+             "outcome, causal chain, flight-recorder tail")
+    explain.add_argument("events", metavar="EVENTS_JSONL",
+                         help="event log written by migrate/sweep "
+                              "--events-out")
+    explain.add_argument("--package", default=None,
+                         help="explain this app's migration (default: "
+                              "the most recent failure, else the last "
+                              "migration in the log)")
+    explain.add_argument("--metrics", metavar="PATH", default=None,
+                         help="a --metrics-out JSON document; annotates "
+                              "the post-mortem with the critical path")
+    explain.add_argument("--last", type=int, default=10, metavar="N",
+                         help="flight-recorder tail length: events shown "
+                              "before the fault (default 10)")
+    explain.set_defaults(func=cmd_explain)
 
     experiments = sub.add_parser("experiments",
                                  help="regenerate tables/figures")

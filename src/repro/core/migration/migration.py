@@ -200,11 +200,16 @@ class MigrationService:
                 f"{guest.profile.api_level}")
 
         link = link or link_between(home.profile, guest.profile,
-                                    home.rng_factory, metrics=home.metrics)
+                                    home.rng_factory, metrics=home.metrics,
+                                    events=home.events)
         if not link.metrics.enabled:
             # Caller-built links (fault injection, tests) inherit the
             # home device's registry so transfer metrics are not lost.
             link.metrics = home.metrics
+        if not link.events.enabled:
+            # Same for the causal event log: link.fault / link.transfer
+            # events land in the home device's flight recorder.
+            link.events = home.events
         ctx = MigrationContext(
             home=home, guest=guest, package=package, link=link,
             report=report, extensions=extensions,

@@ -77,7 +77,8 @@ class PairingService:
         home = self.device
         link = link or link_between(home.profile, guest.profile,
                                     home.rng_factory,
-                                    metrics=getattr(home, "metrics", None))
+                                    metrics=getattr(home, "metrics", None),
+                                    events=getattr(home, "events", None))
         started = home.clock.now
         rsync = RsyncEngine()
 
@@ -156,7 +157,8 @@ class PairingService:
                                  f"{home.name} not paired with {guest.name}")
         link = link or link_between(home.profile, guest.profile,
                                     home.rng_factory,
-                                    metrics=getattr(home, "metrics", None))
+                                    metrics=getattr(home, "metrics", None),
+                                    events=getattr(home, "events", None))
         rsync = RsyncEngine()
         root = flux_root(home.name)
         apk_sync = rsync.sync(home.storage, f"/data/app/{package}.apk",

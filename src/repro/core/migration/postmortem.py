@@ -1,0 +1,292 @@
+"""Post-mortems over a migration's causal event log (``flux-sim explain``).
+
+A migration's ``--events-out`` JSONL is a flat, causally-ordered stream
+(see :mod:`repro.sim.events`).  This module segments that stream into
+migrations (``migration.start`` … ``migration.done`` /
+``migration.rolled_back``), picks the one worth explaining (a faulted or
+refused attempt beats a success), and reconstructs the causal chain a
+human would ask for first:
+
+    triggering event  ->  stage.fault  ->  rollbacks  ->  rolled_back
+
+i.e. *which* low-layer event (``link.fault``, ``cria.restore_fault``)
+killed *which* stage, and what the pipeline unwound afterwards.  The
+rendered report also shows the last N events before the fault (the
+flight-recorder tail) with their Binder transaction ids — every ``#seq``
+and ``txn=`` printed resolves back to a line of the JSONL — plus
+per-stage event counts and, when a ``--metrics`` document is supplied,
+the migration's critical path.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+#: Low-layer events that directly cause a stage fault; the causal chain
+#: starts at the last one seen before ``stage.fault``.
+TRIGGER_KINDS = ("link.fault", "cria.restore_fault")
+
+#: Pipeline bookkeeping — never the *cause* of a fault, so the fallback
+#: trigger search (no known trigger kind present) skips these.
+_LIFECYCLE_KINDS = frozenset({
+    "migration.start", "migration.done", "migration.refused",
+    "migration.rollback_begin", "migration.rolled_back",
+    "stage.start", "stage.end", "stage.fault",
+    "stage.rollback", "stage.rollback_error",
+})
+
+
+class PostmortemError(Exception):
+    """The event stream holds nothing explainable (no migrations)."""
+
+
+def segment_migrations(events: List[Dict[str, Any]]
+                       ) -> List[Dict[str, Any]]:
+    """Split a merged event stream into one segment per migration.
+
+    A segment runs from ``migration.start`` through the matching
+    terminal event (``migration.done`` or ``migration.rolled_back``);
+    events of other devices interleaved in between (guest-side restore
+    steps, for instance) belong to the segment.  A start with no
+    terminal (the process died mid-flight, or the ring evicted the
+    tail's terminal) yields an ``incomplete`` segment.
+    """
+    segments: List[Dict[str, Any]] = []
+    current: Optional[Dict[str, Any]] = None
+    for event in events:
+        kind = event.get("kind")
+        if kind == "migration.start":
+            if current is not None:
+                segments.append(current)
+            current = {
+                "package": event.get("attrs", {}).get("package", ""),
+                "home": event.get("attrs", {}).get("home", ""),
+                "guest": event.get("attrs", {}).get("guest", ""),
+                "pair": event.get("pair"),
+                "events": [event],
+                "outcome": "incomplete",
+            }
+            continue
+        if current is None:
+            continue
+        current["events"].append(event)
+        if kind in ("migration.done", "migration.rolled_back"):
+            if kind == "migration.done":
+                current["outcome"] = "succeeded"
+            elif any(e.get("kind") == "migration.refused"
+                     for e in current["events"]):
+                current["outcome"] = "refused"
+            else:
+                current["outcome"] = "faulted"
+            segments.append(current)
+            current = None
+    if current is not None:
+        segments.append(current)
+    return segments
+
+
+def _pick_segment(segments: List[Dict[str, Any]],
+                  package: Optional[str]) -> Dict[str, Any]:
+    if package is not None:
+        segments = [s for s in segments if s["package"] == package]
+        if not segments:
+            raise PostmortemError(
+                f"no migration of {package!r} in the event log")
+    failed = [s for s in segments if s["outcome"] in ("faulted", "refused")]
+    return (failed or segments)[-1]
+
+
+def _find(events: List[Dict[str, Any]], kind: str
+          ) -> Optional[Dict[str, Any]]:
+    for event in events:
+        if event.get("kind") == kind:
+            return event
+    return None
+
+
+def _trigger_for(events: List[Dict[str, Any]],
+                 fault_index: int) -> Optional[Dict[str, Any]]:
+    """The event that caused the fault: last trigger-kind event before
+    ``stage.fault``, else the last non-lifecycle event before it."""
+    for event in reversed(events[:fault_index]):
+        if event.get("kind") in TRIGGER_KINDS:
+            return event
+    for event in reversed(events[:fault_index]):
+        if event.get("kind") not in _LIFECYCLE_KINDS:
+            return event
+    return None
+
+
+def _causal_chain(segment: Dict[str, Any]) -> List[Dict[str, Any]]:
+    """trigger -> stage.fault/migration.refused -> rollbacks -> terminal."""
+    events = segment["events"]
+    abort = _find(events, "stage.fault") or _find(events,
+                                                  "migration.refused")
+    if abort is None:
+        return []
+    abort_index = events.index(abort)
+    chain: List[Dict[str, Any]] = []
+    trigger = _trigger_for(events, abort_index)
+    if trigger is not None:
+        chain.append(trigger)
+    chain.append(abort)
+    for event in events[abort_index + 1:]:
+        if event.get("kind") in ("migration.rollback_begin",
+                                 "stage.rollback", "stage.rollback_error",
+                                 "migration.rolled_back"):
+            chain.append(event)
+    return chain
+
+
+def build_postmortem(events: List[Dict[str, Any]],
+                     package: Optional[str] = None,
+                     last: int = 10,
+                     critical_path: Optional[List[Dict[str, Any]]] = None
+                     ) -> Dict[str, Any]:
+    """Digest an event stream into one migration's post-mortem document.
+
+    Raises :class:`PostmortemError` when the stream holds no migration
+    (or none of ``package``).  The returned dict is JSON-ready; see
+    :func:`render_postmortem` for the human rendering.
+    """
+    segments = segment_migrations(events)
+    if not segments:
+        raise PostmortemError(
+            "no migration.start event in the log — was it produced by "
+            "flux-sim migrate/sweep --events-out with FLUX_EVENTS enabled?")
+    segment = _pick_segment(segments, package)
+    seg_events = segment["events"]
+
+    abort = _find(seg_events, "stage.fault") or _find(seg_events,
+                                                      "migration.refused")
+    faulted_stage = None
+    reason = None
+    if abort is not None:
+        attrs = abort.get("attrs", {})
+        faulted_stage = attrs.get("stage")
+        reason = attrs.get("reason")
+
+    stage_counts: Dict[str, int] = {}
+    for event in seg_events:
+        stage = event.get("attrs", {}).get("stage")
+        if stage:
+            stage_counts[stage] = stage_counts.get(stage, 0) + 1
+
+    tail: List[Dict[str, Any]] = []
+    if abort is not None and last > 0:
+        abort_index = seg_events.index(abort)
+        tail = seg_events[max(0, abort_index - last):abort_index]
+
+    done = _find(seg_events, "migration.done")
+    total_seconds = (done.get("attrs", {}).get("total_seconds")
+                     if done is not None else None)
+
+    return {
+        "package": segment["package"],
+        "home": segment["home"],
+        "guest": segment["guest"],
+        "pair": segment.get("pair"),
+        "outcome": segment["outcome"],
+        "faulted_stage": faulted_stage,
+        "reason": reason,
+        "total_seconds": total_seconds,
+        "migrations_in_log": len(segments),
+        "event_count": len(seg_events),
+        "stage_counts": stage_counts,
+        "causal_chain": _causal_chain(segment),
+        "tail": tail,
+        "critical_path": critical_path or [],
+    }
+
+
+def critical_path_from_metrics(document: Dict[str, Any],
+                               package: Optional[str] = None
+                               ) -> Optional[List[Dict[str, Any]]]:
+    """Pull a critical path out of a ``--metrics-out`` document.
+
+    Understands both shapes: a single migration's document
+    (``{"migration": {...}}``, from ``flux-sim migrate``) and a sweep
+    document (``{"migrations": [...]}``); for the latter, ``package``
+    selects the row (else the first row wins).
+    """
+    migration = document.get("migration")
+    if isinstance(migration, dict):
+        return migration.get("critical_path") or None
+    rows = document.get("migrations")
+    if isinstance(rows, list):
+        for row in rows:
+            if package is None or row.get("package") == package:
+                return row.get("critical_path") or None
+    return None
+
+
+# -- rendering ---------------------------------------------------------------
+
+
+def format_event(event: Dict[str, Any]) -> str:
+    """One JSONL event as a post-mortem line: ``#seq [t] kind k=v txn=``.
+
+    Every ``#seq`` and ``txn=`` printed here resolves back to the
+    source JSONL (same numbers, same device stream).
+    """
+    attrs = event.get("attrs", {})
+    extras = " ".join(f"{k}={attrs[k]}" for k in sorted(attrs))
+    txn = event.get("txn")
+    txn_part = f" txn={txn}" if txn is not None else ""
+    device = event.get("device", "")
+    return (f"#{event.get('seq')} [{event.get('t', 0.0):10.4f}] "
+            f"{device}: {event.get('kind')}{txn_part} {extras}").rstrip()
+
+
+def render_postmortem(pm: Dict[str, Any]) -> str:
+    """The human-readable post-mortem ``flux-sim explain`` prints."""
+    lines: List[str] = []
+    where = f"{pm['home']} -> {pm['guest']}" if pm["home"] else "?"
+    pair = f" [{pm['pair']}]" if pm.get("pair") else ""
+    lines.append(f"post-mortem: {pm['package']} ({where}){pair}")
+
+    outcome = pm["outcome"]
+    if outcome == "succeeded":
+        total = pm.get("total_seconds")
+        suffix = f" in {total}s" if total is not None else ""
+        lines.append(f"outcome: SUCCEEDED{suffix}")
+    elif outcome == "faulted":
+        lines.append(f"outcome: FAULTED in {pm['faulted_stage']} stage "
+                     f"({pm['reason']}); rolled back")
+    elif outcome == "refused":
+        lines.append(f"outcome: REFUSED ({pm['reason']}); rolled back")
+    else:
+        lines.append("outcome: INCOMPLETE (no terminal event in the log)")
+    if pm["migrations_in_log"] > 1:
+        which = ("failure" if outcome in ("faulted", "refused")
+                 else "migration")
+        lines.append(f"({pm['migrations_in_log']} migrations in the log; "
+                     f"explaining the most recent {which})")
+
+    if pm["stage_counts"]:
+        lines.append("")
+        lines.append("events per stage:")
+        for stage, count in pm["stage_counts"].items():
+            marker = "  <- faulted" if stage == pm["faulted_stage"] else ""
+            lines.append(f"  {stage:<14} {count:>4}{marker}")
+
+    if pm["causal_chain"]:
+        lines.append("")
+        lines.append("causal chain:")
+        for i, event in enumerate(pm["causal_chain"]):
+            prefix = "  " if i == 0 else "  -> "
+            lines.append(prefix + format_event(event))
+
+    if pm["tail"]:
+        lines.append("")
+        lines.append(f"last {len(pm['tail'])} events before the fault:")
+        for event in pm["tail"]:
+            lines.append("  " + format_event(event))
+
+    if pm["critical_path"]:
+        chain = " > ".join(
+            f"{entry['name']} {float(entry['seconds']):.3f}s"
+            for entry in pm["critical_path"])
+        lines.append("")
+        lines.append(f"critical path: {chain}")
+    return "\n".join(lines)

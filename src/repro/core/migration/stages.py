@@ -73,6 +73,17 @@ class MigrationContext:
     restored: object = None             # RestoredApp on the guest
 
 
+def _emit(ctx: MigrationContext, kind: str, **attrs) -> None:
+    """Emit a causal event on the home device's flight recorder.
+
+    Guarded with ``getattr`` so bare test doubles without a device-level
+    :class:`repro.sim.events.FlightRecorder` still drive the pipeline.
+    """
+    events = getattr(ctx.home, "events", None)
+    if events is not None:
+        events.emit(kind, **attrs)
+
+
 class Stage:
     """One migration stage: a forward action plus its compensation.
 
@@ -261,12 +272,17 @@ class TransferStage(Stage):
 
         burst_seconds = link.latency_s + costs.pipeline_seconds(
             compress_times, send_times)
+        if cached:
+            _emit(ctx, "link.chunks_cached", count=len(cached),
+                  bytes=sum(c.wire_bytes for c in cached))
         for chunk, (start, end) in zip(missing, windows):
             tracer.add_span(
                 f"chunk:{chunk.label or chunk.digest[:8]}",
                 burst_start + link.latency_s + start,
                 burst_start + link.latency_s + end,
                 category="chunk", wire_bytes=chunk.wire_bytes)
+            _emit(ctx, "link.chunk", digest=chunk.digest[:12],
+                  label=chunk.label, wire_bytes=chunk.wire_bytes)
         link.record_transfer(total_wire, burst_seconds, home.clock)
         report.image_wire_bytes = total_wire + negotiation_bytes
 
@@ -306,6 +322,8 @@ class TransferStage(Stage):
                 burst_start + link.latency_s + start,
                 burst_start + link.latency_s + end,
                 category="chunk", wire_bytes=chunk.wire_bytes)
+            _emit(ctx, "link.chunk", digest=chunk.digest[:12],
+                  label=chunk.label, wire_bytes=chunk.wire_bytes)
         guest.chunk_store.add_many(arrived)
         home.chunk_store.add_many(arrived)
         ctx.report.image_wire_bytes = budget + negotiation_bytes
@@ -428,10 +446,20 @@ class StagePipeline:
     def run(self, ctx: MigrationContext) -> None:
         tracer = ctx.home.tracer
         completed: List[Stage] = []
+        recorders = self._recorders(ctx)
+        _emit(ctx, "migration.start", package=ctx.package,
+              home=ctx.home.name, guest=ctx.guest.name)
         with tracer.span("migration", category="migration",
                          package=ctx.package, home=ctx.home.name,
                          guest=ctx.guest.name) as root:
             for stage in self.stages:
+                # Stage context labels every event either device emits
+                # while the stage runs (guest-side restore/replay events
+                # have no open home-tracer span to attribute them).
+                for recorder in recorders:
+                    recorder.set_context(stage=stage.name,
+                                         package=ctx.package)
+                _emit(ctx, "stage.start", stage=stage.name)
                 handle = tracer.span(stage.name, category="stage")
                 try:
                     with handle:
@@ -449,13 +477,38 @@ class StagePipeline:
                         ctx.report.faulted_stage = stage.name
                         root.annotate(faulted_stage=stage.name,
                                       refusal=reason)
+                        _emit(ctx, "stage.fault", stage=stage.name,
+                              reason=reason)
                     else:
                         root.annotate(refusal=reason)
+                        _emit(ctx, "migration.refused",
+                              stage=stage.name, reason=reason)
                     self._derive_stage_times(ctx, root)
                     self._rollback(ctx, stage, completed, reason)
+                    self._clear_context(recorders)
                     raise
+                _emit(ctx, "stage.end", stage=stage.name,
+                      seconds=round(handle.span.duration, 6))
                 completed.append(stage)
             self._derive_stage_times(ctx, root)
+        self._clear_context(recorders)
+        _emit(ctx, "migration.done", package=ctx.package,
+              total_seconds=round(ctx.report.total_seconds, 6))
+
+    @staticmethod
+    def _recorders(ctx: MigrationContext) -> List[object]:
+        """Both devices' flight recorders (absent on bare test doubles)."""
+        recorders = []
+        for device in (ctx.home, ctx.guest):
+            recorder = getattr(device, "events", None)
+            if recorder is not None:
+                recorders.append(recorder)
+        return recorders
+
+    @staticmethod
+    def _clear_context(recorders: List[object]) -> None:
+        for recorder in recorders:
+            recorder.clear_context("stage", "package")
 
     def _derive_stage_times(self, ctx: MigrationContext, root) -> None:
         """``report.stages`` from the span tree (was: ad-hoc Stopwatch)."""
@@ -483,12 +536,19 @@ class StagePipeline:
         tracer = ctx.home.tracer
         tracer.emit("migration", "rollback-begin", package=ctx.package,
                     faulted_stage=faulted.name, reason=reason)
+        _emit(ctx, "migration.rollback_begin", package=ctx.package,
+              faulted_stage=faulted.name, reason=reason)
         for stage in [faulted] + list(reversed(completed)):
             try:
                 stage.rollback(ctx)
+                _emit(ctx, "stage.rollback", stage=stage.name)
             except Exception as rollback_error:   # compensations never mask
                 tracer.emit("migration", "rollback-error",
                             package=ctx.package, stage=stage.name,
                             error=repr(rollback_error))
+                _emit(ctx, "stage.rollback_error", stage=stage.name,
+                      error=repr(rollback_error))
         tracer.emit("migration", "rolled-back", package=ctx.package,
                     faulted_stage=faulted.name)
+        _emit(ctx, "migration.rolled_back", package=ctx.package,
+              faulted_stage=faulted.name)

@@ -15,6 +15,7 @@ from typing import Any, Dict, Optional
 from repro.android.aidl.registry import InterfaceRegistry
 from repro.core.record.log import CallLog, CallRecord
 from repro.core.record.rules import apply_drop_rules
+from repro.sim.events import FlightRecorder
 from repro.sim.metrics import MetricsRegistry
 
 
@@ -32,13 +33,16 @@ class Recorder:
 
     def __init__(self, registry: InterfaceRegistry, log: CallLog, clock,
                  cpu_factor: float = 1.0,
-                 metrics: Optional[MetricsRegistry] = None) -> None:
+                 metrics: Optional[MetricsRegistry] = None,
+                 events: Optional[FlightRecorder] = None) -> None:
         self._registry = registry
         self._log = log
         self._clock = clock
         self._cpu_factor = cpu_factor
         self.metrics = (metrics if metrics is not None
                         else MetricsRegistry(enabled=False))
+        self.events = (events if events is not None
+                       else FlightRecorder(enabled=False))
         self.enabled = True
         #: When False, drop rules are skipped and every decorated call is
         #: kept — the strawman "record everything" design the paper argues
@@ -79,10 +83,15 @@ class Recorder:
                     "record", "calls_pruned", app=app,
                     rule=f"{descriptor}.{method}",
                 ).inc(outcome.removed_count)
+                self.events.emit("record.prune", app=app,
+                                 rule=f"{descriptor}.{method}",
+                                 removed=outcome.removed_count)
             if outcome.suppress_current:
                 self.calls_suppressed += 1
                 self.metrics.counter("record", "calls_suppressed",
                                      app=app).inc()
+                self.events.emit("record.suppress", app=app,
+                                 interface=descriptor, method=method)
                 return None
         record = self._log.append(time=self._clock.now, app=app,
                                   interface=descriptor, method=method,
@@ -91,6 +100,8 @@ class Recorder:
         self.metrics.counter("record", "calls_recorded", app=app).inc()
         self.metrics.counter("record", "log_bytes",
                              app=app).inc(record.estimated_size())
+        self.events.emit("record.append", app=app, interface=descriptor,
+                         method=method)
         return record
 
     def extract_app_log(self, app: str):

@@ -18,6 +18,7 @@ from typing import Any, Dict, List, Optional
 from repro.android.binder.ibinder import IBinder
 from repro.android.services.aidl_sources import SERVICE_SPECS
 from repro.core.replay.proxies import lookup as lookup_proxy
+from repro.sim.events import FlightRecorder
 from repro.sim.metrics import MetricsRegistry
 
 
@@ -72,6 +73,9 @@ class ReplaySession:
         device_metrics = getattr(device, "metrics", None)
         self.metrics = (device_metrics if device_metrics is not None
                         else MetricsRegistry(enabled=False))
+        device_events = getattr(device, "events", None)
+        self.events = (device_events if device_events is not None
+                       else FlightRecorder(enabled=False))
         self._home_volumes: Dict[int, int] = dict(
             image.metadata.get("stream_max_volumes", {}))
         self._pending = {ref.handle: ref for ref in restored.pending_refs}
@@ -132,13 +136,19 @@ class ReplaySession:
             lookup_proxy(proxy_name)(self, entry)
             self.metrics.counter("replay", "calls_proxied", app=app,
                                  proxy=proxy_name).inc()
+            self.events.emit("replay.proxy", app=app, proxy=proxy_name,
+                             interface=entry.interface, method=entry.method)
             return
         if self._should_skip(entry):
             self.metrics.counter("replay", "calls_skipped", app=app).inc()
+            self.events.emit("replay.skip", app=app,
+                             interface=entry.interface, method=entry.method)
             return
         self.invoke(entry)
         self.report.replayed += 1
         self.metrics.counter("replay", "calls_replayed", app=app).inc()
+        self.events.emit("replay.invoke", app=app,
+                         interface=entry.interface, method=entry.method)
 
     def _should_skip(self, entry) -> bool:
         """Calls that cannot be expressed at all on the guest's hardware."""

@@ -19,6 +19,7 @@ from repro.apps.common import AppSpec
 from repro.core.cria.errors import MigrationError, MigrationRefusal
 from repro.core.migration.migration import MigrationReport
 from repro.sim import SimClock
+from repro.sim.events import merge_streams
 from repro.sim.metrics import (
     empty_snapshot,
     merge_snapshots,
@@ -43,6 +44,9 @@ class SweepResult:
         default_factory=dict)
     #: pair_label -> merged (home + guest) metrics snapshot for the pair.
     pair_metrics: Dict[str, Dict] = field(default_factory=dict)
+    #: pair_label -> the pair's causally-merged home+guest event stream
+    #: (see :mod:`repro.sim.events`); empty when ``FLUX_EVENTS=0``.
+    pair_events: Dict[str, List[Dict]] = field(default_factory=dict)
 
     def report_for(self, pair: str, package: str) -> MigrationReport:
         return self.reports[(pair, package)]
@@ -86,6 +90,22 @@ class SweepResult:
         ``app`` label (device-level series land under ``""``)."""
         return snapshot_by_label(self.merged_metrics(), "app")
 
+    def merged_events(self) -> List[Dict]:
+        """Every pair's event stream, pair-labeled, in pair order.
+
+        Each pair is an independent simulation with its own clock and
+        device names, so cross-pair merging by time would be
+        meaningless; instead each event gains a ``pair`` key and the
+        streams concatenate in ``pair_labels`` order — deterministic
+        regardless of sweep parallelism."""
+        labeled: List[Dict] = []
+        for label in self.pair_labels:
+            for event in self.pair_events.get(label) or []:
+                tagged = dict(event)
+                tagged["pair"] = label
+                labeled.append(tagged)
+        return labeled
+
 
 class PairOutcome(NamedTuple):
     """What one device pair's simulation produced."""
@@ -94,6 +114,9 @@ class PairOutcome(NamedTuple):
     refusals: Dict[str, MigrationRefusal]
     #: Merged home + guest metrics snapshot for this pair's simulation.
     metrics: Dict
+    #: Causally-merged home + guest event stream (same virtual clock,
+    #: so ``merge_streams`` yields one deterministic interleaving).
+    events: List[Dict]
 
 
 def run_pair(home_profile: DeviceProfile, guest_profile: DeviceProfile,
@@ -124,7 +147,9 @@ def run_pair(home_profile: DeviceProfile, guest_profile: DeviceProfile,
             home.terminate_app(spec.package)
     metrics = merge_snapshots([home.metrics.snapshot(),
                                guest.metrics.snapshot()])
-    return PairOutcome(reports=reports, refusals=refusals, metrics=metrics)
+    events = merge_streams(home.events.export(), guest.events.export())
+    return PairOutcome(reports=reports, refusals=refusals, metrics=metrics,
+                       events=events)
 
 
 _SWEEP_CACHE: Dict[Tuple, SweepResult] = {}
@@ -185,6 +210,7 @@ def run_sweep(apps: Sequence[AppSpec] = MIGRATABLE_APPS,
     reports: Dict[Tuple[str, str], MigrationReport] = {}
     refusals: Dict[Tuple[str, str], MigrationRefusal] = {}
     pair_metrics: Dict[str, Dict] = {}
+    pair_events: Dict[str, List[Dict]] = {}
     for (home_profile, guest_profile), outcome in zip(pairs, pair_results):
         label = pair_label(home_profile, guest_profile)
         labels.append(label)
@@ -193,11 +219,13 @@ def run_sweep(apps: Sequence[AppSpec] = MIGRATABLE_APPS,
         for package, refusal in outcome.refusals.items():
             refusals[(label, package)] = refusal
         pair_metrics[label] = outcome.metrics
+        pair_events[label] = outcome.events
 
     result = SweepResult(pair_labels=labels,
                          app_titles=[a.title for a in apps],
                          reports=reports, refusals=refusals,
-                         pair_metrics=pair_metrics)
+                         pair_metrics=pair_metrics,
+                         pair_events=pair_events)
     if use_cache:
         _SWEEP_CACHE[key] = result
     return result

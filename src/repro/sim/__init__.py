@@ -1,12 +1,14 @@
 """Deterministic simulation substrate: virtual clock, seeded RNG, tracing."""
 
 from repro.sim.clock import ClockError, SimClock, Stopwatch, StopwatchSpan, TimerHandle
+from repro.sim.events import CausalEvent, EventsError, FlightRecorder, merge_streams
 from repro.sim.metrics import (
     Counter,
     Gauge,
     Histogram,
     MetricsError,
     MetricsRegistry,
+    fold_instance_label,
     merge_snapshots,
 )
 from repro.sim.rng import DEFAULT_SEED, RngFactory, derive_seed
@@ -31,6 +33,11 @@ __all__ = [
     "Histogram",
     "MetricsError",
     "MetricsRegistry",
+    "fold_instance_label",
     "merge_snapshots",
+    "CausalEvent",
+    "EventsError",
+    "FlightRecorder",
+    "merge_streams",
     "units",
 ]

@@ -1,0 +1,243 @@
+"""Causal event log: per-device flight recorders with Binder causality.
+
+The span tree (:mod:`repro.sim.trace`) answers "where did the time go?"
+and the metrics registry (:mod:`repro.sim.metrics`) answers "how much
+work happened?"; this module answers **"what happened, in what order,
+caused by what?"** — the question a faulted migration's post-mortem
+needs (``flux-sim explain``).
+
+Every structured event (``binder.transact``, ``record.prune``,
+``replay.proxy``, ``cria.restore_step``, ``link.chunk``,
+``stage.rollback``, …) carries:
+
+* ``seq`` — a per-device monotonic sequence number (1-based, counting
+  every event ever emitted on the device, including evicted ones);
+* ``t`` — the virtual-clock timestamp (never wall clock);
+* ``txn`` — the innermost Binder transaction id the event happened
+  inside, when any (the Binder driver pushes/pops transaction context
+  around dispatch); ``binder.transact`` events additionally carry
+  ``parent_txn`` for nested transactions;
+* ``span`` — the open-span path on the attached tracer (e.g.
+  ``migration/transfer``), linking the flat event stream back to the
+  hierarchical spans;
+* free-form ``attrs``, plus any *context* labels pushed by the stage
+  pipeline (``stage=transfer``), so guest-side events — whose tracer
+  has no open migration span — still attribute to a stage.
+
+Determinism contract (the same one :mod:`repro.sim.metrics` honors):
+emitting **never advances the clock and never draws from the RNG**, so
+the default sweep is byte-identical with event logging enabled or
+disabled (``FLUX_EVENTS=0``).  Transaction ids come from the Binder
+driver's own per-device transaction counter, which increments whether
+or not logging is on — ids are stable across both modes.
+
+Events flow through a bounded ring buffer (a *flight recorder*): the
+``FLUX_EVENTS_CAP`` environment variable bounds per-device memory, and
+when the buffer is full the oldest events are evicted first — exactly
+what a post-mortem wants, since the tail before the fault is what
+explains it.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional
+
+#: Set to ``0`` to disable event collection device-wide (the
+#: determinism regression tests assert byte-identity either way).
+EVENTS_ENV = "FLUX_EVENTS"
+
+#: Per-device ring-buffer capacity (number of retained events).
+EVENTS_CAP_ENV = "FLUX_EVENTS_CAP"
+
+DEFAULT_CAPACITY = 65536
+
+
+class EventsError(Exception):
+    """Flight-recorder misuse (bad capacity, unbalanced txn stack)."""
+
+
+@dataclass(frozen=True)
+class CausalEvent:
+    """One structured event on a device's virtual timeline."""
+
+    seq: int
+    time: float
+    device: str
+    kind: str
+    txn: Optional[int] = None
+    span: Optional[str] = None
+    attrs: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready dict; key set is fixed so JSONL lines are uniform."""
+        return {
+            "seq": self.seq,
+            "t": self.time,
+            "device": self.device,
+            "kind": self.kind,
+            "txn": self.txn,
+            "span": self.span,
+            "attrs": dict(self.attrs),
+        }
+
+    def __str__(self) -> str:
+        extras = " ".join(f"{k}={v}" for k, v in sorted(self.attrs.items()))
+        txn = f" txn={self.txn}" if self.txn is not None else ""
+        return (f"#{self.seq} [{self.time:10.4f}] {self.kind}"
+                f"{txn} {extras}").rstrip()
+
+
+_UNSET = object()
+
+
+class FlightRecorder:
+    """Bounded per-device causal event log.
+
+    ``clock`` is only ever read.  ``tracer`` (optional) supplies the
+    open-span path attached to each event.  A recorder built with
+    ``enabled=False`` is a shared-contract null object: ``emit`` is a
+    no-op, the transaction stack and context still work (they are pure
+    bookkeeping, cheap and deterministic), and ``export`` is empty —
+    instrumented code never needs an ``if``.
+    """
+
+    def __init__(self, clock=None, device: str = "",
+                 capacity: int = DEFAULT_CAPACITY,
+                 tracer=None, enabled: bool = True) -> None:
+        if capacity < 1:
+            raise EventsError(f"bad flight-recorder capacity {capacity!r}")
+        self._clock = clock
+        self.device = device
+        self.capacity = capacity
+        self._tracer = tracer
+        self.enabled = enabled
+        self._buffer: deque = deque(maxlen=capacity)
+        #: Total events ever emitted (including evicted ones); the next
+        #: event gets ``seq = emitted + 1``.
+        self.emitted = 0
+        self._txn_stack: List[int] = []
+        self._context: Dict[str, Any] = {}
+
+    # -- causality context ---------------------------------------------------
+
+    def push_txn(self, txn_id: int) -> None:
+        """Enter a Binder transaction: subsequent events carry its id."""
+        self._txn_stack.append(txn_id)
+
+    def pop_txn(self) -> None:
+        if not self._txn_stack:
+            raise EventsError("transaction stack underflow")
+        self._txn_stack.pop()
+
+    @property
+    def current_txn(self) -> Optional[int]:
+        return self._txn_stack[-1] if self._txn_stack else None
+
+    @property
+    def parent_txn(self) -> Optional[int]:
+        return self._txn_stack[-2] if len(self._txn_stack) >= 2 else None
+
+    def set_context(self, **labels: Any) -> None:
+        """Attach labels (e.g. ``stage=transfer``) to subsequent events."""
+        self._context.update(labels)
+
+    def clear_context(self, *keys: str) -> None:
+        for key in keys:
+            self._context.pop(key, None)
+
+    # -- emission ------------------------------------------------------------
+
+    def emit(self, kind: str, txn: Any = _UNSET,
+             **attrs: Any) -> Optional[CausalEvent]:
+        """Record one event; returns it (or ``None`` when disabled).
+
+        ``txn`` defaults to the innermost open Binder transaction;
+        pass an explicit id (or ``None``) to override.
+        """
+        if not self.enabled:
+            return None
+        self.emitted += 1
+        span_path = None
+        if self._tracer is not None:
+            open_spans = getattr(self._tracer, "_open_spans", None)
+            if open_spans:
+                span_path = "/".join(s.name for s in open_spans)
+        merged = dict(self._context)
+        merged.update(attrs)
+        event = CausalEvent(
+            seq=self.emitted,
+            time=self._clock.now if self._clock is not None else 0.0,
+            device=self.device,
+            kind=kind,
+            txn=self.current_txn if txn is _UNSET else txn,
+            span=span_path,
+            attrs=merged,
+        )
+        self._buffer.append(event)
+        return event
+
+    # -- inspection ----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._buffer)
+
+    def __iter__(self):
+        return iter(self._buffer)
+
+    @property
+    def evicted(self) -> int:
+        """Events pushed out of the ring to keep memory bounded."""
+        return self.emitted - len(self._buffer)
+
+    def events(self, kind: Optional[str] = None) -> List[CausalEvent]:
+        if kind is None:
+            return list(self._buffer)
+        return [e for e in self._buffer if e.kind == kind]
+
+    def export(self) -> List[Dict[str, Any]]:
+        """The retained events as JSON-ready dicts, in emission order."""
+        return [e.to_dict() for e in self._buffer]
+
+    def clear(self) -> None:
+        self._buffer.clear()
+
+
+def merge_streams(*streams: Iterable[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    """Merge exported per-device streams into one causal ordering.
+
+    Devices in one simulation share a virtual clock, so sorting by
+    ``(t, device, seq)`` yields a deterministic interleaving that
+    preserves each device's own emission order (``seq`` is per-device
+    monotonic).  The merge is therefore identical whether the streams
+    came from a serial or a parallel sweep.
+    """
+    merged: List[Dict[str, Any]] = []
+    for stream in streams:
+        merged.extend(stream)
+    merged.sort(key=lambda e: (e["t"], e["device"], e["seq"]))
+    return merged
+
+
+def write_jsonl(path: str, events: Iterable[Dict[str, Any]]) -> int:
+    """Write events as JSONL (one sorted-key JSON object per line)."""
+    count = 0
+    with open(path, "w", encoding="utf-8") as handle:
+        for event in events:
+            handle.write(json.dumps(event, sort_keys=True))
+            handle.write("\n")
+            count += 1
+    return count
+
+
+def read_jsonl(path: str) -> List[Dict[str, Any]]:
+    """Load an ``--events-out`` artifact back into event dicts."""
+    events: List[Dict[str, Any]] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                events.append(json.loads(line))
+    return events

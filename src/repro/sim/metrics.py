@@ -55,6 +55,22 @@ RATE_BUCKETS_MBPS: Tuple[float, ...] = (
 LabelItems = Tuple[Tuple[str, str], ...]
 
 
+def fold_instance_label(label: str) -> str:
+    """Fold a per-instance suffix out of a label: ``foo:7`` -> ``foo``.
+
+    Binder node labels like ``sensor-connection:7`` carry a
+    process-global instance id whose value depends on allocation order
+    across sweep workers; folding them keeps metric keys *and* event
+    attributes deterministic (and the label cardinality bounded).  The
+    metrics registry and the causal event log both use this helper, so
+    the two telemetry planes agree on cross-worker-deterministic labels.
+    """
+    base, sep, suffix = label.rpartition(":")
+    if sep and suffix.isdigit():
+        return base
+    return label
+
+
 def _canonical_labels(labels: Mapping[str, Any]) -> LabelItems:
     return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
 

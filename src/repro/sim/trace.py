@@ -247,7 +247,7 @@ class Tracer:
 
     # -- Chrome-trace export -----------------------------------------------------
 
-    def chrome_trace(self, metrics=None) -> Dict[str, Any]:
+    def chrome_trace(self, metrics=None, events=None) -> Dict[str, Any]:
         """The span tree as a Chrome-trace ("traceEvents") dict.
 
         Complete ("ph": "X") events with microsecond timestamps; the
@@ -260,7 +260,12 @@ class Tracer:
 
         ``metrics`` (a :class:`repro.sim.metrics.MetricsRegistry`)
         additionally appends the registry's timeline samples as counter
-        ("C"-phase) tracks.
+        ("C"-phase) tracks.  ``events`` (a
+        :class:`repro.sim.events.FlightRecorder`, or a list of exported
+        event dicts) interleaves the causal event log as instant
+        ("i"-phase, thread-scoped) markers, so the viewer shows each
+        ``binder.transact`` / ``link.chunk`` / ``stage.rollback`` tick
+        at its position inside the spans.
         """
         trace_events: List[Dict[str, Any]] = []
         for root in self._roots:
@@ -289,8 +294,45 @@ class Tracer:
                 trace_events.append(event)
         if metrics is not None:
             trace_events.extend(metrics.chrome_counter_events())
+        if events is not None:
+            trace_events.extend(chrome_instant_events(events))
         return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
 
-    def write_chrome_trace(self, path: str, metrics=None) -> None:
+    def write_chrome_trace(self, path: str, metrics=None,
+                           events=None) -> None:
         with open(path, "w", encoding="utf-8") as handle:
-            json.dump(self.chrome_trace(metrics=metrics), handle, indent=1)
+            json.dump(self.chrome_trace(metrics=metrics, events=events),
+                      handle, indent=1)
+
+
+def chrome_instant_events(events) -> List[Dict[str, Any]]:
+    """A causal event stream as Chrome-trace instant ("i") events.
+
+    ``events`` is a :class:`repro.sim.events.FlightRecorder` or an
+    iterable of exported event dicts.  Each becomes a thread-scoped
+    (``"s": "t"``) instant whose args carry the per-device sequence
+    number, the Binder transaction id (when inside one) and the event's
+    attributes — the same fields the ``--events-out`` JSONL records, so
+    a tick in the viewer resolves back to a line in the artifact.
+    """
+    exported = events.export() if hasattr(events, "export") else events
+    instants: List[Dict[str, Any]] = []
+    for event in exported:
+        args: Dict[str, Any] = {"seq": event["seq"],
+                                "device": event["device"]}
+        if event.get("txn") is not None:
+            args["txn"] = event["txn"]
+        if event.get("span"):
+            args["span"] = event["span"]
+        args.update(event.get("attrs", {}))
+        instants.append({
+            "name": event["kind"],
+            "cat": "event",
+            "ph": "i",
+            "s": "t",
+            "pid": 1,
+            "tid": 1,
+            "ts": round(event["t"] * 1e6, 3),
+            "args": args,
+        })
+    return instants

@@ -15,8 +15,8 @@ from repro.experiments.harness import (
 class TestRunPair:
     def test_deterministic_across_runs(self):
         apps = [app_by_title("ZEDGE"), app_by_title("eBay")]
-        first, _, _ = run_pair(NEXUS_4, NEXUS_7_2013, apps, seed=5)
-        second, _, _ = run_pair(NEXUS_4, NEXUS_7_2013, apps, seed=5)
+        first, _, _, _ = run_pair(NEXUS_4, NEXUS_7_2013, apps, seed=5)
+        second, _, _, _ = run_pair(NEXUS_4, NEXUS_7_2013, apps, seed=5)
         for package in first:
             assert first[package].total_seconds == \
                 second[package].total_seconds
@@ -25,8 +25,8 @@ class TestRunPair:
 
     def test_seed_changes_timings(self):
         apps = [app_by_title("ZEDGE")]
-        a, _, _ = run_pair(NEXUS_4, NEXUS_7_2013, apps, seed=1)
-        b, _, _ = run_pair(NEXUS_4, NEXUS_7_2013, apps, seed=2)
+        a, _, _, _ = run_pair(NEXUS_4, NEXUS_7_2013, apps, seed=1)
+        b, _, _, _ = run_pair(NEXUS_4, NEXUS_7_2013, apps, seed=2)
         (ra,) = a.values()
         (rb,) = b.values()
         # Link jitter differs, non-transfer stages are identical.
@@ -38,7 +38,7 @@ class TestRunPair:
         apps = [app_by_title("Facebook")]
         with pytest.raises(MigrationError):
             run_pair(NEXUS_4, NEXUS_7_2013, apps, seed=1)
-        reports, refusals, _ = run_pair(NEXUS_4, NEXUS_7_2013, apps, seed=1,
+        reports, refusals, _, _ = run_pair(NEXUS_4, NEXUS_7_2013, apps, seed=1,
                                         include_failures=True)
         assert reports == {}
         assert len(refusals) == 1

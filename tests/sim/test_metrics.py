@@ -184,3 +184,48 @@ class TestSnapshots:
         registry.counter("cria", "pages").inc()
         registry.gauge("chunks", "store_bytes").set(1)
         assert subsystems_in(registry.snapshot()) == ["chunks", "cria"]
+
+
+class TestFoldInstanceLabel:
+    """Shared by the metrics registry and the causal event log."""
+
+    def test_folds_numeric_instance_suffix(self):
+        from repro.sim.metrics import fold_instance_label
+        assert fold_instance_label("sensor-connection:7") == \
+            "sensor-connection"
+        assert fold_instance_label("listener:123") == "listener"
+
+    def test_leaves_other_labels_alone(self):
+        from repro.sim.metrics import fold_instance_label
+        assert fold_instance_label("alarm") == "alarm"
+        assert fold_instance_label("svc:name") == "svc:name"
+        assert fold_instance_label("a:1:b") == "a:1:b"
+        assert fold_instance_label("") == ""
+
+    def test_binder_driver_uses_the_fold(self):
+        """The driver's metric keys and event attributes agree."""
+        from repro.android.binder import BinderDriver, Parcel
+        from repro.android.kernel import Kernel
+        from repro.sim import SimClock
+        from repro.sim.events import FlightRecorder
+
+        kernel = Kernel(SimClock())
+        recorder = FlightRecorder(clock=kernel.clock, device="d")
+        registry = MetricsRegistry()
+        driver = BinderDriver(kernel, metrics=registry, events=recorder)
+        system = kernel.create_process("system", uid=1000, package="android")
+        app = kernel.create_process("com.app", uid=10001, package="com.app")
+
+        class Conn:
+            def poke(self):
+                return None
+
+        node = driver.create_node(system, Conn(), "sensor-connection:9")
+        handle = driver.acquire_ref(app, node)
+        driver.transact(app, handle, "poke", Parcel())
+        [series] = [key for key in registry.snapshot()["counters"]
+                    if key.startswith("binder/transactions")]
+        assert "interface=sensor-connection" in series
+        assert ":9" not in series
+        [event] = recorder.events("binder.transact")
+        assert event.attrs["interface"] == "sensor-connection"

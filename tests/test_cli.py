@@ -187,3 +187,92 @@ class TestTraceExport:
         names = [e["name"] for e in doc["traceEvents"]
                  if e["cat"] == "stage"]
         assert names == ["preparation", "checkpoint", "transfer"]
+
+    def test_trace_schema_validates_per_phase(self, tmp_path):
+        """Round-trip through json.load and check the required keys of
+        every phase the export emits: complete spans ("X"), counters
+        ("C") and the event log's instants ("i")."""
+        import json
+
+        path = tmp_path / "trace.json"
+        assert main(["migrate", "--app", "WhatsApp",
+                     "--trace-out", str(path)]) == 0
+        with open(path, "r", encoding="utf-8") as handle:
+            doc = json.load(handle)
+        assert doc["displayTimeUnit"] == "ms"
+        events = doc["traceEvents"]
+        phases = {e["ph"] for e in events}
+        assert phases == {"X", "C", "i"}
+        for event in events:
+            for key in ("name", "cat", "ph", "ts", "pid", "tid"):
+                assert key in event, (event["ph"], key)
+            assert isinstance(event["ts"], (int, float))
+            if event["ph"] == "X":
+                assert "dur" in event and event["dur"] >= 0
+            elif event["ph"] == "C":
+                assert "args" in event
+                assert all(isinstance(v, (int, float))
+                           for v in event["args"].values())
+            elif event["ph"] == "i":
+                assert event["s"] == "t"   # thread-scoped instant
+                assert event["cat"] == "event"
+                assert "seq" in event["args"]
+                assert "device" in event["args"]
+
+    def test_trace_instants_interleave_with_spans(self, tmp_path):
+        import json
+
+        path = tmp_path / "trace.json"
+        assert main(["migrate", "--app", "WhatsApp",
+                     "--trace-out", str(path)]) == 0
+        doc = json.loads(path.read_text())
+        events = doc["traceEvents"]
+        [migration] = [e for e in events if e["cat"] == "migration"]
+        instants = [e for e in events if e["ph"] == "i"]
+        span_end = migration["ts"] + migration["dur"]
+        inside = [i for i in instants
+                  if migration["ts"] <= i["ts"] <= span_end + 1e-3]
+        assert inside, "no event instants inside the migration span"
+        kinds = {i["name"] for i in inside}
+        assert "stage.start" in kinds and "migration.done" in kinds
+
+
+class TestEventsExport:
+    def test_migrate_events_out(self, capsys, tmp_path):
+        from repro.sim.events import read_jsonl
+
+        path = tmp_path / "events.jsonl"
+        assert main(["migrate", "--app", "WhatsApp",
+                     "--events-out", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert f"wrote" in out and str(path) in out
+        events = read_jsonl(str(path))
+        assert events
+        kinds = [e["kind"] for e in events]
+        assert "migration.start" in kinds and "migration.done" in kinds
+        assert {e["device"] for e in events} == {"home", "guest"}
+        # The merged stream is causally ordered.
+        keys = [(e["t"], e["device"], e["seq"]) for e in events]
+        assert keys == sorted(keys)
+
+    def test_migrate_events_out_on_fault(self, capsys, tmp_path):
+        from repro.sim.events import read_jsonl
+
+        path = tmp_path / "events.jsonl"
+        assert main(["migrate", "--app", "WhatsApp",
+                     "--drop-link-after-bytes", "1000000",
+                     "--events-out", str(path)]) == 1
+        kinds = [e["kind"] for e in read_jsonl(str(path))]
+        assert "link.fault" in kinds
+        assert "stage.fault" in kinds
+        assert "migration.rolled_back" in kinds
+
+    def test_sweep_events_out(self, capsys, tmp_path):
+        from repro.sim.events import read_jsonl
+
+        path = tmp_path / "sweep_events.jsonl"
+        assert main(["sweep", "--events-out", str(path)]) == 0
+        events = read_jsonl(str(path))
+        assert events
+        assert all("pair" in e for e in events)
+        assert len({e["pair"] for e in events}) == 4
