@@ -9,6 +9,7 @@ libs), ``/data`` (app data and the Flux pairing area), ``/sdcard``.
 from __future__ import annotations
 
 import hashlib
+from bisect import bisect_left
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Tuple
 
@@ -55,9 +56,12 @@ class DeviceStorage:
     def __init__(self, device_name: str = "device") -> None:
         self.device_name = device_name
         self._files: Dict[str, FileEntry] = {}
-        #: Bumped on every mutation; invalidates cached tree signatures.
+        #: Bumped on every mutation; invalidates cached tree signatures
+        #: and the sorted-path index.
         self._generation = 0
         self._signature_cache: Dict[str, Tuple[int, TreeSignature]] = {}
+        self._sorted_paths: List[str] = []
+        self._sorted_generation = -1
 
     # -- writes ----------------------------------------------------------------
 
@@ -116,9 +120,30 @@ class DeviceStorage:
     def exists(self, path: str) -> bool:
         return path in self._files
 
+    def _paths_under(self, prefix: str) -> List[str]:
+        """Paths with ``prefix``, sorted — O(log n + matches) per query.
+
+        The sorted-path index is rebuilt lazily after a mutation; reads
+        between mutations (the common pattern: boot populates, then
+        every migration's verify pass queries) share one sort.  Every
+        prefix query then bisects to the range start and walks only the
+        matching run, replacing the full scan-and-sort the per-migration
+        ``tree_signature``/``files_under`` calls used to pay.
+        """
+        if self._sorted_generation != self._generation:
+            self._sorted_paths = sorted(self._files)
+            self._sorted_generation = self._generation
+        paths = self._sorted_paths
+        lo = bisect_left(paths, prefix)
+        hi = lo
+        n = len(paths)
+        while hi < n and paths[hi].startswith(prefix):
+            hi += 1
+        return paths[lo:hi]
+
     def files_under(self, prefix: str) -> List[FileEntry]:
-        return sorted((e for p, e in self._files.items()
-                       if p.startswith(prefix)), key=lambda e: e.path)
+        files = self._files
+        return [files[p] for p in self._paths_under(prefix)]
 
     def tree_size(self, prefix: str) -> int:
         """Logical bytes under ``prefix`` (hard links counted at full size)."""
@@ -158,7 +183,7 @@ class DeviceStorage:
         return signature
 
     def file_count(self, prefix: str = "/") -> int:
-        return sum(1 for p in self._files if p.startswith(prefix))
+        return len(self._paths_under(prefix))
 
     @staticmethod
     def _check_path(path: str) -> None:

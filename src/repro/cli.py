@@ -257,12 +257,17 @@ def cmd_sweep(args) -> int:
     import os
 
     from repro.experiments import fig12, fig13, fig14, fig15
-    from repro.experiments.harness import SWEEP_WORKERS_ENV
+    from repro.experiments.harness import (
+        SWEEP_EXECUTOR_ENV,
+        SWEEP_WORKERS_ENV,
+    )
     if args.workers is not None:
         # The figure modules call run_sweep() themselves; the env knob
         # is how their shared sweep picks up the parallelism.  Results
         # are bit-identical to the serial run either way.
         os.environ[SWEEP_WORKERS_ENV] = str(args.workers)
+    if args.executor is not None:
+        os.environ[SWEEP_EXECUTOR_ENV] = args.executor
     print(fig12.render())
     print()
     print(fig13.render())
@@ -289,6 +294,13 @@ def cmd_sweep(args) -> int:
         count = write_jsonl(args.events_out, run_sweep().merged_events())
         print(f"wrote {count} events to {args.events_out} "
               f"(flux-sim explain {args.events_out})")
+    if args.profile_out:
+        from repro.experiments.profiling import top_offenders, write_profile
+        report = write_profile(args.profile_out)
+        offenders = top_offenders(report)
+        print(f"\nwrote per-pair cProfile report to {args.profile_out}")
+        if offenders:
+            print("top offenders: " + ", ".join(offenders))
     return 0
 
 
@@ -397,9 +409,20 @@ def build_parser() -> argparse.ArgumentParser:
     interface.set_defaults(func=cmd_interface)
 
     sweep = sub.add_parser("sweep", help="the paper's full migration sweep")
-    sweep.add_argument("--workers", type=int, default=None,
-                       help="run device pairs on this many threads "
-                            "(results identical to serial)")
+    sweep.add_argument("--workers", default=None, metavar="N",
+                       help="run device pairs on N workers, or 'auto' "
+                            "for one per core (results identical to "
+                            "serial)")
+    sweep.add_argument("--executor", default=None,
+                       choices=("serial", "thread", "process"),
+                       help="how parallel pairs run: 'process' (default "
+                            "when --workers > 1; true multi-core), "
+                            "'thread' (GIL-bound), or 'serial'")
+    sweep.add_argument("--profile-out", metavar="PATH", default=None,
+                       help="run each pair serially under cProfile and "
+                            "write a deterministic-ordered per-pair "
+                            "report (the serial hot-path measuring "
+                            "plane)")
     sweep.add_argument("--metrics-out", metavar="PATH", default=None,
                        help="write per-pair, per-app and total metrics "
                             "snapshots for the sweep as JSON")

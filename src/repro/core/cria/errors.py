@@ -50,6 +50,13 @@ class MigrationError(Exception):
     def is_fault(self) -> bool:
         return self.reason in RUNTIME_FAULTS
 
+    def __reduce__(self):
+        # Exception's default reduce replays __init__ with the formatted
+        # message (a str), not (reason, detail) — which made the error
+        # un-picklable.  Process-pool sweep workers propagate refusals
+        # across the process boundary, so the round-trip must be exact.
+        return (MigrationError, (self.reason, self.detail))
+
 
 class CheckpointError(Exception):
     """Internal checkpoint/restore mechanics failed (a bug, not a refusal)."""

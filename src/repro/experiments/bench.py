@@ -1,11 +1,18 @@
 """Sweep benchmark payloads and the ``bench-check`` regression gate.
 
 ``BENCH_sweep.json`` (repo root) records what regenerating the Figure 12
-sweep costs and produces.  Schema 2 splits the record in two:
+sweep costs and produces.  Schema 3 splits the record in two:
 
-* ``wall`` — real serial/parallel wall-clock seconds for the sweep.
-  **Informational only**: wall clock depends on the machine, the
-  interpreter, and background load, so it is reported but never gated.
+* ``wall`` — real wall-clock seconds for the sweep in all three
+  executor modes (serial, thread pool, process pool) plus per-pair
+  serial walls.  The absolute numbers are **informational only**: wall
+  clock depends on the machine, the interpreter, and background load,
+  so it is reported but never compared against the baseline.  The one
+  wall-derived quantity that *does* gate is ``process_speedup`` — on a
+  multi-core machine (``cpu_count >= 2``) the process executor must not
+  be slower than serial, or the whole point of the executor layer has
+  regressed.  Single-core machines skip that gate: there a process
+  pool only adds fork overhead, which is expected.
 * ``sim`` — quantities computed *inside* the simulation: average stage
   timings on the virtual clock and the per-subsystem counter totals
   from the metrics registry.  These are deterministic for a given seed,
@@ -22,15 +29,19 @@ simulation, and say why in CHANGES.md).
 from __future__ import annotations
 
 import json
+import os
 import time
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple
 
-from repro.experiments.harness import SweepResult, run_sweep
+from repro.android.hardware.profiles import PAPER_DEVICE_PAIRS
+from repro.apps.catalog import MIGRATABLE_APPS
+from repro.experiments.harness import (SweepResult, merge_pair_outcomes,
+                                       pair_label, run_pair, run_sweep)
 from repro.sim.metrics import rollup_counters
 
 
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 BENCH_PATH = Path(__file__).resolve().parents[3] / "BENCH_sweep.json"
 WORKERS = 4
 
@@ -60,21 +71,46 @@ GATED_COUNTERS = (
 
 
 def measure_sweep(workers: int = WORKERS
-                  ) -> Tuple[SweepResult, SweepResult, float, float]:
-    """Time the serial and parallel sweep; returns both plus seconds."""
-    start = time.perf_counter()
-    serial = run_sweep(use_cache=False, workers=1)
-    serial_s = time.perf_counter() - start
+                  ) -> Tuple[SweepResult, Dict[str, float],
+                             float, float, float]:
+    """Time the sweep in all three executor modes.
+
+    The serial pass runs pair-by-pair so each pair's own wall clock is
+    recorded (that per-pair breakdown is what tells you whether the
+    sweep is balanced enough for a pool to help); the pair outcomes are
+    then folded through :func:`merge_pair_outcomes`, the same merge the
+    pooled executors use.  Returns ``(sweep, per_pair_serial_s,
+    serial_s, thread_s, process_s)``.
+    """
+    per_pair: Dict[str, float] = {}
+    outcomes = []
+    start_all = time.perf_counter()
+    for home_profile, guest_profile in PAPER_DEVICE_PAIRS:
+        start = time.perf_counter()
+        outcomes.append(run_pair(home_profile, guest_profile,
+                                 MIGRATABLE_APPS, seed=0,
+                                 include_failures=False))
+        label = pair_label(home_profile, guest_profile)
+        per_pair[label] = round(time.perf_counter() - start, 4)
+    serial_s = time.perf_counter() - start_all
+    sweep = merge_pair_outcomes(PAPER_DEVICE_PAIRS, MIGRATABLE_APPS,
+                                outcomes)
 
     start = time.perf_counter()
-    parallel = run_sweep(use_cache=False, workers=workers)
-    parallel_s = time.perf_counter() - start
-    return serial, parallel, serial_s, parallel_s
+    run_sweep(use_cache=False, workers=workers, executor="thread")
+    thread_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    run_sweep(use_cache=False, workers=workers, executor="process")
+    process_s = time.perf_counter() - start
+    return sweep, per_pair, serial_s, thread_s, process_s
 
 
-def build_payload(sweep: SweepResult, serial_s: float, parallel_s: float,
+def build_payload(sweep: SweepResult, serial_s: float, thread_s: float,
+                  process_s: float,
+                  per_pair_serial_s: Optional[Dict[str, float]] = None,
                   workers: int = WORKERS) -> Dict:
-    """The schema-2 ``BENCH_sweep.json`` document for one sweep run."""
+    """The schema-3 ``BENCH_sweep.json`` document for one sweep run."""
     rollup = rollup_counters(sweep.merged_metrics())
     dominant: Dict[str, int] = {}
     for report in sweep.all_reports():
@@ -84,12 +120,19 @@ def build_payload(sweep: SweepResult, serial_s: float, parallel_s: float,
         "benchmark": "fig12_sweep_wall_clock",
         "schema": SCHEMA_VERSION,
         "workers": workers,
+        "executor": "process",
+        "cpu_count": os.cpu_count() or 1,
         "cells": len(sweep.reports),
         "wall": {
             "serial_s": round(serial_s, 4),
-            "parallel_s": round(parallel_s, 4),
-            "speedup": (round(serial_s / parallel_s, 3)
-                        if parallel_s else None),
+            "thread_s": round(thread_s, 4),
+            "process_s": round(process_s, 4),
+            "thread_speedup": (round(serial_s / thread_s, 3)
+                               if thread_s else None),
+            "process_speedup": (round(serial_s / process_s, 3)
+                                if process_s else None),
+            "per_pair_serial_s": dict(sorted(
+                (per_pair_serial_s or {}).items())),
         },
         "sim": {
             "avg_total_seconds": round(sweep.average_total_seconds(), 4),
@@ -113,15 +156,27 @@ def check(current: Dict, baseline: Dict,
           tolerance: float = SIM_TOLERANCE) -> List[str]:
     """Problems (empty = pass) comparing ``current`` vs ``baseline``.
 
-    Only the ``sim`` section gates; a schema-1 baseline (no ``sim``)
-    is itself a problem — refresh it with ``bench-check --update``.
+    The ``sim`` section gates against the baseline; a schema-1 baseline
+    (no ``sim``) is itself a problem — refresh it with ``bench-check
+    --update``.  The wall section never compares against the baseline,
+    but the *current* run's ``process_speedup`` must be >= 1.0 whenever
+    the current machine has more than one core (single-core machines
+    skip this: fork overhead with no parallelism is expected there).
     """
     problems: List[str] = []
+    if current.get("cpu_count", 1) >= 2:
+        speedup = current.get("wall", {}).get("process_speedup")
+        if speedup is not None and speedup < 1.0:
+            problems.append(
+                f"process-executor sweep slower than serial on a "
+                f"{current['cpu_count']}-core machine: speedup "
+                f"{speedup} < 1.0")
     base_sim = baseline.get("sim")
     if not base_sim:
-        return [f"baseline has no 'sim' section (schema "
-                f"{baseline.get('schema', 1)}); refresh it with "
-                "'flux-sim bench-check --update'"]
+        problems.append(f"baseline has no 'sim' section (schema "
+                        f"{baseline.get('schema', 1)}); refresh it with "
+                        "'flux-sim bench-check --update'")
+        return problems
     sim = current["sim"]
 
     if current.get("cells") != baseline.get("cells"):
@@ -159,10 +214,14 @@ def format_report(current: Dict, baseline: Dict,
     wall = current.get("wall", {})
     base_wall = baseline.get("wall", {})
     lines.append(
-        f"sweep wall clock: serial {wall.get('serial_s')}s, "
-        f"parallel({current.get('workers')}) {wall.get('parallel_s')}s "
-        f"(baseline {base_wall.get('serial_s', '?')}s / "
-        f"{base_wall.get('parallel_s', '?')}s; informational)")
+        f"sweep wall clock ({current.get('cpu_count', '?')} cpu): "
+        f"serial {wall.get('serial_s')}s, "
+        f"thread({current.get('workers')}) {wall.get('thread_s')}s "
+        f"(x{wall.get('thread_speedup')}), "
+        f"process({current.get('workers')}) {wall.get('process_s')}s "
+        f"(x{wall.get('process_speedup')}) "
+        f"(baseline serial {base_wall.get('serial_s', '?')}s; "
+        "absolute walls informational)")
     if problems:
         lines.append(f"BENCH CHECK FAILED ({len(problems)} problem(s)):")
         lines.extend(f"  - {p}" for p in problems)
@@ -181,8 +240,10 @@ def run_check(baseline_path: Optional[Path] = None, update: bool = False,
               workers: int = WORKERS) -> Tuple[int, str]:
     """Drive a full bench check (or baseline refresh); (exit, text)."""
     path = Path(baseline_path) if baseline_path else BENCH_PATH
-    sweep, _, serial_s, parallel_s = measure_sweep(workers=workers)
-    current = build_payload(sweep, serial_s, parallel_s, workers=workers)
+    sweep, per_pair, serial_s, thread_s, process_s = measure_sweep(
+        workers=workers)
+    current = build_payload(sweep, serial_s, thread_s, process_s,
+                            per_pair_serial_s=per_pair, workers=workers)
 
     if update or not path.exists():
         path.write_text(json.dumps(current, indent=2) + "\n")

@@ -7,19 +7,21 @@ it — collecting the per-stage reports Figures 12-15 are drawn from.
 
 from __future__ import annotations
 
+import multiprocessing
 import os
-from concurrent.futures import ThreadPoolExecutor
+from collections import OrderedDict
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Dict, List, NamedTuple, Optional, Sequence, Tuple
+from typing import Dict, List, NamedTuple, Optional, Sequence, Tuple, Union
 
-from repro.android.device import Device
+from repro.android.device import METRICS_ENV, Device
 from repro.android.hardware.profiles import PAPER_DEVICE_PAIRS, DeviceProfile
 from repro.apps.catalog import MIGRATABLE_APPS, TOP_APPS
 from repro.apps.common import AppSpec
 from repro.core.cria.errors import MigrationError, MigrationRefusal
 from repro.core.migration.migration import MigrationReport
 from repro.sim import SimClock
-from repro.sim.events import merge_streams
+from repro.sim.events import EVENTS_CAP_ENV, EVENTS_ENV, merge_streams
 from repro.sim.metrics import (
     empty_snapshot,
     merge_snapshots,
@@ -58,21 +60,32 @@ class SweepResult:
         return list(self.reports.values())
 
     # -- aggregates used by several figures -----------------------------------
+    # All averages are 0.0 over an empty report set (a sweep of pure
+    # refusals with include_failures=True yields zero successful
+    # reports; averaging must not divide by zero).
 
     def average_total_seconds(self) -> float:
         reports = self.all_reports()
+        if not reports:
+            return 0.0
         return sum(r.total_seconds for r in reports) / len(reports)
 
     def average_perceived_seconds(self) -> float:
         reports = self.all_reports()
+        if not reports:
+            return 0.0
         return sum(r.perceived_seconds for r in reports) / len(reports)
 
     def average_non_transfer_seconds(self) -> float:
         reports = self.all_reports()
+        if not reports:
+            return 0.0
         return sum(r.non_transfer_seconds for r in reports) / len(reports)
 
     def average_stage_fraction(self, stage: str) -> float:
         reports = self.all_reports()
+        if not reports:
+            return 0.0
         return sum(r.stage_fraction(stage) for r in reports) / len(reports)
 
     # -- metrics aggregation ---------------------------------------------------
@@ -152,60 +165,133 @@ def run_pair(home_profile: DeviceProfile, guest_profile: DeviceProfile,
                        events=events)
 
 
-_SWEEP_CACHE: Dict[Tuple, SweepResult] = {}
+#: Sweep results cached per (apps, pairs, seed, include_failures),
+#: bounded LRU (the shape-regression and figure modules share one key;
+#: property-style tests can generate many).
+_SWEEP_CACHE: "OrderedDict[Tuple, SweepResult]" = OrderedDict()
+_SWEEP_CACHE_MAX = 8
 
 #: Environment knob for the default sweep parallelism (see README);
 #: ``workers=None`` in :func:`run_sweep` reads it, defaulting to serial.
+#: Accepts an integer or ``auto`` (= ``os.cpu_count()``).
 SWEEP_WORKERS_ENV = "FLUX_SWEEP_WORKERS"
 
+#: Environment knob for the default executor: serial | thread | process.
+SWEEP_EXECUTOR_ENV = "FLUX_SWEEP_EXECUTOR"
 
-def _resolve_workers(workers: Optional[int], pair_count: int) -> int:
+SWEEP_EXECUTORS = ("serial", "thread", "process")
+
+#: Env knobs forwarded verbatim into process-pool workers, so a child
+#: simulation sees exactly the parent's telemetry configuration even
+#: under the ``spawn`` start method (fresh interpreter, fresh environ).
+FORWARDED_ENV = (METRICS_ENV, EVENTS_ENV, EVENTS_CAP_ENV,
+                 SWEEP_WORKERS_ENV, SWEEP_EXECUTOR_ENV)
+
+
+def clear_sweep_cache() -> None:
+    """Drop every cached sweep (tests; replaces ad-hoc dict pokes)."""
+    _SWEEP_CACHE.clear()
+
+
+def _resolve_workers(workers: Union[int, str, None],
+                     pair_count: int) -> int:
     if workers is None:
-        try:
-            workers = int(os.environ.get(SWEEP_WORKERS_ENV, "1") or "1")
-        except ValueError:
-            workers = 1
+        workers = os.environ.get(SWEEP_WORKERS_ENV, "1") or "1"
+    if workers == "auto":
+        workers = os.cpu_count() or 1
+    try:
+        workers = int(workers)
+    except ValueError:
+        workers = 1
     return max(1, min(workers, pair_count))
 
 
-def run_sweep(apps: Sequence[AppSpec] = MIGRATABLE_APPS,
-              pairs: Sequence[Tuple[DeviceProfile, DeviceProfile]]
-              = PAPER_DEVICE_PAIRS,
-              seed: int = 0, include_failures: bool = False,
-              use_cache: bool = True,
-              workers: Optional[int] = None) -> SweepResult:
-    """The full sweep: every app across every device pair.
+def _resolve_executor(executor: Optional[str], workers: int) -> str:
+    """Executor choice: explicit arg > env knob > workers-based default.
 
-    Results are cached per (apps, pairs, seed) within the process; the
-    sweep is deterministic, so figures 12-15 share one run.
-
-    ``workers`` > 1 runs the device pairs concurrently — each pair is a
-    fully independent simulation (private clock, private RNG factory,
-    freshly booted devices), so the parallel sweep is bit-identical to
-    the serial one; results are merged in pair order regardless of
-    completion order.  Defaults to the ``FLUX_SWEEP_WORKERS``
-    environment variable, else serial.
+    The default for a parallel sweep is ``process``: each device pair is
+    a sealed, GIL-bound pure-Python simulation, so threads only add
+    lock contention while processes scale with cores.  ``thread`` stays
+    available for comparison (and is what ``bench-check`` records as
+    the contrast mode).
     """
-    key = (tuple(a.package for a in apps),
-           tuple((h.name, g.name) for h, g in pairs),
-           seed, include_failures)
-    if use_cache and key in _SWEEP_CACHE:
-        return _SWEEP_CACHE[key]
+    if executor is None:
+        executor = os.environ.get(SWEEP_EXECUTOR_ENV, "") or None
+    if executor is None:
+        executor = "process" if workers > 1 else "serial"
+    if executor not in SWEEP_EXECUTORS:
+        raise ValueError(
+            f"unknown sweep executor {executor!r}; "
+            f"choose from {SWEEP_EXECUTORS}")
+    return executor
 
-    workers = _resolve_workers(workers, len(pairs))
-    if workers > 1:
+
+def _pair_worker(home_profile: DeviceProfile, guest_profile: DeviceProfile,
+                 apps: Sequence[AppSpec], seed: int, include_failures: bool,
+                 env: Dict[str, Optional[str]]) -> PairOutcome:
+    """Process-pool entry point: apply the parent's env knobs, run a pair.
+
+    Module-level (hence picklable by reference) and spawn-safe: a
+    spawned child starts with a fresh interpreter, so the telemetry
+    knobs the parent resolved (``FLUX_METRICS``, ``FLUX_EVENTS``,
+    ``FLUX_EVENTS_CAP``) are re-applied here before any Device exists —
+    child simulations are byte-identical to the serial ones.
+    """
+    for key, value in env.items():
+        if value is None:
+            os.environ.pop(key, None)
+        else:
+            os.environ[key] = value
+    return run_pair(home_profile, guest_profile, apps, seed=seed,
+                    include_failures=include_failures)
+
+
+def _mp_context(start_method: Optional[str]):
+    if start_method is None:
+        methods = multiprocessing.get_all_start_methods()
+        start_method = "fork" if "fork" in methods else "spawn"
+    return multiprocessing.get_context(start_method)
+
+
+def _run_pairs(pairs: Sequence[Tuple[DeviceProfile, DeviceProfile]],
+               apps: Sequence[AppSpec], seed: int, include_failures: bool,
+               workers: int, executor: str,
+               start_method: Optional[str] = None) -> List[PairOutcome]:
+    """Run every pair on the chosen executor, results in pair order."""
+    if executor == "serial" or workers <= 1:
+        return [run_pair(home_profile, guest_profile, apps, seed=seed,
+                         include_failures=include_failures)
+                for home_profile, guest_profile in pairs]
+    if executor == "thread":
         with ThreadPoolExecutor(max_workers=workers) as pool:
             futures = [pool.submit(run_pair, home_profile, guest_profile,
                                    apps, seed=seed,
                                    include_failures=include_failures)
                        for home_profile, guest_profile in pairs]
-            pair_results = [f.result() for f in futures]
-    else:
-        pair_results = [run_pair(home_profile, guest_profile, apps,
-                                 seed=seed,
-                                 include_failures=include_failures)
-                        for home_profile, guest_profile in pairs]
+            return [f.result() for f in futures]
+    # process: true multi-core execution.  Everything that crosses the
+    # boundary (profiles, app specs, PairOutcome with its reports,
+    # metrics snapshots and event streams) pickles round-trip exactly —
+    # tests/experiments/test_pickle_protocol.py pins that contract.
+    env = {key: os.environ.get(key) for key in FORWARDED_ENV}
+    with ProcessPoolExecutor(max_workers=workers,
+                             mp_context=_mp_context(start_method)) as pool:
+        futures = [pool.submit(_pair_worker, home_profile, guest_profile,
+                               apps, seed, include_failures, env)
+                   for home_profile, guest_profile in pairs]
+        return [f.result() for f in futures]
 
+
+def merge_pair_outcomes(
+        pairs: Sequence[Tuple[DeviceProfile, DeviceProfile]],
+        apps: Sequence[AppSpec],
+        pair_results: Sequence[PairOutcome]) -> SweepResult:
+    """Fold per-pair outcomes (any executor's) into one SweepResult.
+
+    Merging happens in pair order regardless of completion order, which
+    is half of the parallel-equals-serial determinism story (the other
+    half: each pair is a sealed simulation).
+    """
     labels = []
     reports: Dict[Tuple[str, str], MigrationReport] = {}
     refusals: Dict[Tuple[str, str], MigrationRefusal] = {}
@@ -220,14 +306,61 @@ def run_sweep(apps: Sequence[AppSpec] = MIGRATABLE_APPS,
             refusals[(label, package)] = refusal
         pair_metrics[label] = outcome.metrics
         pair_events[label] = outcome.events
+    return SweepResult(pair_labels=labels,
+                       app_titles=[a.title for a in apps],
+                       reports=reports, refusals=refusals,
+                       pair_metrics=pair_metrics,
+                       pair_events=pair_events)
 
-    result = SweepResult(pair_labels=labels,
-                         app_titles=[a.title for a in apps],
-                         reports=reports, refusals=refusals,
-                         pair_metrics=pair_metrics,
-                         pair_events=pair_events)
+
+def run_sweep(apps: Sequence[AppSpec] = MIGRATABLE_APPS,
+              pairs: Sequence[Tuple[DeviceProfile, DeviceProfile]]
+              = PAPER_DEVICE_PAIRS,
+              seed: int = 0, include_failures: bool = False,
+              use_cache: bool = True,
+              workers: Union[int, str, None] = None,
+              executor: Optional[str] = None,
+              start_method: Optional[str] = None) -> SweepResult:
+    """The full sweep: every app across every device pair.
+
+    Results are cached per (apps, pairs, seed) within the process; the
+    sweep is deterministic, so figures 12-15 share one run.
+
+    ``workers`` > 1 runs the device pairs concurrently — each pair is a
+    fully independent simulation (private clock, private RNG factory,
+    freshly booted devices), so the parallel sweep is bit-identical to
+    the serial one; results are merged in pair order regardless of
+    completion order.  ``workers="auto"`` uses every core; the default
+    comes from ``FLUX_SWEEP_WORKERS``, else serial.
+
+    ``executor`` picks how concurrent pairs run: ``"thread"`` (shared
+    GIL — concurrency without parallelism) or ``"process"`` (a
+    spawn-safe :class:`ProcessPoolExecutor`; the default for parallel
+    runs, and the only mode that scales with cores for this pure-Python
+    workload).  Defaults to ``FLUX_SWEEP_EXECUTOR``.  ``start_method``
+    forces a multiprocessing start method (tests pin ``spawn`` safety);
+    the default prefers ``fork`` where available for its lower startup
+    cost.
+    """
+    key = (tuple(a.package for a in apps),
+           tuple((h.name, g.name) for h, g in pairs),
+           seed, include_failures)
+    if use_cache:
+        cached = _SWEEP_CACHE.get(key)
+        if cached is not None:
+            _SWEEP_CACHE.move_to_end(key)
+            return cached
+
+    workers = _resolve_workers(workers, len(pairs))
+    executor = _resolve_executor(executor, workers)
+    pair_results = _run_pairs(pairs, apps, seed, include_failures,
+                              workers, executor, start_method)
+    result = merge_pair_outcomes(pairs, apps, pair_results)
     if use_cache:
         _SWEEP_CACHE[key] = result
+        _SWEEP_CACHE.move_to_end(key)
+        while len(_SWEEP_CACHE) > _SWEEP_CACHE_MAX:
+            _SWEEP_CACHE.popitem(last=False)
     return result
 
 

@@ -162,11 +162,11 @@ class FlightRecorder:
         self.emitted += 1
         span_path = None
         if self._tracer is not None:
-            open_spans = getattr(self._tracer, "_open_spans", None)
-            if open_spans:
-                span_path = "/".join(s.name for s in open_spans)
-        merged = dict(self._context)
-        merged.update(attrs)
+            # Cached on the tracer and invalidated on span open/close —
+            # emitting thousands of events inside one stage span no
+            # longer re-joins the span names per event.
+            span_path = self._tracer.open_span_path
+        merged = {**self._context, **attrs} if self._context else attrs
         event = CausalEvent(
             seq=self.emitted,
             time=self._clock.now if self._clock is not None else 0.0,

@@ -55,6 +55,12 @@ RATE_BUCKETS_MBPS: Tuple[float, ...] = (
 LabelItems = Tuple[Tuple[str, str], ...]
 
 
+#: Memo for :func:`fold_instance_label`.  Folded labels have bounded
+#: cardinality by design (that is the point of folding), so the memo
+#: stays small; the binder driver calls this once per transaction.
+_FOLD_CACHE: Dict[str, str] = {}
+
+
 def fold_instance_label(label: str) -> str:
     """Fold a per-instance suffix out of a label: ``foo:7`` -> ``foo``.
 
@@ -65,14 +71,21 @@ def fold_instance_label(label: str) -> str:
     metrics registry and the causal event log both use this helper, so
     the two telemetry planes agree on cross-worker-deterministic labels.
     """
-    base, sep, suffix = label.rpartition(":")
-    if sep and suffix.isdigit():
-        return base
-    return label
+    folded = _FOLD_CACHE.get(label)
+    if folded is None:
+        base, sep, suffix = label.rpartition(":")
+        folded = base if sep and suffix.isdigit() else label
+        if len(_FOLD_CACHE) < 4096:     # hard bound, defensive
+            _FOLD_CACHE[label] = folded
+    return folded
 
 
 def _canonical_labels(labels: Mapping[str, Any]) -> LabelItems:
-    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+    items = [(k if type(k) is str else str(k),
+              v if type(v) is str else str(v))
+             for k, v in labels.items()]
+    items.sort()
+    return tuple(items)
 
 
 def metric_key(subsystem: str, name: str, labels: LabelItems = ()) -> str:
@@ -108,10 +121,9 @@ class _Metric:
         self.subsystem = subsystem
         self.name = name
         self.labels = labels
-
-    @property
-    def key(self) -> str:
-        return metric_key(self.subsystem, self.name, self.labels)
+        # Computed once: every timeline sample stamps the key, so
+        # rebuilding it per mutation was a measurable sweep cost.
+        self.key = metric_key(subsystem, name, labels)
 
     def _sample(self, value: float) -> None:
         if self._registry is not None:

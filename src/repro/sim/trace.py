@@ -137,6 +137,11 @@ class Tracer:
         self._by_name: Dict[str, List[int]] = {}
         self._roots: List[Span] = []
         self._open_spans: List[Span] = []
+        # Cached "a/b/c" join of the open spans' names; rebuilt on span
+        # open/close instead of per event (the flight recorder stamps
+        # every emitted event with this path, making the join a sweep
+        # hot path when recomputed per emit).
+        self._open_span_path: Optional[str] = None
         self.enabled = True
 
     # -- flat events ---------------------------------------------------------
@@ -179,6 +184,7 @@ class Tracer:
         self._by_name.clear()
         self._roots.clear()
         self._open_spans.clear()
+        self._open_span_path = None
 
     def index_of(self, category: str, name: str) -> int:
         """Index of the first matching event; -1 when absent."""
@@ -208,7 +214,16 @@ class Tracer:
         else:
             self._roots.append(span)
         self._open_spans.append(span)
+        self._open_span_path = None
         return _SpanHandle(self, span)
+
+    @property
+    def open_span_path(self) -> Optional[str]:
+        """``"migration/transfer"``-style path of the open spans, cached."""
+        if self._open_span_path is None and self._open_spans:
+            self._open_span_path = "/".join(
+                s.name for s in self._open_spans)
+        return self._open_span_path
 
     def add_span(self, name: str, start: float, end: float,
                  category: str = "span", **detail: Any) -> Span:
@@ -238,6 +253,7 @@ class Tracer:
                 dangling.end = self._clock.now
         if self._open_spans:
             self._open_spans.pop()
+        self._open_span_path = None
 
     def root_spans(self, category: Optional[str] = None) -> List[Span]:
         """Top-level spans, in open order."""

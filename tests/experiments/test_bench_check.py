@@ -14,12 +14,23 @@ def _payload(**overrides):
         "counters": {"binder/transactions": 1000, "cria/pages": 5000},
     }
     sim.update(overrides.pop("sim", {}))
+    wall = {
+        "serial_s": 0.4,
+        "thread_s": 0.3,
+        "process_s": 0.2,
+        "thread_speedup": 1.333,
+        "process_speedup": 2.0,
+        "per_pair_serial_s": {"a to b": 0.1},
+    }
+    wall.update(overrides.pop("wall", {}))
     payload = {
         "benchmark": "fig12_sweep_wall_clock",
         "schema": bench.SCHEMA_VERSION,
         "workers": 4,
+        "executor": "process",
+        "cpu_count": 4,
         "cells": 64,
-        "wall": {"serial_s": 0.4, "parallel_s": 0.4, "speedup": 1.0},
+        "wall": wall,
         "sim": sim,
     }
     payload.update(overrides)
@@ -68,6 +79,22 @@ class TestCheck:
         problems = bench.check(_payload(), baseline)
         assert len(problems) == 1
         assert "--update" in problems[0]
+
+    def test_process_slowdown_fails_on_multicore(self):
+        current = _payload(cpu_count=4,
+                           wall={"process_speedup": 0.8})
+        problems = bench.check(current, _payload())
+        assert any("process-executor" in p for p in problems)
+
+    def test_process_slowdown_skipped_on_single_core(self):
+        current = _payload(cpu_count=1,
+                           wall={"process_speedup": 0.8})
+        assert bench.check(current, _payload()) == []
+
+    def test_wall_never_gates_against_baseline(self):
+        baseline = _payload(wall={"serial_s": 0.01, "thread_s": 0.01,
+                                  "process_s": 0.01})
+        assert bench.check(_payload(), baseline) == []
 
     def test_zero_baseline_counter_gates_exactly(self):
         baseline = _payload(
