@@ -15,13 +15,15 @@ clock and accounted — the bytes that made it across really did — and a
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import List, Optional
 
 from repro.sim import units
+from repro.sim.clock import SimClock, TimerHandle
 from repro.sim.events import FlightRecorder
 from repro.sim.metrics import MetricsRegistry, RATE_BUCKETS_MBPS
 from repro.sim.rng import RngFactory
+from repro.sim.scheduler import Waiter
 
 
 class LinkError(Exception):
@@ -109,6 +111,47 @@ class Link:
                         else MetricsRegistry(enabled=False))
         self.events = (events if events is not None
                        else FlightRecorder(enabled=False))
+        #: When set, scheduled flow ops on this link share the medium's
+        #: bandwidth fairly with every other flow on it; when None, each
+        #: flow gets a private (uncontended) medium.
+        self.medium: Optional["Medium"] = None
+
+    def _deliver(self, payload_bytes: int, seconds: float, clock=None,
+                 fault: bool = False):
+        """Account and emit one completed delivery.
+
+        The single advance+account+telemetry sequence shared by
+        :meth:`transfer`, :meth:`trip_fault`, :meth:`record_transfer`
+        and the flow arbiter.  With a ``clock`` the wire time is charged
+        inline (the synchronous path); without one the caller already
+        sits at the completion instant (a medium flow finishing on its
+        timer).  Returns a :class:`TransferResult`, or for ``fault``
+        deliveries the :class:`LinkDownError` for the caller to raise
+        (or reject a waiter with).
+        """
+        if payload_bytes < 0:
+            raise LinkError(f"negative payload {payload_bytes!r}")
+        if clock is not None:
+            clock.advance(seconds)
+        self.bytes_transferred += payload_bytes
+        self.transfers += 1
+        if fault:
+            self.faulted = True
+            self.metrics.counter("link", "bytes_total").inc(payload_bytes)
+            self.metrics.counter("link", "transfers").inc()
+            self.metrics.counter("link", "faults").inc()
+            self.events.emit("link.fault", link=self.name,
+                             delivered_bytes=payload_bytes,
+                             seconds=round(seconds, 6))
+            return LinkDownError(
+                f"link {self.name!r} dropped after {payload_bytes} bytes "
+                "of the failing transfer",
+                delivered_bytes=payload_bytes, seconds=seconds)
+        effective = (payload_bytes * 8 / seconds / units.MBPS
+                     if payload_bytes > 0 and seconds > 0 else 0.0)
+        self._account(payload_bytes, effective)
+        return TransferResult(payload_bytes=payload_bytes, seconds=seconds,
+                              effective_mbps=effective)
 
     def _account(self, payload_bytes: int, effective_mbps: float) -> None:
         self.metrics.counter("link", "bytes_total").inc(payload_bytes)
@@ -161,22 +204,7 @@ class Link:
         (the chunked burst): they compute how much crossed before the
         drop and hand the partial accounting back to the link.
         """
-        if delivered_bytes < 0:
-            raise LinkError(f"negative payload {delivered_bytes!r}")
-        clock.advance(seconds)
-        self.bytes_transferred += delivered_bytes
-        self.transfers += 1
-        self.faulted = True
-        self.metrics.counter("link", "bytes_total").inc(delivered_bytes)
-        self.metrics.counter("link", "transfers").inc()
-        self.metrics.counter("link", "faults").inc()
-        self.events.emit("link.fault", link=self.name,
-                         delivered_bytes=delivered_bytes,
-                         seconds=round(seconds, 6))
-        raise LinkDownError(
-            f"link {self.name!r} dropped after {delivered_bytes} bytes "
-            "of the failing transfer",
-            delivered_bytes=delivered_bytes, seconds=seconds)
+        raise self._deliver(delivered_bytes, seconds, clock, fault=True)
 
     # -- transfers -----------------------------------------------------------
 
@@ -204,29 +232,33 @@ class Link:
         inside this transfer; the partial slice up to the drop point is
         charged and accounted first.
         """
+        seconds, fault_bytes, fault_seconds = self._plan_transfer(payload_bytes)
+        if fault_bytes is not None:
+            self.trip_fault(fault_bytes, fault_seconds, clock)
+        # Zero-byte payloads deliver at effective rate 0.0: a latency-only
+        # control round trip exercises no goodput (avoid the 0/seconds
+        # artifact).  _deliver computes exactly that.
+        return self._deliver(payload_bytes, seconds, clock)
+
+    def _plan_transfer(self, payload_bytes: int):
+        """``(solo_seconds, fault_bytes, fault_seconds)`` for one payload.
+
+        Draws the congestion jitter (so call order matches the RNG
+        stream contract) and consults the fault budget.  ``fault_bytes``
+        is None when the whole payload fits under the armed budget;
+        otherwise the transfer dies ``fault_seconds`` in, having
+        delivered ``fault_bytes``.
+        """
         seconds = self.transfer_time(payload_bytes)
         budget = self.fault_budget()
-        if budget is not None and payload_bytes > budget:
-            if payload_bytes > 0:
-                fraction = budget / payload_bytes
-                partial = self.latency_s + (seconds - self.latency_s) * fraction
-            else:
-                partial = self.latency_s
-            self.trip_fault(budget, partial, clock)
-        clock.advance(seconds)
-        self.bytes_transferred += payload_bytes
-        self.transfers += 1
-        if payload_bytes == 0:
-            # Latency-only control round trip: no goodput was exercised,
-            # so no meaningful rate exists (avoid the 0/seconds artifact).
-            self._account(0, 0.0)
-            return TransferResult(payload_bytes=0, seconds=seconds,
-                                  effective_mbps=0.0)
-        effective = (payload_bytes * 8 / seconds / units.MBPS
-                     if seconds > 0 else 0.0)
-        self._account(payload_bytes, effective)
-        return TransferResult(payload_bytes=payload_bytes, seconds=seconds,
-                              effective_mbps=effective)
+        if budget is None or payload_bytes <= budget:
+            return seconds, None, None
+        if payload_bytes > 0:
+            fraction = budget / payload_bytes
+            partial = self.latency_s + (seconds - self.latency_s) * fraction
+        else:
+            partial = self.latency_s
+        return seconds, budget, partial
 
     # -- chunked (pipelined) transfers ---------------------------------------
 
@@ -256,16 +288,224 @@ class Link:
         :meth:`fault_budget` and reports the partial delivery through
         :meth:`trip_fault`.
         """
+        return self._deliver(payload_bytes, seconds, clock)
+
+
+# -- fair-share flow arbitration ---------------------------------------------
+
+
+@dataclass
+class _Flow:
+    """One in-flight delivery on a :class:`Medium`.
+
+    ``solo_seconds`` is the wire time the delivery would take alone
+    (jitter already drawn) — its *work*.  ``progress`` is how much of
+    that work has completed; with n concurrent flows each accrues
+    elapsed/n work per elapsed second.  A fault milestone, when set,
+    terminates the flow early with ``fault_bytes`` delivered.
+    """
+
+    seq: int
+    link: Link
+    payload_bytes: int
+    solo_seconds: float
+    waiter: Waiter
+    submitted_at: float
+    progress: float = 0.0
+    fault_bytes: Optional[int] = None
+    fault_seconds: Optional[float] = None
+    contended: bool = field(default=False)
+
+    @property
+    def milestone(self) -> float:
+        return (self.fault_seconds if self.fault_seconds is not None
+                else self.solo_seconds)
+
+
+class Medium:
+    """Timer-driven fair-share bandwidth arbitration across flows.
+
+    Every flow submitted here shares the radio environment: with n
+    active flows each progresses at 1/n of its solo rate (processor
+    sharing).  A single flow therefore completes in exactly its solo
+    time — existing single-flow timings are unchanged — and total bytes
+    and total wire seconds are conserved under any interleaving, because
+    work (solo seconds) is neither created nor destroyed, only spread
+    over wall time.
+
+    Completion is event-driven: one clock timer is kept at the earliest
+    projected milestone crossing; every submit/finish re-settles accrued
+    progress and reschedules.  Flows that finish in the same sweep are
+    finalised in submission order, and all link accounting happens
+    before any waiter resumes, so event timestamps land at the true
+    completion instant.
+    """
+
+    EPS = 1e-9
+
+    def __init__(self, clock: SimClock, name: str = "medium") -> None:
+        self.clock = clock
+        self.name = name
+        self._flows: List[_Flow] = []
+        self._timer: Optional[TimerHandle] = None
+        self._last = clock.now
+        self._seq = 0
+        self.completed_flows = 0
+        self.peak_concurrency = 0
+
+    @property
+    def active_flows(self) -> int:
+        return len(self._flows)
+
+    def submit(self, link: Link, payload_bytes: int, solo_seconds: float,
+               fault_bytes: Optional[int] = None,
+               fault_seconds: Optional[float] = None) -> Waiter:
+        """Start a flow; the returned waiter resolves with the
+        :class:`TransferResult` (or rejects with the planned
+        :class:`LinkDownError`) at the completion instant."""
         if payload_bytes < 0:
             raise LinkError(f"negative payload {payload_bytes!r}")
-        clock.advance(seconds)
-        self.bytes_transferred += payload_bytes
-        self.transfers += 1
-        effective = (payload_bytes * 8 / seconds / units.MBPS
-                     if seconds > 0 else 0.0)
-        self._account(payload_bytes, effective)
-        return TransferResult(payload_bytes=payload_bytes, seconds=seconds,
-                              effective_mbps=effective)
+        if solo_seconds < 0:
+            raise LinkError(f"negative wire time {solo_seconds!r}")
+        self._settle()
+        self._seq += 1
+        flow = _Flow(seq=self._seq, link=link, payload_bytes=payload_bytes,
+                     solo_seconds=solo_seconds,
+                     waiter=Waiter(f"flow#{self._seq} on {link.name}"),
+                     submitted_at=self.clock.now,
+                     fault_bytes=fault_bytes, fault_seconds=fault_seconds)
+        self._flows.append(flow)
+        if len(self._flows) > 1:
+            for active in self._flows:
+                active.contended = True
+        self.peak_concurrency = max(self.peak_concurrency, len(self._flows))
+        self._reschedule()
+        return flow.waiter
+
+    def _settle(self) -> None:
+        """Accrue fair-share progress for the time since the last touch."""
+        now = self.clock.now
+        if now > self._last:
+            if self._flows:
+                share = (now - self._last) / len(self._flows)
+                for flow in self._flows:
+                    flow.progress += share
+            self._last = now
+
+    def _reschedule(self) -> None:
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        if not self._flows:
+            return
+        n = len(self._flows)
+        shortfall = min(f.milestone - f.progress for f in self._flows)
+        self._timer = self.clock.call_after(max(shortfall, 0.0) * n,
+                                            self._fire)
+
+    def _fire(self) -> None:
+        self._timer = None
+        self._settle()
+        done = [f for f in self._flows
+                if f.progress >= f.milestone - self.EPS]
+        if done:
+            self._flows = [f for f in self._flows if f not in done]
+            if self._flows:
+                for active in self._flows:
+                    active.contended = True
+            # Account every completion first (events at the completion
+            # instant), then resume waiters in submission order.
+            outcomes = []
+            for flow in done:
+                # An uncontended flow reports its exact solo figures so
+                # the synchronous path's floats reproduce bit-for-bit;
+                # contended flows report true wall elapsed time.
+                seconds = (self.clock.now - flow.submitted_at
+                           if flow.contended else flow.milestone)
+                if flow.fault_bytes is not None:
+                    outcomes.append((flow, flow.link._deliver(
+                        flow.fault_bytes, seconds, fault=True)))
+                else:
+                    outcomes.append((flow, flow.link._deliver(
+                        flow.payload_bytes, seconds)))
+                self.completed_flows += 1
+            for flow, outcome in outcomes:
+                if isinstance(outcome, LinkDownError):
+                    flow.waiter.reject(outcome)
+                else:
+                    flow.waiter.resolve(outcome)
+        self._reschedule()
+
+
+@dataclass(frozen=True)
+class TransferOp:
+    """A whole-payload transfer, schedulable as a fair-share flow.
+
+    ``apply_sync`` is today's :meth:`Link.transfer`; ``submit`` plans
+    the same payload (same jitter draw, same fault budget math) as a
+    flow on the link's medium — or a private uncontended one.
+    """
+
+    link: Link
+    payload_bytes: int
+
+    def apply_sync(self, clock: SimClock) -> TransferResult:
+        return self.link.transfer(self.payload_bytes, clock)
+
+    def submit(self, clock: SimClock) -> Waiter:
+        seconds, fault_bytes, fault_seconds = self.link._plan_transfer(
+            self.payload_bytes)
+        medium = self.link.medium or Medium(clock,
+                                            name=f"solo:{self.link.name}")
+        return medium.submit(self.link, self.payload_bytes, seconds,
+                             fault_bytes=fault_bytes,
+                             fault_seconds=fault_seconds)
+
+
+@dataclass(frozen=True)
+class RecordOp:
+    """An externally-scheduled delivery (pipelined burst) as a flow.
+
+    Mirrors :meth:`Link.record_transfer`: no fault-budget check — the
+    caller planned the burst and reports partials via :class:`FaultOp`.
+    """
+
+    link: Link
+    payload_bytes: int
+    seconds: float
+
+    def apply_sync(self, clock: SimClock) -> TransferResult:
+        return self.link.record_transfer(self.payload_bytes, self.seconds,
+                                         clock)
+
+    def submit(self, clock: SimClock) -> Waiter:
+        medium = self.link.medium or Medium(clock,
+                                            name=f"solo:{self.link.name}")
+        return medium.submit(self.link, self.payload_bytes, self.seconds)
+
+
+@dataclass(frozen=True)
+class FaultOp:
+    """A planned partial delivery ending in a link drop.
+
+    ``apply_sync`` is :meth:`Link.trip_fault`; as a flow it occupies the
+    wire for ``seconds`` of solo work, then rejects the session's waiter
+    with the :class:`LinkDownError`.
+    """
+
+    link: Link
+    delivered_bytes: int
+    seconds: float
+
+    def apply_sync(self, clock: SimClock) -> None:
+        self.link.trip_fault(self.delivered_bytes, self.seconds, clock)
+
+    def submit(self, clock: SimClock) -> Waiter:
+        medium = self.link.medium or Medium(clock,
+                                            name=f"solo:{self.link.name}")
+        return medium.submit(self.link, self.delivered_bytes, self.seconds,
+                             fault_bytes=self.delivered_bytes,
+                             fault_seconds=self.seconds)
 
 
 #: Goodput fraction of infrastructure WiFi achieved in ad-hoc mode

@@ -10,6 +10,7 @@ Subcommands::
     flux-sim experiments [NAME ...]        regenerate tables/figures
     flux-sim bench-check [--update]        gate sweep metrics vs BENCH_sweep.json
     flux-sim explain EVENTS_JSONL          post-mortem a migration's event log
+    flux-sim scenario                      concurrent migrations on one clock
 
 ``migrate`` and ``sweep`` take ``--metrics-out PATH`` to dump the
 per-subsystem metrics registry as JSON and ``--events-out PATH`` to dump
@@ -340,11 +341,156 @@ def cmd_explain(args) -> int:
     try:
         postmortem = build_postmortem(events, package=args.package,
                                       last=args.last,
-                                      critical_path=critical_path)
+                                      critical_path=critical_path,
+                                      session=args.session)
     except PostmortemError as error:
         raise SystemExit(f"{args.events}: {error}")
     print(render_postmortem(postmortem))
     return 0
+
+
+def _resolve_package(name: str) -> str:
+    """An app as the CLI spells it: exact package, else title substring."""
+    from repro.apps.catalog import app_by_package
+    try:
+        return app_by_package(name).package
+    except KeyError:
+        pass
+    matching = [a for a in TOP_APPS if name.lower() in a.title.lower()]
+    if len(matching) != 1:
+        raise SystemExit(f"unknown app {name!r}; use a package or a "
+                         f"unique title substring from flux-sim apps")
+    return matching[0].package
+
+
+def _parse_session_arg(raw: str):
+    """``HOME:GUEST:APP[@START]`` -> (home, guest, package, start)."""
+    parts = raw.split(":", 2)
+    if len(parts) != 3:
+        raise SystemExit(f"bad --migrate {raw!r}; "
+                         "expected HOME:GUEST:APP[@START]")
+    home, guest, app = parts
+    start = 0.0
+    if "@" in app:
+        app, _, offset = app.rpartition("@")
+        try:
+            start = float(offset)
+        except ValueError:
+            raise SystemExit(f"bad start offset {offset!r} in "
+                             f"--migrate {raw!r}")
+    return home, guest, _resolve_package(app), start
+
+
+def cmd_scenario(args) -> int:
+    from repro.experiments.scenario import (
+        ScenarioError,
+        ScenarioSpec,
+        SessionSpec,
+        run_scenario,
+    )
+
+    if args.device:
+        devices = []
+        for raw in args.device:
+            name, sep, profile = raw.partition("=")
+            if not sep:
+                raise SystemExit(f"bad --device {raw!r}; "
+                                 "expected NAME=PROFILE")
+            devices.append((name, profile_by_name(profile)))
+    else:
+        devices = [("home", profile_by_name("nexus4")),
+                   ("guest", profile_by_name("nexus7_2013"))]
+    if args.migrate:
+        sessions = [SessionSpec(h, g, pkg, start=start)
+                    for h, g, pkg, start in
+                    (_parse_session_arg(raw) for raw in args.migrate)]
+    else:
+        # The default demo: two concurrent migrations on one device
+        # pair — the second queues behind the first (admission control).
+        from repro.apps.catalog import MIGRATABLE_APPS
+        h, g = devices[0][0], devices[1][0] if len(devices) > 1 else None
+        if g is None:
+            raise SystemExit("the default demo needs two devices")
+        sessions = [SessionSpec(h, g, app.package)
+                    for app in MIGRATABLE_APPS[:2]]
+    try:
+        spec = ScenarioSpec(devices=tuple(devices),
+                            sessions=tuple(sessions),
+                            seed=args.seed, admission=args.admission)
+        result = run_scenario(spec)
+    except ScenarioError as error:
+        raise SystemExit(str(error))
+
+    print(f"scenario: {len(devices)} devices, {len(sessions)} sessions, "
+          f"admission={args.admission}, seed={args.seed}")
+    rows = []
+    for outcome in result.sessions:
+        report = outcome.report
+        rows.append((
+            f"{outcome.spec.home}->{outcome.spec.guest}",
+            outcome.spec.package,
+            outcome.status.upper(),
+            outcome.session or "-",
+            f"{outcome.queued_seconds:.3f}",
+            f"{report.total_seconds:.3f}" if report is not None else "-",
+            (units.format_size(report.transferred_bytes)
+             if report is not None and report.success else "-"),
+        ))
+    print(format_table(("route", "package", "status", "session",
+                        "queued (s)", "total (s)", "transferred"), rows))
+    failures = [o for o in result.sessions if o.status != "migrated"]
+    for outcome in failures:
+        detail = outcome.refusal_detail or (
+            outcome.refusal.value if outcome.refusal else "")
+        print(f"  {outcome.spec.package}: {outcome.status} ({detail})")
+    if args.metrics_out:
+        _write_scenario_metrics(args.metrics_out, spec, result)
+        print(f"wrote metrics to {args.metrics_out}")
+    if args.events_out:
+        from repro.sim.events import write_jsonl
+        count = write_jsonl(args.events_out, result.events)
+        print(f"wrote {count} events to {args.events_out} "
+              f"(flux-sim explain {args.events_out})")
+    return 0 if not failures else 1
+
+
+def _write_scenario_metrics(path: str, spec, result) -> None:
+    """The scenario's merged metrics + per-session outcomes, as JSON."""
+    import json
+
+    from repro.sim.metrics import rollup_counters
+    sessions = []
+    for outcome in result.sessions:
+        report = outcome.report
+        sessions.append({
+            "home": outcome.spec.home,
+            "guest": outcome.spec.guest,
+            "package": outcome.spec.package,
+            "status": outcome.status,
+            "session": outcome.session or None,
+            "refusal": outcome.refusal.value if outcome.refusal else None,
+            "submitted": round(outcome.submitted, 6),
+            "queued_seconds": round(outcome.queued_seconds, 6),
+            "stages": ({s: round(v, 6) for s, v in report.stages.items()}
+                       if report is not None else {}),
+            "total_seconds": (round(report.total_seconds, 6)
+                              if report is not None else None),
+            "transferred_bytes": (report.transferred_bytes
+                                  if report is not None else 0),
+        })
+    document = {
+        "schema": 1,
+        "scenario": {
+            "devices": [name for name, _ in spec.devices],
+            "admission": spec.admission,
+            "seed": spec.seed,
+            "sessions": sessions,
+        },
+        "metrics": result.metrics,
+        "rollup": rollup_counters(result.metrics),
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=1)
 
 
 def cmd_experiments(args) -> int:
@@ -463,7 +609,42 @@ def build_parser() -> argparse.ArgumentParser:
     explain.add_argument("--last", type=int, default=10, metavar="N",
                          help="flight-recorder tail length: events shown "
                               "before the fault (default 10)")
+    explain.add_argument("--session", default=None, metavar="LABEL",
+                         help="explain this migration session of an "
+                              "interleaved scenario log (label as "
+                              "printed by flux-sim scenario, e.g. "
+                              "home/net.zedge.android@0)")
     explain.set_defaults(func=cmd_explain)
+
+    scenario = sub.add_parser(
+        "scenario",
+        help="run a multi-device world with staggered concurrent "
+             "migrations on the discrete-event scheduler")
+    scenario.add_argument("--device", action="append", metavar="NAME=PROFILE",
+                          help="add a named device (repeatable); default: "
+                               "home=nexus4 guest=nexus7_2013")
+    scenario.add_argument("--migrate", action="append",
+                          metavar="HOME:GUEST:APP[@START]",
+                          help="queue a migration session (repeatable); "
+                               "APP is a package or unique title "
+                               "substring, START a virtual-seconds "
+                               "offset; default: two concurrent "
+                               "migrations on the default pair")
+    scenario.add_argument("--admission", default="queue",
+                          choices=("queue", "refuse"),
+                          help="what a session does when an endpoint is "
+                               "already hosting a migration (default: "
+                               "queue FIFO)")
+    scenario.add_argument("--seed", type=int, default=0)
+    scenario.add_argument("--metrics-out", metavar="PATH", default=None,
+                          help="write the merged all-device metrics "
+                               "registry plus per-session outcomes as "
+                               "JSON")
+    scenario.add_argument("--events-out", metavar="PATH", default=None,
+                          help="write the causally-merged all-device "
+                               "event log as JSONL (input to flux-sim "
+                               "explain, which segments it by session)")
+    scenario.set_defaults(func=cmd_scenario)
 
     experiments = sub.add_parser("experiments",
                                  help="regenerate tables/figures")

@@ -20,6 +20,10 @@ class MigrationRefusal(enum.Enum):
     NOT_PAIRED = "not-paired"
     NOT_RUNNING = "not-running"
     DEVICE_STATE_RESIDUE = "device-specific-state-residue"
+    # Admission control (scenario layer): one of the endpoints is
+    # already hosting a migration and the admission policy is "refuse"
+    # rather than "queue".
+    DEVICE_BUSY = "device-busy"
     # Runtime faults (as opposed to static app-shape refusals): the
     # migration started and was aborted by the stage pipeline, which
     # rolled the app back to the home device.

@@ -35,6 +35,7 @@ from repro.core.cria.restore import RestoreFaultPlan
 from repro.core.extensions import FluxExtensions
 from repro.core.migration.stages import MigrationContext, StagePipeline
 from repro.core.replay.engine import ReplayReport
+from repro.sim.scheduler import drive_sync
 
 
 STAGES = ("preparation", "checkpoint", "transfer", "restore", "reintegration")
@@ -163,13 +164,34 @@ class MigrationService:
         fault injection (tests/experiments); link faults are armed on
         the ``link`` itself via :class:`LinkFaultPlan`.
         """
+        return drive_sync(
+            self.migrate_steps(guest, package, link=link,
+                               extensions=extensions,
+                               restore_fault=restore_fault),
+            self.device.clock)
+
+    def migrate_steps(self, guest, package: str,
+                      link: Optional[Link] = None,
+                      extensions: Optional[FluxExtensions] = None,
+                      restore_fault: Optional[RestoreFaultPlan] = None):
+        """Generator form of :meth:`migrate` for cooperative scheduling.
+
+        Yields the pipeline's charge points (so a
+        :class:`~repro.sim.scheduler.Scheduler` can interleave several
+        migrations) and returns the :class:`MigrationReport`;
+        :meth:`migrate` is exactly this generator driven inline.  Each
+        attempt gets a deterministic session label
+        ``<home>/<package>@<attempt>`` carried on both telemetry planes.
+        """
         home = self.device
+        session = f"{home.name}/{package}@{len(self.history)}"
         report = MigrationReport(package=package, home=home.name,
                                  guest=guest.name)
         self.history.append(report)
         try:
-            self._migrate(guest, package, link, report,
-                          self._extensions(extensions), restore_fault)
+            yield from self._migrate(guest, package, link, report,
+                                     self._extensions(extensions),
+                                     restore_fault, session)
         except MigrationError as error:
             report.refusal = error.reason
             report.refusal_detail = error.detail
@@ -183,7 +205,8 @@ class MigrationService:
     def _migrate(self, guest, package: str, link: Optional[Link],
                  report: MigrationReport,
                  extensions: FluxExtensions,
-                 restore_fault: Optional[RestoreFaultPlan] = None) -> None:
+                 restore_fault: Optional[RestoreFaultPlan] = None,
+                 session: str = ""):
         home = self.device
         pairing = home.pairing_service
         if not pairing.is_paired_with(guest.name):
@@ -214,13 +237,15 @@ class MigrationService:
             home=home, guest=guest, package=package, link=link,
             report=report, extensions=extensions,
             restore_fault=restore_fault,
-            thread=thread, process=thread.process)
-        StagePipeline().run(ctx)
+            thread=thread, process=thread.process, session=session)
+        yield from StagePipeline().steps(ctx)
 
         # Post-commit: every stage succeeded; the app now lives on the
         # guest, so erase the home-side residuals and mark consistency.
         self._cleanup_home(package)
         home.consistency.mark_migrated_out(package, guest.name)
+        home.metrics.counter("migration", "sessions",
+                             session=session, app=package).inc()
         home.tracer.emit("migration", "migrated", package=package,
                          guest=guest.name,
                          total=round(report.total_seconds, 3))

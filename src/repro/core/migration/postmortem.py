@@ -50,23 +50,38 @@ def segment_migrations(events: List[Dict[str, Any]]
     steps, for instance) belong to the segment.  A start with no
     terminal (the process died mid-flight, or the ring evicted the
     tail's terminal) yields an ``incomplete`` segment.
+
+    Interleaved scenario logs segment by the ``session`` label every
+    event of a migration carries: each label gets its own open segment,
+    so two concurrent migrations' events never cross-contaminate.
+    Events without a label (legacy logs, or bookkeeping between
+    migrations) fall back to a per-pair anonymous segment — the
+    pre-session behavior, bit for bit.
     """
     segments: List[Dict[str, Any]] = []
-    current: Optional[Dict[str, Any]] = None
+    open_map: Dict[Any, Dict[str, Any]] = {}
     for event in events:
         kind = event.get("kind")
+        attrs = event.get("attrs", {})
+        key = (event.get("pair"), attrs.get("session"))
         if kind == "migration.start":
-            if current is not None:
-                segments.append(current)
-            current = {
-                "package": event.get("attrs", {}).get("package", ""),
-                "home": event.get("attrs", {}).get("home", ""),
-                "guest": event.get("attrs", {}).get("guest", ""),
+            prior = open_map.pop(key, None)
+            if prior is not None:
+                # A new start under the same key before the previous
+                # terminal: the ring evicted the tail, or the process
+                # died mid-flight.  Keep what we saw.
+                segments.append(prior)
+            open_map[key] = {
+                "package": attrs.get("package", ""),
+                "home": attrs.get("home", ""),
+                "guest": attrs.get("guest", ""),
                 "pair": event.get("pair"),
+                "session": attrs.get("session"),
                 "events": [event],
                 "outcome": "incomplete",
             }
             continue
+        current = open_map.get(key)
         if current is None:
             continue
         current["events"].append(event)
@@ -79,14 +94,19 @@ def segment_migrations(events: List[Dict[str, Any]]
             else:
                 current["outcome"] = "faulted"
             segments.append(current)
-            current = None
-    if current is not None:
-        segments.append(current)
+            del open_map[key]
+    segments.extend(open_map.values())
     return segments
 
 
 def _pick_segment(segments: List[Dict[str, Any]],
-                  package: Optional[str]) -> Dict[str, Any]:
+                  package: Optional[str],
+                  session: Optional[str] = None) -> Dict[str, Any]:
+    if session is not None:
+        segments = [s for s in segments if s.get("session") == session]
+        if not segments:
+            raise PostmortemError(
+                f"no migration session {session!r} in the event log")
     if package is not None:
         segments = [s for s in segments if s["package"] == package]
         if not segments:
@@ -141,20 +161,21 @@ def _causal_chain(segment: Dict[str, Any]) -> List[Dict[str, Any]]:
 def build_postmortem(events: List[Dict[str, Any]],
                      package: Optional[str] = None,
                      last: int = 10,
-                     critical_path: Optional[List[Dict[str, Any]]] = None
+                     critical_path: Optional[List[Dict[str, Any]]] = None,
+                     session: Optional[str] = None
                      ) -> Dict[str, Any]:
     """Digest an event stream into one migration's post-mortem document.
 
     Raises :class:`PostmortemError` when the stream holds no migration
-    (or none of ``package``).  The returned dict is JSON-ready; see
-    :func:`render_postmortem` for the human rendering.
+    (or none of ``package`` / ``session``).  The returned dict is
+    JSON-ready; see :func:`render_postmortem` for the human rendering.
     """
     segments = segment_migrations(events)
     if not segments:
         raise PostmortemError(
             "no migration.start event in the log — was it produced by "
             "flux-sim migrate/sweep --events-out with FLUX_EVENTS enabled?")
-    segment = _pick_segment(segments, package)
+    segment = _pick_segment(segments, package, session)
     seg_events = segment["events"]
 
     abort = _find(seg_events, "stage.fault") or _find(seg_events,
@@ -186,6 +207,7 @@ def build_postmortem(events: List[Dict[str, Any]],
         "home": segment["home"],
         "guest": segment["guest"],
         "pair": segment.get("pair"),
+        "session": segment.get("session"),
         "outcome": segment["outcome"],
         "faulted_stage": faulted_stage,
         "reason": reason,
@@ -243,7 +265,8 @@ def render_postmortem(pm: Dict[str, Any]) -> str:
     lines: List[str] = []
     where = f"{pm['home']} -> {pm['guest']}" if pm["home"] else "?"
     pair = f" [{pm['pair']}]" if pm.get("pair") else ""
-    lines.append(f"post-mortem: {pm['package']} ({where}){pair}")
+    session = (f" session={pm['session']}" if pm.get("session") else "")
+    lines.append(f"post-mortem: {pm['package']} ({where}){pair}{session}")
 
     outcome = pm["outcome"]
     if outcome == "succeeded":

@@ -31,7 +31,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional
 
-from repro.android.net.link import Link, LinkDownError
+from repro.android.net.link import (
+    FaultOp,
+    Link,
+    LinkDownError,
+    RecordOp,
+    TransferOp,
+)
 from repro.core.cria.checkpoint import checkpoint_app
 from repro.core.cria.errors import (
     CheckpointError,
@@ -47,6 +53,7 @@ from repro.core.cria.restore import (
 from repro.core.extensions import FluxExtensions
 from repro.core.migration import costs
 from repro.core.replay.engine import replay_log
+from repro.sim.scheduler import Charge, drive_sync
 
 
 @dataclass
@@ -71,6 +78,7 @@ class MigrationContext:
     frame: bytes = b""                  # serialized wire frame
     frozen_processes: List[object] = field(default_factory=list)
     restored: object = None             # RestoredApp on the guest
+    session: str = ""                   # session label on both telemetry planes
 
 
 def _emit(ctx: MigrationContext, kind: str, **attrs) -> None:
@@ -87,18 +95,51 @@ def _emit(ctx: MigrationContext, kind: str, **attrs) -> None:
 class Stage:
     """One migration stage: a forward action plus its compensation.
 
-    ``run`` performs the stage against the context; it must either
-    complete or leave nothing behind that ``rollback`` (its own, for
-    partial effects, plus earlier stages') cannot erase.  ``rollback``
-    is best-effort compensation and must be idempotent: the pipeline
-    calls it on the faulted stage first, then on completed stages in
-    reverse order.
+    The forward action is :meth:`steps` — a generator that *yields* its
+    charge points (:class:`~repro.sim.scheduler.Charge` for CPU work,
+    link flow ops for wire time) instead of advancing the clock
+    directly, so a scheduler can suspend the migration at every charge
+    and interleave it with others.  It must either complete or leave
+    nothing behind that ``rollback`` (its own, for partial effects, plus
+    earlier stages') cannot erase.  ``rollback`` is best-effort
+    synchronous compensation and must be idempotent: the pipeline calls
+    it on the faulted stage first, then on completed stages in reverse
+    order.
+
+    Legacy stages (tests, experiments) that define only a synchronous
+    ``run`` are bridged automatically: the default :meth:`steps` runs
+    the override as one atomic step, and the default :meth:`run` drives
+    :meth:`steps` inline — so either entry point works for either style.
     """
 
     name: str = "?"
 
     def run(self, ctx: MigrationContext) -> None:
-        raise NotImplementedError
+        """Synchronous forward action (drives :meth:`steps` inline)."""
+        drive_sync(self.steps(ctx), ctx.home.clock)
+
+    def steps(self, ctx: MigrationContext):
+        """Yield-point generator form of the forward action."""
+        override = self._run_override()
+        if override is None:
+            raise NotImplementedError
+        override(ctx)
+        return
+        yield  # pragma: no cover -- marks this as a generator function
+
+    def _run_override(self):
+        """A ``run`` defined on the instance or a subclass, else None.
+
+        Instance-level assignment (``stage.run = fn``) takes priority;
+        both forms are called with the context only.
+        """
+        run = self.__dict__.get("run")
+        if run is not None:
+            return run
+        cls_run = type(self).run
+        if cls_run is not Stage.run:
+            return cls_run.__get__(self, type(self))
+        return None
 
     def rollback(self, ctx: MigrationContext) -> None:
         """Undo this stage's effects; default is stateless (no-op)."""
@@ -109,7 +150,7 @@ class PreparationStage(Stage):
 
     name = "preparation"
 
-    def run(self, ctx: MigrationContext) -> None:
+    def steps(self, ctx: MigrationContext):
         home = ctx.home
         check_preparable(home, ctx.package, ctx.extensions)
         view_count = sum(a.view_root.view_count()
@@ -117,7 +158,7 @@ class PreparationStage(Stage):
                          if a.view_root is not None)
         context_count = home.vendor_gl.live_context_count(ctx.process.pid)
         ctx.prep_report = prepare_app(home, ctx.package, ctx.extensions)
-        home.clock.advance(costs.preparation_cost(
+        yield Charge(costs.preparation_cost(
             view_count, context_count, home.profile.cpu_factor))
 
     def rollback(self, ctx: MigrationContext) -> None:
@@ -139,7 +180,7 @@ class CheckpointStage(Stage):
 
     name = "checkpoint"
 
-    def run(self, ctx: MigrationContext) -> None:
+    def steps(self, ctx: MigrationContext):
         home, report = ctx.home, ctx.report
         image = checkpoint_app(home, ctx.package, ctx.extensions)
         ctx.image = image
@@ -151,10 +192,10 @@ class CheckpointStage(Stage):
         report.record_log_entries = len(image.record_log)
         report.record_log_bytes = image.record_log_bytes()
         if ctx.extensions.pipelined_transfer:
-            home.clock.advance(costs.serialize_cost(
+            yield Charge(costs.serialize_cost(
                 report.image_raw_bytes, home.profile.cpu_factor))
         else:
-            home.clock.advance(costs.checkpoint_cost(
+            yield Charge(costs.checkpoint_cost(
                 report.image_raw_bytes, home.profile.cpu_factor))
 
     def rollback(self, ctx: MigrationContext) -> None:
@@ -184,7 +225,7 @@ class TransferStage(Stage):
 
     name = "transfer"
 
-    def run(self, ctx: MigrationContext) -> None:
+    def steps(self, ctx: MigrationContext):
         from repro.core.cria.wire import serialize_image
 
         home, report, link = ctx.home, ctx.report, ctx.link
@@ -194,10 +235,10 @@ class TransferStage(Stage):
             report.data_delta_bytes = pairing.verify_app(
                 ctx.guest, ctx.package, link)
             if ctx.extensions.pipelined_transfer:
-                self._pipelined(ctx)
+                yield from self._pipelined(ctx)
             else:
                 report.image_wire_bytes = report.image_compressed_bytes
-                link.transfer(report.transferred_bytes, home.clock)
+                yield TransferOp(link, report.transferred_bytes)
                 self._index_serial(ctx)
         except LinkDownError as error:
             if not ctx.extensions.pipelined_transfer:
@@ -225,7 +266,7 @@ class TransferStage(Stage):
             "chunks", "wire_bytes", app=ctx.package).inc(
             sum(c.wire_bytes for c in chunks))
 
-    def _pipelined(self, ctx: MigrationContext) -> None:
+    def _pipelined(self, ctx: MigrationContext):
         """Chunked transfer: digest negotiation, chunk cache, pipeline.
 
         The image is split into content-addressed chunks; the guest's
@@ -253,8 +294,8 @@ class TransferStage(Stage):
 
         # Digest negotiation + the data delta ride one round trip.
         negotiation_bytes = costs.CHUNK_DIGEST_BYTES * len(plan)
-        link.transfer(report.data_delta_bytes + negotiation_bytes,
-                      home.clock)
+        yield TransferOp(link,
+                         report.data_delta_bytes + negotiation_bytes)
 
         wire_sizes = [c.wire_bytes for c in missing]
         compress_times = [costs.chunk_compress_cost(
@@ -266,8 +307,9 @@ class TransferStage(Stage):
 
         budget = link.fault_budget()
         if budget is not None and total_wire > budget:
-            self._pipelined_fault(ctx, missing, wire_sizes, windows,
-                                  burst_start, budget, negotiation_bytes)
+            yield from self._pipelined_fault(ctx, missing, wire_sizes,
+                                             windows, burst_start, budget,
+                                             negotiation_bytes)
             return
 
         burst_seconds = link.latency_s + costs.pipeline_seconds(
@@ -283,7 +325,7 @@ class TransferStage(Stage):
                 category="chunk", wire_bytes=chunk.wire_bytes)
             _emit(ctx, "link.chunk", digest=chunk.digest[:12],
                   label=chunk.label, wire_bytes=chunk.wire_bytes)
-        link.record_transfer(total_wire, burst_seconds, home.clock)
+        yield RecordOp(link, total_wire, burst_seconds)
         report.image_wire_bytes = total_wire + negotiation_bytes
 
         # Both ends now hold every chunk: the guest received them, the
@@ -294,7 +336,7 @@ class TransferStage(Stage):
 
     def _pipelined_fault(self, ctx: MigrationContext, missing, wire_sizes,
                          windows, burst_start: float, budget: int,
-                         negotiation_bytes: int) -> None:
+                         negotiation_bytes: int):
         """The burst crosses the armed drop point: deliver the prefix.
 
         Chunks whose wire bytes fit wholly under the fault budget
@@ -330,7 +372,7 @@ class TransferStage(Stage):
         tracer.emit("migration", "link-fault", package=ctx.package,
                     chunks_delivered=delivered, chunks_lost=len(missing)
                     - delivered, wire_bytes_delivered=budget)
-        link.trip_fault(budget, link.latency_s + drop_offset, home.clock)
+        yield FaultOp(link, budget, link.latency_s + drop_offset)
 
 
 class RestoreStage(Stage):
@@ -344,10 +386,10 @@ class RestoreStage(Stage):
 
     name = "restore"
 
-    def run(self, ctx: MigrationContext) -> None:
+    def steps(self, ctx: MigrationContext):
         from repro.core.cria.wire import verify_against_image
 
-        home, guest, report = ctx.home, ctx.guest, ctx.report
+        guest, report = ctx.guest, ctx.report
         try:
             verify_against_image(ctx.frame, ctx.image)
             ctx.restored = restore_app(guest, ctx.image,
@@ -355,7 +397,7 @@ class RestoreStage(Stage):
         except CheckpointError as error:
             raise MigrationError(MigrationRefusal.RESTORE_FAILED,
                                  str(error)) from error
-        home.clock.advance(costs.restore_cost(
+        yield Charge(costs.restore_cost(
             report.image_raw_bytes, guest.profile.cpu_factor))
 
     def rollback(self, ctx: MigrationContext) -> None:
@@ -383,7 +425,7 @@ class ReintegrationStage(Stage):
 
     name = "reintegration"
 
-    def run(self, ctx: MigrationContext) -> None:
+    def steps(self, ctx: MigrationContext):
         home, guest, report = ctx.home, ctx.guest, ctx.report
         restored = ctx.restored
         report.replay = replay_log(
@@ -394,7 +436,7 @@ class ReintegrationStage(Stage):
         for proc in restored.secondary_processes:
             proc.thaw()
         self._reintegrate(ctx)
-        home.clock.advance(costs.reintegration_cost(
+        yield Charge(costs.reintegration_cost(
             report.replay.total_handled, guest.profile.cpu_factor))
 
     def _reintegrate(self, ctx: MigrationContext) -> None:
@@ -444,9 +486,28 @@ class StagePipeline:
             else default_stages()
 
     def run(self, ctx: MigrationContext) -> None:
+        """Run-to-completion form: drives :meth:`steps` inline."""
+        drive_sync(self.steps(ctx), ctx.home.clock)
+
+    def steps(self, ctx: MigrationContext):
+        """The pipeline as a cooperative session (yields charge points).
+
+        Suspension happens only inside a stage's own yields; everything
+        between two yields — rollback included — is one atomic step, so
+        the atomicity contract is unchanged under interleaving.  Spans
+        stay open across suspensions: wall time another session consumes
+        while this one is suspended mid-stage genuinely is wire/CPU
+        contention and belongs in the stage's measured duration.
+        """
         tracer = ctx.home.tracer
         completed: List[Stage] = []
         recorders = self._recorders(ctx)
+        if ctx.session:
+            # The session label rides every event both devices emit for
+            # this migration, so interleaved scenario logs segment
+            # cleanly (flux-sim explain groups by it).
+            for recorder in recorders:
+                recorder.set_context(session=ctx.session)
         _emit(ctx, "migration.start", package=ctx.package,
               home=ctx.home.name, guest=ctx.guest.name)
         with tracer.span("migration", category="migration",
@@ -463,7 +524,7 @@ class StagePipeline:
                 handle = tracer.span(stage.name, category="stage")
                 try:
                     with handle:
-                        stage.run(ctx)
+                        yield from stage.steps(ctx)
                 except Exception as error:
                     refused = (isinstance(error, MigrationError)
                                and not error.is_fault)
@@ -491,9 +552,12 @@ class StagePipeline:
                       seconds=round(handle.span.duration, 6))
                 completed.append(stage)
             self._derive_stage_times(ctx, root)
-        self._clear_context(recorders)
+        # Emitted before the context clears so the terminal event still
+        # carries the session label (segmenting needs it to close the
+        # segment it opened).
         _emit(ctx, "migration.done", package=ctx.package,
               total_seconds=round(ctx.report.total_seconds, 6))
+        self._clear_context(recorders)
 
     @staticmethod
     def _recorders(ctx: MigrationContext) -> List[object]:
@@ -508,7 +572,7 @@ class StagePipeline:
     @staticmethod
     def _clear_context(recorders: List[object]) -> None:
         for recorder in recorders:
-            recorder.clear_context("stage", "package")
+            recorder.clear_context("stage", "package", "session")
 
     def _derive_stage_times(self, ctx: MigrationContext, root) -> None:
         """``report.stages`` from the span tree (was: ad-hoc Stopwatch)."""

@@ -2,6 +2,7 @@
 
 from repro.experiments import (
     app_support,
+    contention,
     fault_ablation,
     fig12,
     fig13,
@@ -39,12 +40,13 @@ ALL_EXPERIMENTS = {
     "pairing_cost": pairing_cost,
     "transfer_ablation": transfer_ablation,
     "fault_ablation": fault_ablation,
+    "contention": contention,
 }
 
 __all__ = [
     "ALL_EXPERIMENTS", "PairOutcome", "SweepResult", "format_table",
     "pair_label", "run_pair", "run_sweep", "sweep_metrics_document",
-    "app_support", "fault_ablation", "fig12", "fig13", "fig14", "fig15",
+    "app_support", "contention", "fault_ablation", "fig12", "fig13", "fig14", "fig15",
     "fig16", "fig17", "pairing_cost", "table1", "table2", "table3",
     "transfer_ablation",
 ]

@@ -1,0 +1,286 @@
+"""Multi-device scenario runner: staggered concurrent migrations.
+
+A *scenario* is a world — one virtual clock, one seeded RNG tree, N
+booted devices, one shared radio medium — plus M migration sessions,
+each with a start time and a (home, guest, package) route.  Sessions
+run as cooperative generators on the discrete-event
+:class:`~repro.sim.scheduler.Scheduler`: a session suspends at every
+clock charge, so two migrations in flight at once interleave their
+stages and contend for the shared medium's bandwidth fairly.
+
+Admission control guards each device with an exclusive
+:class:`~repro.sim.scheduler.Resource`: a device hosts at most one
+migration at a time (its tracer span stack and flight-recorder stage
+context are per-device, so overlapping migrations on one device would
+cross-contaminate attribution — exactly what the guard models).  Policy
+``queue`` waits for the endpoints to free up, FIFO; ``refuse`` records
+a ``DEVICE_BUSY`` refusal instead.
+
+Determinism contract: sessions are executed in *canonical order* —
+sorted by ``(start, home, guest, package)`` — regardless of the order
+``ScenarioSpec.sessions`` lists them, so results are independent of
+submission order.  A single-session scenario is byte-identical
+(reports, metrics snapshots, event streams) to :func:`run_pair` on the
+same profiles and seed: the same boots, installs, pairing, link
+construction and stage pipeline run in the same order on the same
+clock; the scheduler adds no charges of its own.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.android.device import Device
+from repro.android.hardware.profiles import DeviceProfile
+from repro.android.net.link import Link, Medium, link_between
+from repro.apps.catalog import app_by_package
+from repro.core.cria.errors import MigrationError, MigrationRefusal
+from repro.core.extensions import FluxExtensions
+from repro.core.migration.migration import MigrationReport
+from repro.sim import SimClock
+from repro.sim.events import merge_streams
+from repro.sim.metrics import merge_snapshots
+from repro.sim.rng import RngFactory
+from repro.sim.scheduler import Resource, Scheduler
+
+
+class ScenarioError(Exception):
+    pass
+
+
+ADMISSION_POLICIES = ("queue", "refuse")
+
+
+@dataclass(frozen=True)
+class SessionSpec:
+    """One requested migration: route, package, start time."""
+
+    home: str
+    guest: str
+    package: str
+    start: float = 0.0
+    extensions: Optional[FluxExtensions] = None
+
+    @property
+    def canonical_key(self) -> Tuple[float, str, str, str]:
+        return (self.start, self.home, self.guest, self.package)
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """A world (named devices) plus its migration sessions."""
+
+    devices: Tuple[Tuple[str, DeviceProfile], ...]
+    sessions: Tuple[SessionSpec, ...]
+    seed: int = 0
+    admission: str = "queue"
+    #: All links share one radio medium, so concurrent transfers
+    #: contend fairly; False gives each link a private, uncontended one.
+    shared_medium: bool = True
+
+    def __post_init__(self) -> None:
+        if self.admission not in ADMISSION_POLICIES:
+            raise ScenarioError(
+                f"unknown admission policy {self.admission!r} "
+                f"(use one of {ADMISSION_POLICIES})")
+        names = [name for name, _ in self.devices]
+        if len(set(names)) != len(names):
+            raise ScenarioError(f"duplicate device names in {names}")
+        for session in self.sessions:
+            if session.home not in names or session.guest not in names:
+                raise ScenarioError(
+                    f"session {session.home}->{session.guest} references "
+                    f"unknown devices (world has {names})")
+            if session.home == session.guest:
+                raise ScenarioError(
+                    f"session migrates {session.package} from "
+                    f"{session.home} to itself")
+            if session.start < 0:
+                raise ScenarioError(
+                    f"negative start time {session.start!r}")
+
+
+@dataclass
+class SessionOutcome:
+    """What one session did: status, report, queueing, timing."""
+
+    spec: SessionSpec
+    #: ``migrated`` | ``faulted`` | ``refused`` | ``rejected`` (the
+    #: last only under admission="refuse" when an endpoint was busy).
+    status: str = "pending"
+    #: The deterministic session label carried on both telemetry planes
+    #: (empty for rejected sessions: no migration attempt ran).
+    session: str = ""
+    report: Optional[MigrationReport] = None
+    refusal: Optional[MigrationRefusal] = None
+    refusal_detail: str = ""
+    submitted: float = 0.0
+    started: Optional[float] = None
+    finished: Optional[float] = None
+
+    @property
+    def queued_seconds(self) -> float:
+        """Time spent waiting for busy endpoints before starting."""
+        if self.started is None:
+            return 0.0
+        return self.started - self.submitted
+
+
+@dataclass
+class ScenarioResult:
+    """Everything a scenario produced, in canonical session order."""
+
+    device_names: List[str]
+    sessions: List[SessionOutcome]
+    #: Merged snapshot over every device, in listed device order.
+    metrics: Dict
+    #: All devices' events causally merged (one shared clock).
+    events: List[Dict]
+    per_device_metrics: Dict[str, Dict] = field(default_factory=dict)
+
+    @property
+    def reports(self) -> Dict[str, MigrationReport]:
+        """package -> successful report (the run_pair-compatible view)."""
+        return {o.spec.package: o.report for o in self.sessions
+                if o.status == "migrated"}
+
+    @property
+    def refusals(self) -> Dict[str, MigrationRefusal]:
+        return {o.spec.package: o.refusal for o in self.sessions
+                if o.refusal is not None}
+
+    def outcome_for(self, package: str) -> SessionOutcome:
+        for outcome in self.sessions:
+            if outcome.spec.package == package:
+                return outcome
+        raise KeyError(package)
+
+
+class ScenarioWorld:
+    """The booted world a scenario runs in."""
+
+    def __init__(self, spec: ScenarioSpec) -> None:
+        self.spec = spec
+        self.clock = SimClock()
+        self.rng_factory = RngFactory(spec.seed)
+        self.devices: "OrderedDict[str, Device]" = OrderedDict(
+            (name, Device(profile, self.clock, self.rng_factory, name=name))
+            for name, profile in spec.devices)
+        self.scheduler = Scheduler(self.clock)
+        self.medium = Medium(self.clock) if spec.shared_medium else None
+        self._resources = {name: Resource(name) for name in self.devices}
+
+    def resource(self, device_name: str) -> Resource:
+        return self._resources[device_name]
+
+    def link_for(self, home: Device, guest: Device) -> Link:
+        """A fresh link per migration, exactly as the service default
+        builds one (same RNG stream: streams restart per derivation),
+        attached to the world's shared medium."""
+        link = link_between(home.profile, guest.profile, home.rng_factory,
+                            metrics=home.metrics, events=home.events)
+        link.medium = self.medium
+        return link
+
+
+def run_scenario(spec: ScenarioSpec) -> ScenarioResult:
+    """Boot the world, run every session to completion, collect results."""
+    world = ScenarioWorld(spec)
+    ordered = sorted(spec.sessions, key=lambda s: s.canonical_key)
+
+    # Install every session's app on its home device up front (idempotent
+    # per device), then pair each route once — mirroring run_pair's
+    # install-all-then-pair sequencing.
+    for session in ordered:
+        app_by_package(session.package).install(world.devices[session.home])
+    paired = set()
+    for session in ordered:
+        route = (session.home, session.guest)
+        if route in paired:
+            continue
+        home, guest = world.devices[session.home], world.devices[session.guest]
+        if not home.pairing_service.is_paired_with(guest.name):
+            home.pairing_service.pair(guest)
+        paired.add(route)
+
+    # Session starts are offsets from the end of world setup (booting,
+    # installing and pairing consume virtual time of their own).
+    base = world.clock.now
+    outcomes = [SessionOutcome(spec=session,
+                               submitted=base + session.start)
+                for session in ordered]
+    for outcome in outcomes:
+        world.scheduler.spawn(
+            _session(world, outcome),
+            name=f"{outcome.spec.home}->{outcome.spec.guest}:"
+                 f"{outcome.spec.package}",
+            at=outcome.submitted)
+    world.scheduler.run()
+
+    for session_handle in world.scheduler.sessions:
+        if session_handle.error is not None:
+            raise session_handle.error
+
+    names = list(world.devices)
+    per_device = {name: device.metrics.snapshot()
+                  for name, device in world.devices.items()}
+    metrics = merge_snapshots(per_device[name] for name in names)
+    events = merge_streams(*(device.events.export()
+                             for device in world.devices.values()))
+    return ScenarioResult(device_names=names, sessions=outcomes,
+                          metrics=metrics, events=events,
+                          per_device_metrics=per_device)
+
+
+def _session(world: ScenarioWorld, outcome: SessionOutcome):
+    """One migration as a cooperative session generator.
+
+    Endpoint resources are acquired in sorted-name order (ordered
+    acquisition: no deadlock possible) before any device state is
+    touched; the workload launch and the migration run while both are
+    held, and both release whatever happens.
+    """
+    spec = outcome.spec
+    home, guest = world.devices[spec.home], world.devices[spec.guest]
+    who = f"{spec.home}->{spec.guest}:{spec.package}"
+    first, second = sorted((spec.home, spec.guest))
+    if world.spec.admission == "refuse":
+        if world.resource(first).busy or world.resource(second).busy:
+            outcome.status = "rejected"
+            outcome.refusal = MigrationRefusal.DEVICE_BUSY
+            busy = (first if world.resource(first).busy else second)
+            outcome.refusal_detail = f"{busy} already hosting a migration"
+            outcome.finished = world.clock.now
+            return
+        world.resource(first).try_acquire(who)
+        world.resource(second).try_acquire(who)
+    else:
+        yield world.resource(first).acquire(who)
+        yield world.resource(second).acquire(who)
+    try:
+        outcome.started = world.clock.now
+        app_by_package(spec.package).install_and_launch(home)
+        service = home.migration_service
+        attempt = len(service.history)
+        try:
+            report = yield from service.migrate_steps(
+                guest, spec.package, link=world.link_for(home, guest),
+                extensions=spec.extensions)
+        except MigrationError as error:
+            failed = service.history[attempt]
+            outcome.status = ("faulted" if failed.faulted_stage
+                              else "refused")
+            outcome.report = failed
+            outcome.refusal = error.reason
+            outcome.refusal_detail = error.detail
+            home.terminate_app(spec.package)
+        else:
+            outcome.status = "migrated"
+            outcome.report = report
+        outcome.session = f"{home.name}/{spec.package}@{attempt}"
+    finally:
+        outcome.finished = world.clock.now
+        world.resource(second).release()
+        world.resource(first).release()

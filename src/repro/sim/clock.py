@@ -25,16 +25,22 @@ class _Timer:
     seq: int
     callback: Callable[[], None] = field(compare=False)
     cancelled: bool = field(default=False, compare=False)
+    popped: bool = field(default=False, compare=False)
 
 
 class TimerHandle:
     """Handle returned by :meth:`SimClock.call_at`; allows cancellation."""
 
-    def __init__(self, timer: _Timer) -> None:
+    def __init__(self, timer: _Timer, clock: "SimClock") -> None:
         self._timer = timer
+        self._clock = clock
 
     def cancel(self) -> None:
-        self._timer.cancelled = True
+        timer = self._timer
+        if timer.cancelled or timer.popped:
+            return
+        timer.cancelled = True
+        self._clock._cancelled += 1
 
     @property
     def deadline(self) -> float:
@@ -52,11 +58,16 @@ class SimClock:
     firing any timers whose deadlines are crossed, in deadline order.
     """
 
+    #: Compact the heap once at least this many cancelled entries are
+    #: buried in it *and* they outnumber the live ones; below the floor a
+    #: rebuild costs more than the dead entries do.
+    COMPACT_FLOOR = 64
+
     def __init__(self, start: float = 0.0) -> None:
         self._now = float(start)
         self._timers: List[_Timer] = []
         self._seq = itertools.count()
-        self._firing = False
+        self._cancelled = 0
 
     @property
     def now(self) -> float:
@@ -70,7 +81,13 @@ class SimClock:
         self.advance_to(self._now + seconds)
 
     def advance_to(self, deadline: float) -> None:
-        """Move time forward to an absolute ``deadline``."""
+        """Move time forward to an absolute ``deadline``.
+
+        Re-entrant: a timer callback may itself advance the clock (a
+        resumed session charging time synchronously).  The nested sweep
+        shares the heap, and the outer sweep resumes from wherever the
+        nested one left ``now`` — time never moves backwards.
+        """
         if deadline < self._now:
             raise ClockError(
                 f"cannot move clock backwards from {self._now} to {deadline}"
@@ -79,11 +96,14 @@ class SimClock:
         # which fire in this sweep too when due before the deadline.
         while self._timers and self._timers[0].deadline <= deadline:
             timer = heapq.heappop(self._timers)
+            timer.popped = True
             if timer.cancelled:
+                self._cancelled -= 1
                 continue
             self._now = max(self._now, timer.deadline)
             timer.callback()
-        self._now = deadline
+        self._now = max(self._now, deadline)
+        self._compact()
 
     def call_at(self, deadline: float, callback: Callable[[], None]) -> TimerHandle:
         """Schedule ``callback`` to run when the clock reaches ``deadline``.
@@ -93,7 +113,7 @@ class SimClock:
         """
         timer = _Timer(deadline=deadline, seq=next(self._seq), callback=callback)
         heapq.heappush(self._timers, timer)
-        return TimerHandle(timer)
+        return TimerHandle(timer, self)
 
     def call_after(self, delay: float, callback: Callable[[], None]) -> TimerHandle:
         """Schedule ``callback`` to run ``delay`` seconds from now."""
@@ -102,13 +122,35 @@ class SimClock:
         return self.call_at(self._now + delay, callback)
 
     def pending_timers(self) -> int:
-        """Number of scheduled, uncancelled timers."""
-        return sum(1 for t in self._timers if not t.cancelled)
+        """Number of scheduled, uncancelled timers (O(1))."""
+        return len(self._timers) - self._cancelled
 
     def next_deadline(self) -> Optional[float]:
         """Earliest pending deadline, or None when nothing is scheduled."""
-        live = [t.deadline for t in self._timers if not t.cancelled]
-        return min(live) if live else None
+        self._prune_head()
+        return self._timers[0].deadline if self._timers else None
+
+    def _prune_head(self) -> None:
+        """Pop cancelled entries off the top of the heap."""
+        while self._timers and self._timers[0].cancelled:
+            heapq.heappop(self._timers).popped = True
+            self._cancelled -= 1
+
+    def _compact(self) -> None:
+        """Lazily drop cancelled timers buried in the heap.
+
+        Cancellation only flags the entry; long multi-session scenarios
+        would otherwise accumulate dead entries for every rescheduled
+        flow.  Rebuilding is O(n), amortised by the floor check.
+        """
+        if (self._cancelled >= self.COMPACT_FLOOR
+                and self._cancelled * 2 > len(self._timers)):
+            for timer in self._timers:
+                if timer.cancelled:
+                    timer.popped = True
+            self._timers = [t for t in self._timers if not t.cancelled]
+            heapq.heapify(self._timers)
+            self._cancelled = 0
 
 
 class StopwatchSpan:

@@ -1,0 +1,329 @@
+"""Cooperative sessions over the discrete-event clock.
+
+A *session* is a generator that yields instead of advancing the shared
+:class:`~repro.sim.clock.SimClock` directly.  Yield points:
+
+* :class:`Charge` (or a bare float) — virtual seconds of work.  The
+  scheduler turns it into a clock timer; the session resumes when the
+  sweep reaches the deadline.
+* :class:`Waiter` — a one-shot future.  The session resumes with the
+  waiter's value when someone resolves it, or the exception is thrown
+  back into the generator when someone rejects it.
+* any object with ``submit(clock) -> Waiter`` — an asynchronous
+  operation (e.g. a link flow) that the scheduler submits and then
+  waits on.
+
+Two drivers exist for the same generators:
+
+* :func:`drive_sync` replays a session inline — every charge becomes an
+  immediate ``clock.advance``, every op runs via its ``apply_sync``.
+  This is the legacy run-to-completion path and is byte-identical to
+  the pre-session code.
+* :class:`Scheduler` interleaves many sessions on clock timers so that
+  concurrent migrations contend for shared resources deterministically.
+
+Determinism contract: sessions are resumed only by clock timers and
+waiter resolutions, both of which fire in deadline order with FIFO
+tie-breaking (the clock's monotonic timer sequence).  Given the same
+spawn order and the same yields, the interleaving is a pure function of
+the virtual timeline.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Callable, Deque, Generator, List, Optional
+
+from collections import deque
+
+from repro.sim.clock import SimClock
+
+
+class SchedulerError(Exception):
+    """Raised on invalid scheduler operations."""
+
+
+@dataclass(frozen=True)
+class Charge:
+    """Virtual seconds of work a session wants charged to the clock."""
+
+    seconds: float
+
+    def __post_init__(self) -> None:
+        if self.seconds < 0:
+            raise SchedulerError(f"negative charge {self.seconds!r}")
+
+
+class Waiter:
+    """A one-shot future a session can yield on.
+
+    Exactly one of :meth:`resolve` / :meth:`reject` may be called, once.
+    Callbacks added after completion fire immediately, which lets the
+    scheduler treat already-completed waiters (e.g. an uncontended
+    resource acquire) without a spurious suspension.
+    """
+
+    __slots__ = ("description", "_done", "_value", "_error", "_callbacks")
+
+    def __init__(self, description: str = "") -> None:
+        self.description = description
+        self._done = False
+        self._value: Any = None
+        self._error: Optional[BaseException] = None
+        self._callbacks: List[Callable[["Waiter"], None]] = []
+
+    @property
+    def done(self) -> bool:
+        return self._done
+
+    @property
+    def value(self) -> Any:
+        if not self._done:
+            raise SchedulerError(f"waiter {self.description!r} not done")
+        if self._error is not None:
+            raise self._error
+        return self._value
+
+    @property
+    def error(self) -> Optional[BaseException]:
+        return self._error
+
+    def resolve(self, value: Any = None) -> None:
+        self._complete(value=value)
+
+    def reject(self, error: BaseException) -> None:
+        self._complete(error=error)
+
+    def _complete(self, value: Any = None,
+                  error: Optional[BaseException] = None) -> None:
+        if self._done:
+            raise SchedulerError(
+                f"waiter {self.description!r} completed twice")
+        self._done = True
+        self._value = value
+        self._error = error
+        callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            callback(self)
+
+    def add_done(self, callback: Callable[["Waiter"], None]) -> None:
+        if self._done:
+            callback(self)
+        else:
+            self._callbacks.append(callback)
+
+
+class Resource:
+    """An exclusive resource with a FIFO wait queue.
+
+    The scenario layer models "device X is already hosting a migration"
+    as holding that device's resource; admission control either queues
+    on :meth:`acquire` or refuses when :attr:`busy`.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._holder: Optional[str] = None
+        self._queue: Deque[tuple] = deque()
+
+    @property
+    def busy(self) -> bool:
+        return self._holder is not None
+
+    @property
+    def holder(self) -> Optional[str]:
+        return self._holder
+
+    @property
+    def queued(self) -> int:
+        return len(self._queue)
+
+    def acquire(self, who: str = "?") -> Waiter:
+        """A waiter that resolves (with this resource) once held by ``who``."""
+        waiter = Waiter(f"acquire {self.name} for {who}")
+        if self._holder is None:
+            self._holder = who
+            waiter.resolve(self)
+        else:
+            self._queue.append((who, waiter))
+        return waiter
+
+    def try_acquire(self, who: str = "?") -> bool:
+        if self._holder is not None:
+            return False
+        self._holder = who
+        return True
+
+    def release(self) -> None:
+        if self._holder is None:
+            raise SchedulerError(f"resource {self.name!r} not held")
+        self._holder = None
+        if self._queue:
+            who, waiter = self._queue.popleft()
+            self._holder = who
+            waiter.resolve(self)
+
+
+class Session:
+    """Handle for one spawned generator."""
+
+    PENDING = "pending"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+
+    def __init__(self, name: str, gen: Generator, seq: int) -> None:
+        self.name = name
+        self.seq = seq
+        self.state = Session.PENDING
+        self.result: Any = None
+        self.error: Optional[BaseException] = None
+        self._gen = gen
+
+    @property
+    def finished(self) -> bool:
+        return self.state in (Session.DONE, Session.FAILED)
+
+
+class Scheduler:
+    """Drives cooperative sessions on a shared :class:`SimClock`."""
+
+    def __init__(self, clock: SimClock) -> None:
+        self.clock = clock
+        self.sessions: List[Session] = []
+        self._seq = itertools.count()
+        self._live = 0
+
+    def spawn(self, gen: Generator, name: Optional[str] = None,
+              at: Optional[float] = None) -> Session:
+        """Register ``gen`` to start at virtual time ``at`` (default now)."""
+        session = Session(name or f"session-{len(self.sessions)}",
+                          gen, next(self._seq))
+        self.sessions.append(session)
+        self._live += 1
+        start = self.clock.now if at is None else float(at)
+        if start < self.clock.now:
+            raise SchedulerError(
+                f"session {session.name!r} starts at {start} in the past "
+                f"(now {self.clock.now})")
+        self.clock.call_at(start, lambda: self._step(session, None, None))
+        return session
+
+    def run(self) -> None:
+        """Advance the clock until every spawned session has finished."""
+        while self._live:
+            deadline = self.clock.next_deadline()
+            if deadline is None:
+                stuck = [s.name for s in self.sessions if not s.finished]
+                raise SchedulerError(
+                    f"deadlock: no timers pending but sessions still "
+                    f"waiting: {stuck}")
+            self.clock.advance_to(deadline)
+
+    # -- session stepping --------------------------------------------
+
+    def _step(self, session: Session, value: Any,
+              error: Optional[BaseException]) -> None:
+        """Resume ``session`` with ``value`` (or throw ``error`` into it).
+
+        Loops over immediately-ready yields (already-resolved waiters)
+        so an uncontended acquire never recurses or suspends.
+        """
+        session.state = Session.RUNNING
+        while True:
+            try:
+                if error is not None:
+                    err, error = error, None
+                    op = session._gen.throw(err)
+                else:
+                    op = session._gen.send(value)
+            except StopIteration as stop:
+                session.state = Session.DONE
+                session.result = stop.value
+                self._live -= 1
+                return
+            except BaseException as exc:  # session died with its error
+                session.state = Session.FAILED
+                session.error = exc
+                self._live -= 1
+                return
+            value = None
+            if isinstance(op, (int, float)):
+                op = Charge(float(op))
+            if isinstance(op, Charge):
+                session.state = Session.PENDING
+                self.clock.call_after(
+                    op.seconds, lambda: self._step(session, None, None))
+                return
+            if not isinstance(op, Waiter):
+                submit = getattr(op, "submit", None)
+                if submit is None:
+                    session.state = Session.FAILED
+                    session.error = SchedulerError(
+                        f"session {session.name!r} yielded {op!r}")
+                    self._live -= 1
+                    session._gen.close()
+                    return
+                op = submit(self.clock)
+            if op.done and op.error is None:
+                value = op._value
+                continue
+            if op.done:
+                error = op.error
+                continue
+            session.state = Session.PENDING
+            waiter = op
+
+            def _resume(w: Waiter, session: Session = session) -> None:
+                self._step(session, w._value, w._error)
+
+            waiter.add_done(_resume)
+            return
+
+
+def drive_sync(gen: Generator, clock: SimClock) -> Any:
+    """Run a session generator to completion inline.
+
+    Charges become immediate ``clock.advance`` calls and ops run through
+    their ``apply_sync`` — exactly the pre-session synchronous code
+    path, so a single session driven this way is byte-identical to the
+    old run-to-completion implementation.  Returns the generator's
+    return value; exceptions (including op failures thrown back in)
+    propagate to the caller.
+    """
+    value: Any = None
+    error: Optional[BaseException] = None
+    while True:
+        try:
+            if error is not None:
+                err, error = error, None
+                op = gen.throw(err)
+            else:
+                op = gen.send(value)
+        except StopIteration as stop:
+            return stop.value
+        value = None
+        if isinstance(op, (int, float)):
+            op = Charge(float(op))
+        if isinstance(op, Charge):
+            clock.advance(op.seconds)
+            continue
+        if isinstance(op, Waiter):
+            if not op.done:
+                raise SchedulerError(
+                    f"cannot wait synchronously on pending waiter "
+                    f"{op.description!r}")
+            if op.error is not None:
+                error = op.error
+            else:
+                value = op._value
+            continue
+        apply_sync = getattr(op, "apply_sync", None)
+        if apply_sync is None:
+            gen.close()
+            raise SchedulerError(f"sync driver cannot execute {op!r}")
+        try:
+            value = apply_sync(clock)
+        except BaseException as exc:
+            error = exc

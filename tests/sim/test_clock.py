@@ -138,3 +138,68 @@ class TestStopwatch:
             clock.advance(0.5)
             watch.stop()
         assert watch.duration("x") == pytest.approx(1.0)
+
+
+class TestTimerHousekeeping:
+    def test_cancelled_timer_never_fires(self):
+        clock = SimClock()
+        fired = []
+        handle = clock.call_after(1.0, lambda: fired.append("x"))
+        handle.cancel()
+        clock.advance(2.0)
+        assert fired == []
+
+    def test_cancel_is_idempotent(self):
+        clock = SimClock()
+        handle = clock.call_after(1.0, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        assert clock.pending_timers() == 0
+
+    def test_cancel_after_fire_is_a_noop(self):
+        clock = SimClock()
+        handle = clock.call_after(1.0, lambda: None)
+        clock.advance(2.0)
+        handle.cancel()
+        assert clock.pending_timers() == 0
+
+    def test_pending_timers_counts_only_live_entries(self):
+        clock = SimClock()
+        handles = [clock.call_after(float(i + 1), lambda: None)
+                   for i in range(5)]
+        assert clock.pending_timers() == 5
+        handles[1].cancel()
+        handles[3].cancel()
+        assert clock.pending_timers() == 3
+        clock.advance(10.0)
+        assert clock.pending_timers() == 0
+
+    def test_cancelled_entries_are_dropped_during_advance(self):
+        clock = SimClock()
+        for i in range(10):
+            clock.call_after(float(i + 1), lambda: None).cancel()
+        clock.advance(20.0)
+        assert clock._timers == [] and clock.pending_timers() == 0
+
+    def test_next_deadline_skips_cancelled_heads(self):
+        clock = SimClock()
+        first = clock.call_after(1.0, lambda: None)
+        clock.call_after(2.0, lambda: None)
+        first.cancel()
+        assert clock.next_deadline() == 2.0
+
+    def test_compaction_drops_buried_cancellations(self):
+        # Cancelled entries buried under a live far-future timer are
+        # unreachable by the sweep; compaction reclaims them once they
+        # cross the floor and outnumber the live ones.
+        clock = SimClock()
+        clock.call_at(10_000.0, lambda: None)
+        handles = [clock.call_at(20_000.0 + i, lambda: None)
+                   for i in range(SimClock.COMPACT_FLOOR + 10)]
+        for handle in handles:
+            handle.cancel()
+        assert len(clock._timers) == len(handles) + 1
+        clock.advance(1.0)  # no timer due; the sweep still compacts
+        assert len(clock._timers) == 1
+        assert clock.pending_timers() == 1
+        assert clock.next_deadline() == 10_000.0

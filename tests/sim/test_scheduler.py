@@ -1,0 +1,278 @@
+"""Cooperative sessions: Charge/Waiter/Resource, both drivers."""
+
+import pytest
+
+from repro.sim.clock import SimClock
+from repro.sim.scheduler import (
+    Charge,
+    Resource,
+    Scheduler,
+    SchedulerError,
+    Session,
+    Waiter,
+    drive_sync,
+)
+
+
+class TestCharge:
+    def test_negative_rejected(self):
+        with pytest.raises(SchedulerError):
+            Charge(-0.1)
+
+    def test_zero_allowed(self):
+        assert Charge(0.0).seconds == 0.0
+
+
+class TestWaiter:
+    def test_resolve_delivers_value(self):
+        waiter = Waiter("w")
+        waiter.resolve(42)
+        assert waiter.done and waiter.value == 42
+
+    def test_reject_raises_on_value(self):
+        waiter = Waiter("w")
+        waiter.reject(ValueError("boom"))
+        with pytest.raises(ValueError):
+            waiter.value
+
+    def test_value_before_done_rejected(self):
+        with pytest.raises(SchedulerError):
+            Waiter("w").value
+
+    def test_double_completion_rejected(self):
+        waiter = Waiter("w")
+        waiter.resolve(1)
+        with pytest.raises(SchedulerError):
+            waiter.resolve(2)
+        with pytest.raises(SchedulerError):
+            waiter.reject(ValueError())
+
+    def test_callback_after_done_fires_immediately(self):
+        waiter = Waiter("w")
+        waiter.resolve("x")
+        seen = []
+        waiter.add_done(seen.append)
+        assert seen == [waiter]
+
+    def test_callback_before_done_fires_on_completion(self):
+        waiter = Waiter("w")
+        seen = []
+        waiter.add_done(seen.append)
+        assert seen == []
+        waiter.resolve(None)
+        assert seen == [waiter]
+
+
+class TestResource:
+    def test_uncontended_acquire_is_immediate(self):
+        resource = Resource("dev")
+        waiter = resource.acquire("a")
+        assert waiter.done and waiter.value is resource
+        assert resource.busy and resource.holder == "a"
+
+    def test_fifo_queue_hands_over_on_release(self):
+        resource = Resource("dev")
+        resource.acquire("a")
+        second = resource.acquire("b")
+        third = resource.acquire("c")
+        assert not second.done and resource.queued == 2
+        resource.release()
+        assert second.done and resource.holder == "b"
+        assert not third.done
+        resource.release()
+        assert third.done and resource.holder == "c"
+
+    def test_try_acquire(self):
+        resource = Resource("dev")
+        assert resource.try_acquire("a")
+        assert not resource.try_acquire("b")
+        resource.release()
+        assert resource.try_acquire("b")
+
+    def test_release_unheld_rejected(self):
+        with pytest.raises(SchedulerError):
+            Resource("dev").release()
+
+
+class TestDriveSync:
+    def test_charges_advance_the_clock_inline(self):
+        clock = SimClock()
+
+        def session():
+            yield Charge(1.5)
+            yield 0.5  # bare floats coerce to charges
+            return clock.now
+
+        assert drive_sync(session(), clock) == 2.0
+        assert clock.now == 2.0
+
+    def test_resolved_waiter_value_is_sent_in(self):
+        clock = SimClock()
+        waiter = Waiter("w")
+        waiter.resolve("token")
+
+        def session():
+            got = yield waiter
+            return got
+
+        assert drive_sync(session(), clock) == "token"
+
+    def test_pending_waiter_rejected(self):
+        def session():
+            yield Waiter("never")
+
+        with pytest.raises(SchedulerError):
+            drive_sync(session(), SimClock())
+
+    def test_op_failures_are_thrown_back_in(self):
+        class FailingOp:
+            def apply_sync(self, clock):
+                raise ValueError("op died")
+
+        def session():
+            try:
+                yield FailingOp()
+            except ValueError:
+                return "caught"
+
+        assert drive_sync(session(), SimClock()) == "caught"
+
+    def test_unknown_yield_rejected(self):
+        def session():
+            yield object()
+
+        with pytest.raises(SchedulerError):
+            drive_sync(session(), SimClock())
+
+
+class TestScheduler:
+    def test_charges_interleave_on_the_shared_clock(self):
+        clock = SimClock()
+        scheduler = Scheduler(clock)
+        trace = []
+
+        def session(name, step):
+            for _ in range(3):
+                yield Charge(step)
+                trace.append((name, clock.now))
+
+        scheduler.spawn(session("a", 1.0), name="a")
+        scheduler.spawn(session("b", 1.5), name="b")
+        scheduler.run()
+        # The t=3.0 tie resolves FIFO by timer creation: b scheduled its
+        # timer at t=1.5, before a scheduled its own at t=2.0.
+        assert trace == [("a", 1.0), ("b", 1.5), ("a", 2.0),
+                         ("b", 3.0), ("a", 3.0), ("b", 4.5)]
+
+    def test_staggered_start(self):
+        clock = SimClock()
+        scheduler = Scheduler(clock)
+        seen = []
+
+        def session():
+            seen.append(clock.now)
+            yield Charge(1.0)
+            return clock.now
+
+        handle = scheduler.spawn(session(), at=5.0)
+        scheduler.run()
+        assert seen == [5.0]
+        assert handle.state == Session.DONE and handle.result == 6.0
+
+    def test_start_in_the_past_rejected(self):
+        clock = SimClock(start=10.0)
+        with pytest.raises(SchedulerError):
+            Scheduler(clock).spawn(iter(()), at=9.0)
+
+    def test_session_error_is_recorded_not_raised(self):
+        scheduler = Scheduler(SimClock())
+
+        def session():
+            yield Charge(1.0)
+            raise RuntimeError("died")
+
+        handle = scheduler.spawn(session())
+        scheduler.run()
+        assert handle.state == Session.FAILED
+        assert isinstance(handle.error, RuntimeError)
+
+    def test_deadlock_names_stuck_sessions(self):
+        scheduler = Scheduler(SimClock())
+
+        def session():
+            yield Waiter("never resolved")
+
+        scheduler.spawn(session(), name="stuck")
+        with pytest.raises(SchedulerError, match="stuck"):
+            scheduler.run()
+
+    def test_uncontended_acquire_does_not_suspend(self):
+        clock = SimClock()
+        scheduler = Scheduler(clock)
+        resource = Resource("dev")
+
+        def session():
+            got = yield resource.acquire("s")
+            assert got is resource
+            return clock.now
+
+        handle = scheduler.spawn(session())
+        scheduler.run()
+        assert handle.result == 0.0  # no time passed waiting
+
+    def test_queued_acquire_resumes_on_release(self):
+        clock = SimClock()
+        scheduler = Scheduler(clock)
+        resource = Resource("dev")
+        order = []
+
+        def holder():
+            yield resource.acquire("holder")
+            yield Charge(2.0)
+            order.append(("holder done", clock.now))
+            resource.release()
+
+        def waiterland():
+            yield resource.acquire("waiter")
+            order.append(("waiter got it", clock.now))
+            resource.release()
+
+        scheduler.spawn(holder())
+        scheduler.spawn(waiterland())
+        scheduler.run()
+        assert order == [("holder done", 2.0), ("waiter got it", 2.0)]
+
+    def test_rejected_waiter_throws_into_session(self):
+        scheduler = Scheduler(SimClock())
+        waiter = Waiter("w")
+
+        def failer():
+            yield Charge(1.0)
+            waiter.reject(ValueError("no"))
+
+        def session():
+            try:
+                yield waiter
+            except ValueError:
+                return "caught"
+
+        handle = scheduler.spawn(session())
+        scheduler.spawn(failer())
+        scheduler.run()
+        assert handle.result == "caught"
+
+    def test_same_generator_runs_identically_under_both_drivers(self):
+        def session(clock):
+            yield Charge(1.0)
+            yield 2.0
+            return clock.now
+
+        sync_clock = SimClock()
+        sync_result = drive_sync(session(sync_clock), sync_clock)
+
+        sched_clock = SimClock()
+        scheduler = Scheduler(sched_clock)
+        handle = scheduler.spawn(session(sched_clock))
+        scheduler.run()
+        assert handle.result == sync_result == 3.0
+        assert sync_clock.now == sched_clock.now

@@ -276,3 +276,62 @@ class TestEventsExport:
         assert events
         assert all("pair" in e for e in events)
         assert len({e["pair"] for e in events}) == 4
+
+
+class TestScenario:
+    def test_default_demo_queues_two_concurrent_migrations(self, capsys):
+        assert main(["scenario"]) == 0
+        out = capsys.readouterr().out
+        assert "2 devices, 2 sessions" in out
+        assert out.count("MIGRATED") == 2
+
+    def test_explicit_routes_and_stagger(self, capsys):
+        assert main(["scenario",
+                     "--device", "h1=nexus4", "--device", "g1=nexus7_2013",
+                     "--device", "h2=nexus4", "--device", "g2=nexus7_2013",
+                     "--migrate", "h1:g1:bubble",
+                     "--migrate", "h2:g2:bubble@0.5"]) == 0
+        out = capsys.readouterr().out
+        assert "h1->g1" in out and "h2->g2" in out
+        assert out.count("MIGRATED") == 2
+
+    def test_refuse_admission_exits_nonzero(self, capsys):
+        assert main(["scenario", "--admission", "refuse"]) == 1
+        out = capsys.readouterr().out
+        assert "REJECTED" in out and "already hosting" in out
+
+    def test_telemetry_exports_and_session_explain(self, capsys, tmp_path):
+        import json
+
+        from repro.sim.events import read_jsonl
+
+        events = tmp_path / "scenario_events.jsonl"
+        metrics = tmp_path / "scenario_metrics.json"
+        assert main(["scenario", "--events-out", str(events),
+                     "--metrics-out", str(metrics)]) == 0
+        out = capsys.readouterr().out
+        document = json.loads(metrics.read_text())
+        assert document["scenario"]["admission"] == "queue"
+        assert len(document["scenario"]["sessions"]) == 2
+        assert all(row["status"] == "migrated"
+                   for row in document["scenario"]["sessions"])
+        labels = [row["session"]
+                  for row in document["scenario"]["sessions"]]
+        stream = read_jsonl(str(events))
+        assert {e["attrs"].get("session") for e in stream
+                if e["kind"] == "migration.start"} == set(labels)
+        # explain segments the interleaved log by session label.
+        for label in labels:
+            assert main(["explain", str(events),
+                         "--session", label]) == 0
+            explained = capsys.readouterr().out
+            assert f"session={label}" in explained
+            assert "SUCCEEDED" in explained
+
+    def test_bad_specs_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["scenario", "--device", "nexus4"])  # no NAME=
+        with pytest.raises(SystemExit):
+            main(["scenario", "--migrate", "home:guest"])  # no app
+        with pytest.raises(SystemExit):
+            main(["scenario", "--migrate", "home:guest:bubble@soon"])
