@@ -64,6 +64,7 @@ from repro.sim.events import (
 )
 from repro.sim.metrics import MetricsRegistry
 from repro.sim.rng import RngFactory
+from repro.sim.timeline import Timeline, timeline_enabled
 
 #: Set to ``0`` to disable metrics collection device-wide.  Exists for
 #: the determinism regression tests: the simulation must be
@@ -113,7 +114,8 @@ class Device:
                  rng_factory: Optional[RngFactory] = None,
                  name: Optional[str] = None,
                  flux_enabled: bool = True,
-                 extensions=None) -> None:
+                 extensions=None,
+                 timeline: Optional[Timeline] = None) -> None:
         from repro.core.extensions import FluxExtensions
         self.profile = profile
         self.name = name or profile.name
@@ -135,6 +137,13 @@ class Device:
             clock=self.clock, device=self.name,
             capacity=_events_capacity(), tracer=self.tracer,
             enabled=os.environ.get(EVENTS_ENV, "1") != "0")
+        #: Edge-sampled time-series plane (link occupancy, shares, queue
+        #: depths).  A scenario world passes one shared timeline to all
+        #: its devices; a standalone device gets its own, gated by
+        #: ``FLUX_TIMELINE``.
+        self.timeline = (timeline if timeline is not None
+                         else Timeline(clock=self.clock,
+                                       enabled=timeline_enabled()))
         self.flux_enabled = flux_enabled
 
         # Kernel + binder.

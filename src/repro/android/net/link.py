@@ -16,7 +16,7 @@ clock and accounted — the bytes that made it across really did — and a
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from repro.sim import units
 from repro.sim.clock import SimClock, TimerHandle
@@ -24,6 +24,7 @@ from repro.sim.events import FlightRecorder
 from repro.sim.metrics import MetricsRegistry, RATE_BUCKETS_MBPS
 from repro.sim.rng import RngFactory
 from repro.sim.scheduler import Waiter
+from repro.sim.timeline import Timeline
 
 
 class LinkError(Exception):
@@ -88,7 +89,8 @@ class Link:
                  name: str = "wifi",
                  fault_plan: Optional[LinkFaultPlan] = None,
                  metrics: Optional[MetricsRegistry] = None,
-                 events: Optional[FlightRecorder] = None) -> None:
+                 events: Optional[FlightRecorder] = None,
+                 timeline: Optional[Timeline] = None) -> None:
         if bandwidth_mbps <= 0:
             raise LinkError(f"bad bandwidth {bandwidth_mbps!r}")
         if not 0.0 < congestion <= 1.0:
@@ -111,6 +113,8 @@ class Link:
                         else MetricsRegistry(enabled=False))
         self.events = (events if events is not None
                        else FlightRecorder(enabled=False))
+        self.timeline = (timeline if timeline is not None
+                         else Timeline(enabled=False))
         #: When set, scheduled flow ops on this link share the medium's
         #: bandwidth fairly with every other flow on it; when None, each
         #: flow gets a private (uncontended) medium.
@@ -132,7 +136,9 @@ class Link:
         if payload_bytes < 0:
             raise LinkError(f"negative payload {payload_bytes!r}")
         if clock is not None:
+            self._sample_busy(1.0)
             clock.advance(seconds)
+            self._sample_busy(0.0)
         self.bytes_transferred += payload_bytes
         self.transfers += 1
         if fault:
@@ -152,6 +158,22 @@ class Link:
         self._account(payload_bytes, effective)
         return TransferResult(payload_bytes=payload_bytes, seconds=seconds,
                               effective_mbps=effective)
+
+    def _sample_busy(self, value: float) -> None:
+        """Wire-occupancy edge for the synchronous (inline) path.
+
+        Scheduled flows are sampled by the medium instead (shares and
+        active-flow counts already describe their occupancy).  The
+        owning device's name disambiguates identically-named links on
+        different device pairs within one shared world timeline.
+        """
+        if not self.timeline.enabled:
+            return
+        labels = {"link": self.name}
+        device = getattr(self.events, "device", "")
+        if device:
+            labels["device"] = device
+        self.timeline.sample("link/busy", value, **labels)
 
     def _account(self, payload_bytes: int, effective_mbps: float) -> None:
         self.metrics.counter("link", "bytes_total").inc(payload_bytes)
@@ -303,6 +325,10 @@ class _Flow:
     that work has completed; with n concurrent flows each accrues
     elapsed/n work per elapsed second.  A fault milestone, when set,
     terminates the flow early with ``fault_bytes`` delivered.
+
+    ``session`` is the owning migration's label (for dilation blame);
+    ``peak_others`` is the most *other* flows this one ever shared the
+    medium with — the "from N contending flows" in the blame line.
     """
 
     seq: int
@@ -315,6 +341,8 @@ class _Flow:
     fault_bytes: Optional[int] = None
     fault_seconds: Optional[float] = None
     contended: bool = field(default=False)
+    session: str = ""
+    peak_others: int = 0
 
     @property
     def milestone(self) -> float:
@@ -343,23 +371,34 @@ class Medium:
 
     EPS = 1e-9
 
-    def __init__(self, clock: SimClock, name: str = "medium") -> None:
+    def __init__(self, clock: SimClock, name: str = "medium",
+                 timeline: Optional[Timeline] = None) -> None:
         self.clock = clock
         self.name = name
+        self.timeline = (timeline if timeline is not None
+                         else Timeline(enabled=False))
         self._flows: List[_Flow] = []
         self._timer: Optional[TimerHandle] = None
         self._last = clock.now
         self._seq = 0
         self.completed_flows = 0
         self.peak_concurrency = 0
+        #: session label -> total seconds of dilation (wall minus solo
+        #: work) its flows suffered from sharing this medium.
+        self.dilation_by_session: Dict[str, float] = {}
 
     @property
     def active_flows(self) -> int:
         return len(self._flows)
 
+    def dilation_for(self, session: str) -> float:
+        """Total contention-induced stretch attributed to ``session``."""
+        return self.dilation_by_session.get(session, 0.0)
+
     def submit(self, link: Link, payload_bytes: int, solo_seconds: float,
                fault_bytes: Optional[int] = None,
-               fault_seconds: Optional[float] = None) -> Waiter:
+               fault_seconds: Optional[float] = None,
+               session: str = "") -> Waiter:
         """Start a flow; the returned waiter resolves with the
         :class:`TransferResult` (or rejects with the planned
         :class:`LinkDownError`) at the completion instant."""
@@ -371,16 +410,36 @@ class Medium:
         self._seq += 1
         flow = _Flow(seq=self._seq, link=link, payload_bytes=payload_bytes,
                      solo_seconds=solo_seconds,
-                     waiter=Waiter(f"flow#{self._seq} on {link.name}"),
+                     waiter=Waiter(f"flow#{self._seq} on {link.name}",
+                                   kind="flow"),
                      submitted_at=self.clock.now,
-                     fault_bytes=fault_bytes, fault_seconds=fault_seconds)
+                     fault_bytes=fault_bytes, fault_seconds=fault_seconds,
+                     session=session)
         self._flows.append(flow)
         if len(self._flows) > 1:
             for active in self._flows:
                 active.contended = True
+        for active in self._flows:
+            active.peak_others = max(active.peak_others,
+                                     len(self._flows) - 1)
         self.peak_concurrency = max(self.peak_concurrency, len(self._flows))
+        self._sample_state()
         self._reschedule()
         return flow.waiter
+
+    def _sample_state(self) -> None:
+        """Active-flow count and per-session instantaneous fair shares."""
+        if not self.timeline.enabled:
+            return
+        self.timeline.sample("medium/active_flows", len(self._flows),
+                             medium=self.name)
+        if self._flows:
+            share = 1.0 / len(self._flows)
+            for flow in self._flows:
+                if flow.session:
+                    self.timeline.sample("link/share", share,
+                                         medium=self.name,
+                                         session=flow.session)
 
     def _settle(self) -> None:
         """Accrue fair-share progress for the time since the last touch."""
@@ -422,6 +481,24 @@ class Medium:
                 # contended flows report true wall elapsed time.
                 seconds = (self.clock.now - flow.submitted_at
                            if flow.contended else flow.milestone)
+                if flow.contended:
+                    # Dilation: wall seconds beyond the flow's solo work
+                    # — time other flows' shares cost this session.
+                    dilation = max(0.0, seconds - flow.milestone)
+                    key = flow.session or f"flow#{flow.seq}"
+                    self.dilation_by_session[key] = (
+                        self.dilation_by_session.get(key, 0.0) + dilation)
+                    flow.link.events.emit(
+                        "link.dilation", link=flow.link.name,
+                        session=flow.session,
+                        solo=round(flow.milestone, 6),
+                        wall=round(seconds, 6),
+                        dilation=round(dilation, 6),
+                        others=flow.peak_others)
+                if flow.session:
+                    self.timeline.sample("link/share", 0.0,
+                                         medium=self.name,
+                                         session=flow.session)
                 if flow.fault_bytes is not None:
                     outcomes.append((flow, flow.link._deliver(
                         flow.fault_bytes, seconds, fault=True)))
@@ -429,6 +506,7 @@ class Medium:
                     outcomes.append((flow, flow.link._deliver(
                         flow.payload_bytes, seconds)))
                 self.completed_flows += 1
+            self._sample_state()
             for flow, outcome in outcomes:
                 if isinstance(outcome, LinkDownError):
                     flow.waiter.reject(outcome)
@@ -448,6 +526,7 @@ class TransferOp:
 
     link: Link
     payload_bytes: int
+    session: str = ""
 
     def apply_sync(self, clock: SimClock) -> TransferResult:
         return self.link.transfer(self.payload_bytes, clock)
@@ -459,7 +538,8 @@ class TransferOp:
                                             name=f"solo:{self.link.name}")
         return medium.submit(self.link, self.payload_bytes, seconds,
                              fault_bytes=fault_bytes,
-                             fault_seconds=fault_seconds)
+                             fault_seconds=fault_seconds,
+                             session=self.session)
 
 
 @dataclass(frozen=True)
@@ -473,6 +553,7 @@ class RecordOp:
     link: Link
     payload_bytes: int
     seconds: float
+    session: str = ""
 
     def apply_sync(self, clock: SimClock) -> TransferResult:
         return self.link.record_transfer(self.payload_bytes, self.seconds,
@@ -481,7 +562,8 @@ class RecordOp:
     def submit(self, clock: SimClock) -> Waiter:
         medium = self.link.medium or Medium(clock,
                                             name=f"solo:{self.link.name}")
-        return medium.submit(self.link, self.payload_bytes, self.seconds)
+        return medium.submit(self.link, self.payload_bytes, self.seconds,
+                             session=self.session)
 
 
 @dataclass(frozen=True)
@@ -496,6 +578,7 @@ class FaultOp:
     link: Link
     delivered_bytes: int
     seconds: float
+    session: str = ""
 
     def apply_sync(self, clock: SimClock) -> None:
         self.link.trip_fault(self.delivered_bytes, self.seconds, clock)
@@ -505,7 +588,8 @@ class FaultOp:
                                             name=f"solo:{self.link.name}")
         return medium.submit(self.link, self.delivered_bytes, self.seconds,
                              fault_bytes=self.delivered_bytes,
-                             fault_seconds=self.seconds)
+                             fault_seconds=self.seconds,
+                             session=self.session)
 
 
 #: Goodput fraction of infrastructure WiFi achieved in ad-hoc mode
@@ -517,7 +601,8 @@ def link_between(home_profile, guest_profile,
                  rng_factory: Optional[RngFactory] = None,
                  adhoc: bool = False,
                  metrics: Optional[MetricsRegistry] = None,
-                 events: Optional[FlightRecorder] = None) -> Link:
+                 events: Optional[FlightRecorder] = None,
+                 timeline: Optional[Timeline] = None) -> Link:
     """Link whose goodput is limited by the slower endpoint.
 
     ``adhoc=True`` models the paper's disconnected-operation mode (§1:
@@ -530,6 +615,7 @@ def link_between(home_profile, guest_profile,
     if adhoc:
         return Link(bandwidth_mbps=bandwidth * ADHOC_EFFICIENCY,
                     latency_s=0.002, rng_factory=rng_factory,
-                    name=f"{name}(adhoc)", metrics=metrics, events=events)
+                    name=f"{name}(adhoc)", metrics=metrics, events=events,
+                    timeline=timeline)
     return Link(bandwidth_mbps=bandwidth, rng_factory=rng_factory, name=name,
-                metrics=metrics, events=events)
+                metrics=metrics, events=events, timeline=timeline)

@@ -16,7 +16,10 @@ Subcommands::
 per-subsystem metrics registry as JSON and ``--events-out PATH`` to dump
 the causal event log as JSONL (see ``flux-sim explain``); ``migrate
 --trace-out`` includes the registry's counter tracks and the event log's
-instants in the Chrome trace.
+instants in the Chrome trace.  ``scenario`` adds ``--timeline-out``
+(the edge-sampled time-series plane) and ``--trace-out`` (one track per
+session plus counter tracks); ``explain --why LABEL`` ranks where a
+session's wall time went, from the event log alone.
 
 Installed as a console script (``pip install -e .``), or run with
 ``python -m repro.cli``.
@@ -321,8 +324,10 @@ def cmd_explain(args) -> int:
 
     from repro.core.migration.postmortem import (
         PostmortemError,
+        build_blame,
         build_postmortem,
         critical_path_from_metrics,
+        render_blame,
         render_postmortem,
     )
     from repro.sim.events import read_jsonl
@@ -330,6 +335,15 @@ def cmd_explain(args) -> int:
         events = read_jsonl(args.events)
     except OSError as error:
         raise SystemExit(f"cannot read {args.events!r}: {error}")
+    if args.why:
+        # Blame mode: rank where the session's wall time went, resolved
+        # from the event log alone (no live scheduler state needed).
+        try:
+            blame = build_blame(events, args.why)
+        except PostmortemError as error:
+            raise SystemExit(f"{args.events}: {error}")
+        print(render_blame(blame))
+        return 0
     critical_path = None
     if args.metrics:
         try:
@@ -451,6 +465,21 @@ def cmd_scenario(args) -> int:
         count = write_jsonl(args.events_out, result.events)
         print(f"wrote {count} events to {args.events_out} "
               f"(flux-sim explain {args.events_out})")
+    if args.timeline_out:
+        from repro.sim.timeline import write_timeline
+        count = write_timeline(args.timeline_out, result.timeline,
+                               meta={"devices": [n for n, _ in spec.devices],
+                                     "seed": spec.seed})
+        print(f"wrote {count} timeline series to {args.timeline_out}")
+    if args.trace_out:
+        import json
+
+        from repro.experiments.scenario import scenario_trace_document
+        document = scenario_trace_document(result)
+        with open(args.trace_out, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, indent=1)
+        print(f"wrote Chrome trace to {args.trace_out} "
+              f"(chrome://tracing / Perfetto)")
     return 0 if not failures else 1
 
 
@@ -471,6 +500,9 @@ def _write_scenario_metrics(path: str, spec, result) -> None:
             "refusal": outcome.refusal.value if outcome.refusal else None,
             "submitted": round(outcome.submitted, 6),
             "queued_seconds": round(outcome.queued_seconds, 6),
+            "wait_profile": ({k: round(v, 6) for k, v
+                              in sorted(outcome.wait_profile.items())}
+                             if outcome.wait_profile else None),
             "stages": ({s: round(v, 6) for s, v in report.stages.items()}
                        if report is not None else {}),
             "total_seconds": (round(report.total_seconds, 6)
@@ -484,6 +516,9 @@ def _write_scenario_metrics(path: str, spec, result) -> None:
             "devices": [name for name, _ in spec.devices],
             "admission": spec.admission,
             "seed": spec.seed,
+            "makespan": round(result.makespan, 6),
+            "device_utilization": {d: round(u, 6) for d, u in
+                                   sorted(result.device_utilization.items())},
             "sessions": sessions,
         },
         "metrics": result.metrics,
@@ -614,6 +649,11 @@ def build_parser() -> argparse.ArgumentParser:
                               "interleaved scenario log (label as "
                               "printed by flux-sim scenario, e.g. "
                               "home/net.zedge.android@0)")
+    explain.add_argument("--why", default=None, metavar="LABEL",
+                         help="rank where this session's wall time went "
+                              "(admission queue, link dilation, own "
+                              "work), reconstructed from the event log "
+                              "alone")
     explain.set_defaults(func=cmd_explain)
 
     scenario = sub.add_parser(
@@ -644,6 +684,13 @@ def build_parser() -> argparse.ArgumentParser:
                           help="write the causally-merged all-device "
                                "event log as JSONL (input to flux-sim "
                                "explain, which segments it by session)")
+    scenario.add_argument("--timeline-out", metavar="PATH", default=None,
+                          help="write the edge-sampled time-series plane "
+                               "(link shares, queue depths, sessions in "
+                               "flight) as JSON")
+    scenario.add_argument("--trace-out", metavar="PATH", default=None,
+                          help="write a Chrome trace with one track per "
+                               "session plus timeline counter tracks")
     scenario.set_defaults(func=cmd_scenario)
 
     experiments = sub.add_parser("experiments",

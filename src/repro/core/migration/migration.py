@@ -76,6 +76,13 @@ class MigrationReport:
     #: each entry is ``{"name", "category", "seconds", "self_seconds"}``.
     dominant_stage: Optional[str] = None
     critical_path: List[Dict[str, object]] = field(default_factory=list)
+    #: Contention decomposition of the session's wall time, populated by
+    #: the scenario runner (None on the synchronous single-migration
+    #: path, where wall time == work time by construction).  Keys:
+    #: ``wall_s``, ``admission_queue_s``, ``resource_wait_s``,
+    #: ``link_dilation_s``, ``active_s`` — the last four sum to
+    #: ``wall_s`` within float tolerance.
+    wait_profile: Optional[Dict[str, float]] = None
 
     @property
     def total_seconds(self) -> float:
@@ -224,7 +231,8 @@ class MigrationService:
 
         link = link or link_between(home.profile, guest.profile,
                                     home.rng_factory, metrics=home.metrics,
-                                    events=home.events)
+                                    events=home.events,
+                                    timeline=getattr(home, "timeline", None))
         if not link.metrics.enabled:
             # Caller-built links (fault injection, tests) inherit the
             # home device's registry so transfer metrics are not lost.
@@ -233,6 +241,11 @@ class MigrationService:
             # Same for the causal event log: link.fault / link.transfer
             # events land in the home device's flight recorder.
             link.events = home.events
+        home_timeline = getattr(home, "timeline", None)
+        if (home_timeline is not None
+                and not getattr(link.timeline, "enabled", False)):
+            # And for the time-series plane: wire-occupancy samples.
+            link.timeline = home_timeline
         ctx = MigrationContext(
             home=home, guest=guest, package=package, link=link,
             report=report, extensions=extensions,

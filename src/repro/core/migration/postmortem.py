@@ -221,6 +221,100 @@ def build_postmortem(events: List[Dict[str, Any]],
     }
 
 
+def build_blame(events: List[Dict[str, Any]], session: str
+                ) -> Dict[str, Any]:
+    """Rank where one session's wall time went, from the event log alone.
+
+    Reconstructs the contention decomposition the scenario runner
+    measures live (``wait_profile``) purely from causal events:
+
+    * **queued** — ``resource.grant`` events for the session's route
+      carry the measured enqueue→grant wait and who was ahead
+      (``behind``); the blocker's route resolves to its session label
+      via the segment that released the resource at our grant instant.
+    * **link dilation** — ``link.dilation`` events inside the segment
+      carry the medium's per-flow stretch attribution and the peak
+      number of contending flows.
+    * **own work** — last grant to terminal, minus the dilation: the
+      time the session would have taken with the world to itself.
+
+    The three terms sum to the session's wall time (first enqueue to
+    terminal) exactly, because each is the same measurement the live
+    ledgers make — re-derived from the log, which is the point: a
+    post-mortem needs no access to the run that produced it.
+    """
+    segments = segment_migrations(events)
+    matching = [s for s in segments if s.get("session") == session]
+    if not matching:
+        raise PostmortemError(
+            f"no migration session {session!r} in the event log")
+    segment = matching[-1]
+    seg_events = segment["events"]
+    start_t = seg_events[0].get("t", 0.0)
+    end_t = seg_events[-1].get("t", start_t)
+    who = f"{segment['home']}->{segment['guest']}:{segment['package']}"
+
+    # Admission: the (up to two) endpoint grants for this route at or
+    # before the segment opened.  Grants are world-level events, so they
+    # live outside the segment; select by time, newest first.
+    grants = [e for e in events
+              if e.get("kind") == "resource.grant"
+              and e.get("attrs", {}).get("who") == who
+              and e.get("t", 0.0) <= start_t + 1e-9]
+    grants = grants[-2:]
+    queued = sum(float(e["attrs"].get("waited", 0.0)) for e in grants)
+    behind: List[str] = []
+    for grant in grants:
+        attrs = grant["attrs"]
+        blocker = attrs.get("behind")
+        if not blocker or not attrs.get("waited"):
+            continue
+        # The blocker released at our grant instant; its segment's
+        # terminal event carries the same timestamp.
+        label = blocker
+        for other in segments:
+            other_who = (f"{other['home']}->{other['guest']}:"
+                         f"{other['package']}")
+            other_end = other["events"][-1].get("t")
+            if (other_who == blocker and other.get("session")
+                    and other_end is not None
+                    and other_end <= grant.get("t", 0.0) + 1e-9):
+                label = other["session"]
+        behind.append(label)
+    granted_t = max((e.get("t", start_t) for e in grants), default=start_t)
+    submit_t = min((e.get("t", start_t)
+                    - float(e["attrs"].get("waited", 0.0))
+                    for e in grants), default=start_t)
+
+    dilations = [e for e in seg_events if e.get("kind") == "link.dilation"
+                 and e.get("attrs", {}).get("session") == session]
+    dilation = sum(float(e["attrs"].get("dilation", 0.0))
+                   for e in dilations)
+    contenders = max((int(e["attrs"].get("others", 0))
+                      for e in dilations), default=0)
+    own = (end_t - granted_t) - dilation
+
+    entries = [
+        {"kind": "queued", "seconds": queued,
+         "detail": ("behind " + ", ".join(behind)) if behind else ""},
+        {"kind": "link dilation", "seconds": dilation,
+         "detail": (f"from {contenders} contending "
+                    f"flow{'s' if contenders != 1 else ''}"
+                    if contenders else "")},
+        {"kind": "own work", "seconds": own, "detail": ""},
+    ]
+    entries.sort(key=lambda entry: -entry["seconds"])
+    return {
+        "session": session,
+        "package": segment["package"],
+        "home": segment["home"],
+        "guest": segment["guest"],
+        "outcome": segment["outcome"],
+        "wall_s": end_t - submit_t,
+        "entries": entries,
+    }
+
+
 def critical_path_from_metrics(document: Dict[str, Any],
                                package: Optional[str] = None
                                ) -> Optional[List[Dict[str, Any]]]:
@@ -307,9 +401,35 @@ def render_postmortem(pm: Dict[str, Any]) -> str:
             lines.append("  " + format_event(event))
 
     if pm["critical_path"]:
-        chain = " > ".join(
-            f"{entry['name']} {float(entry['seconds']):.3f}s"
-            for entry in pm["critical_path"])
+        # Percentages only when the migration accrued wall time: a
+        # refused session reports total 0.0 and a 0/0 share means
+        # nothing (and used to mean a ZeroDivisionError).
+        total = pm.get("total_seconds")
+        try:
+            total = float(total) if total is not None else 0.0
+        except (TypeError, ValueError):
+            total = 0.0
+        parts = []
+        for entry in pm["critical_path"]:
+            seconds = float(entry["seconds"])
+            label = f"{entry['name']} {seconds:.3f}s"
+            if total > 0.0:
+                label += f" ({seconds / total * 100.0:.0f}%)"
+            parts.append(label)
         lines.append("")
-        lines.append(f"critical path: {chain}")
+        lines.append(f"critical path: {' > '.join(parts)}")
+    return "\n".join(lines)
+
+
+def render_blame(blame: Dict[str, Any]) -> str:
+    """The ranked breakdown ``flux-sim explain --why <session>`` prints."""
+    lines = [
+        f"why: {blame['session']} "
+        f"({blame['home']} -> {blame['guest']}) "
+        f"{blame['outcome']} after {blame['wall_s']:.3f}s",
+    ]
+    for entry in blame["entries"]:
+        detail = f" {entry['detail']}" if entry["detail"] else ""
+        lines.append(f"  {entry['seconds']:8.3f}s  "
+                     f"{entry['kind']}{detail}")
     return "\n".join(lines)

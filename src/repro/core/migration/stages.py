@@ -238,7 +238,8 @@ class TransferStage(Stage):
                 yield from self._pipelined(ctx)
             else:
                 report.image_wire_bytes = report.image_compressed_bytes
-                yield TransferOp(link, report.transferred_bytes)
+                yield TransferOp(link, report.transferred_bytes,
+                                 session=ctx.session)
                 self._index_serial(ctx)
         except LinkDownError as error:
             if not ctx.extensions.pipelined_transfer:
@@ -295,7 +296,8 @@ class TransferStage(Stage):
         # Digest negotiation + the data delta ride one round trip.
         negotiation_bytes = costs.CHUNK_DIGEST_BYTES * len(plan)
         yield TransferOp(link,
-                         report.data_delta_bytes + negotiation_bytes)
+                         report.data_delta_bytes + negotiation_bytes,
+                         session=ctx.session)
 
         wire_sizes = [c.wire_bytes for c in missing]
         compress_times = [costs.chunk_compress_cost(
@@ -325,7 +327,8 @@ class TransferStage(Stage):
                 category="chunk", wire_bytes=chunk.wire_bytes)
             _emit(ctx, "link.chunk", digest=chunk.digest[:12],
                   label=chunk.label, wire_bytes=chunk.wire_bytes)
-        yield RecordOp(link, total_wire, burst_seconds)
+        yield RecordOp(link, total_wire, burst_seconds,
+                       session=ctx.session)
         report.image_wire_bytes = total_wire + negotiation_bytes
 
         # Both ends now hold every chunk: the guest received them, the
@@ -372,7 +375,8 @@ class TransferStage(Stage):
         tracer.emit("migration", "link-fault", package=ctx.package,
                     chunks_delivered=delivered, chunks_lost=len(missing)
                     - delivered, wire_bytes_delivered=budget)
-        yield FaultOp(link, budget, link.latency_s + drop_offset)
+        yield FaultOp(link, budget, link.latency_s + drop_offset,
+                      session=ctx.session)
 
 
 class RestoreStage(Stage):

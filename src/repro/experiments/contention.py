@@ -44,6 +44,11 @@ class ContentionRow:
     slowdown: float
     total_seconds: float
     wire_bytes: int
+    #: Wall-time decomposition: queued + dilation + own work == wall.
+    wall_seconds: float = 0.0
+    queued_seconds: float = 0.0
+    dilation_seconds: float = 0.0
+    own_seconds: float = 0.0
 
 
 @dataclass
@@ -90,13 +95,28 @@ def run(seed: int = SEED) -> ContentionResult:
     rows = []
     for outcome in both.sessions:
         report = outcome.report
+        profile = outcome.wait_profile
+        # The decomposition invariant this experiment exists to assert:
+        # the measured terms reassemble the observed wall time exactly.
+        decomposed = (profile["admission_queue_s"]
+                      + profile["resource_wait_s"]
+                      + profile["link_dilation_s"] + profile["active_s"])
+        if abs(decomposed - profile["wall_s"]) > 1e-6:
+            raise AssertionError(
+                f"wait profile of {outcome.session} does not sum to wall "
+                f"time: {decomposed!r} != {profile['wall_s']!r}")
         rows.append(ContentionRow(
             config=f"{outcome.spec.home}->{outcome.spec.guest}",
             session=outcome.session,
             transfer_seconds=report.stages["transfer"],
             slowdown=report.stages["transfer"] / solo_transfer,
             total_seconds=report.total_seconds,
-            wire_bytes=report.transferred_bytes))
+            wire_bytes=report.transferred_bytes,
+            wall_seconds=profile["wall_s"],
+            queued_seconds=profile["admission_queue_s"]
+            + profile["resource_wait_s"],
+            dilation_seconds=profile["link_dilation_s"],
+            own_seconds=profile["active_s"]))
     return ContentionResult(rows=rows,
                             solo_transfer_seconds=solo_transfer,
                             events_digest=digest,
@@ -106,14 +126,18 @@ def run(seed: int = SEED) -> ContentionResult:
 def render() -> str:
     result = run()
     headers = ["route", "session", "transfer (s)", "slowdown",
-               "total (s)", "wire bytes"]
+               "queued (s)", "dilated (s)", "own work (s)", "wall (s)",
+               "wire bytes"]
     rows = [[r.config, r.session, f"{r.transfer_seconds:.3f}",
-             f"x{r.slowdown:.2f}", f"{r.total_seconds:.3f}",
+             f"x{r.slowdown:.2f}", f"{r.queued_seconds:.3f}",
+             f"{r.dilation_seconds:.3f}", f"{r.own_seconds:.3f}",
+             f"{r.wall_seconds:.3f}",
              f"{r.wire_bytes:,}"] for r in result.rows]
     lines = [
         f"Contention: 2 concurrent {APP.title} migrations on one medium "
         f"(solo transfer {result.solo_transfer_seconds:.3f}s)",
         format_table(headers, rows),
+        "each row: queued + dilated + own work == wall (asserted)",
         f"merged event log digest {result.events_digest} "
         f"(submission-order independent: {result.deterministic})",
     ]

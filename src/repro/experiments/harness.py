@@ -29,6 +29,7 @@ from repro.sim.metrics import (
     snapshot_by_label,
 )
 from repro.sim.rng import RngFactory
+from repro.sim.timeline import TIMELINE_ENV, merge_timelines
 
 
 def pair_label(home: DeviceProfile, guest: DeviceProfile) -> str:
@@ -49,6 +50,10 @@ class SweepResult:
     #: pair_label -> the pair's causally-merged home+guest event stream
     #: (see :mod:`repro.sim.events`); empty when ``FLUX_EVENTS=0``.
     pair_events: Dict[str, List[Dict]] = field(default_factory=dict)
+    #: pair_label -> the pair's merged time-series export (see
+    #: :mod:`repro.sim.timeline`); empty when ``FLUX_TIMELINE=0``.
+    pair_timelines: Dict[str, Dict[str, List[List[float]]]] = field(
+        default_factory=dict)
 
     def report_for(self, pair: str, package: str) -> MigrationReport:
         return self.reports[(pair, package)]
@@ -119,6 +124,15 @@ class SweepResult:
                 labeled.append(tagged)
         return labeled
 
+    def merged_timelines(self) -> Dict[str, Dict[str, List[List[float]]]]:
+        """Every pair's timeline export, keyed by pair label, in pair
+        order.  Pairs are independent simulations with private clocks,
+        so cross-pair series never merge by time; within a pair the
+        home+guest merge already happened in :func:`run_pair`.
+        Deterministic regardless of sweep parallelism."""
+        return {label: self.pair_timelines.get(label) or {}
+                for label in self.pair_labels}
+
 
 class PairOutcome(NamedTuple):
     """What one device pair's simulation produced."""
@@ -130,6 +144,9 @@ class PairOutcome(NamedTuple):
     #: Causally-merged home + guest event stream (same virtual clock,
     #: so ``merge_streams`` yields one deterministic interleaving).
     events: List[Dict]
+    #: Merged home + guest edge-sampled time series (associative
+    #: ``merge_timelines``); ``{}`` when ``FLUX_TIMELINE=0``.
+    timeline: Dict[str, List[List[float]]] = {}
 
 
 def run_pair(home_profile: DeviceProfile, guest_profile: DeviceProfile,
@@ -161,8 +178,10 @@ def run_pair(home_profile: DeviceProfile, guest_profile: DeviceProfile,
     metrics = merge_snapshots([home.metrics.snapshot(),
                                guest.metrics.snapshot()])
     events = merge_streams(home.events.export(), guest.events.export())
+    timeline = merge_timelines(home.timeline.export(),
+                               guest.timeline.export())
     return PairOutcome(reports=reports, refusals=refusals, metrics=metrics,
-                       events=events)
+                       events=events, timeline=timeline)
 
 
 #: Sweep results cached per (apps, pairs, seed, include_failures),
@@ -184,7 +203,7 @@ SWEEP_EXECUTORS = ("serial", "thread", "process")
 #: Env knobs forwarded verbatim into process-pool workers, so a child
 #: simulation sees exactly the parent's telemetry configuration even
 #: under the ``spawn`` start method (fresh interpreter, fresh environ).
-FORWARDED_ENV = (METRICS_ENV, EVENTS_ENV, EVENTS_CAP_ENV,
+FORWARDED_ENV = (METRICS_ENV, EVENTS_ENV, EVENTS_CAP_ENV, TIMELINE_ENV,
                  SWEEP_WORKERS_ENV, SWEEP_EXECUTOR_ENV)
 
 
@@ -297,6 +316,7 @@ def merge_pair_outcomes(
     refusals: Dict[Tuple[str, str], MigrationRefusal] = {}
     pair_metrics: Dict[str, Dict] = {}
     pair_events: Dict[str, List[Dict]] = {}
+    pair_timelines: Dict[str, Dict[str, List[List[float]]]] = {}
     for (home_profile, guest_profile), outcome in zip(pairs, pair_results):
         label = pair_label(home_profile, guest_profile)
         labels.append(label)
@@ -306,11 +326,13 @@ def merge_pair_outcomes(
             refusals[(label, package)] = refusal
         pair_metrics[label] = outcome.metrics
         pair_events[label] = outcome.events
+        pair_timelines[label] = getattr(outcome, "timeline", {})
     return SweepResult(pair_labels=labels,
                        app_titles=[a.title for a in apps],
                        reports=reports, refusals=refusals,
                        pair_metrics=pair_metrics,
-                       pair_events=pair_events)
+                       pair_events=pair_events,
+                       pair_timelines=pair_timelines)
 
 
 def run_sweep(apps: Sequence[AppSpec] = MIGRATABLE_APPS,

@@ -28,6 +28,7 @@ clock; the scheduler adds no charges of its own.
 
 from __future__ import annotations
 
+import os
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -40,10 +41,15 @@ from repro.core.cria.errors import MigrationError, MigrationRefusal
 from repro.core.extensions import FluxExtensions
 from repro.core.migration.migration import MigrationReport
 from repro.sim import SimClock
-from repro.sim.events import merge_streams
+from repro.sim.events import EVENTS_ENV, FlightRecorder, merge_streams
 from repro.sim.metrics import merge_snapshots
 from repro.sim.rng import RngFactory
-from repro.sim.scheduler import Resource, Scheduler
+from repro.sim.scheduler import Resource, Scheduler, Session
+from repro.sim.timeline import (
+    Timeline,
+    chrome_counter_events,
+    timeline_enabled,
+)
 
 
 class ScenarioError(Exception):
@@ -119,10 +125,21 @@ class SessionOutcome:
     submitted: float = 0.0
     started: Optional[float] = None
     finished: Optional[float] = None
+    #: Wall-time decomposition from the scheduler/medium ledgers:
+    #: ``wall_s == admission_queue_s + resource_wait_s + link_dilation_s
+    #: + active_s`` within float tolerance.  Mirrored onto the report.
+    wait_profile: Optional[Dict[str, float]] = None
 
     @property
     def queued_seconds(self) -> float:
-        """Time spent waiting for busy endpoints before starting."""
+        """Time spent waiting for busy endpoints before starting.
+
+        Read from the scheduler's blocked-time ledger when available
+        (the measured enqueue→grant suspension), falling back to the
+        started−submitted interval for outcomes without a profile.
+        """
+        if self.wait_profile is not None:
+            return self.wait_profile["admission_queue_s"]
         if self.started is None:
             return 0.0
         return self.started - self.submitted
@@ -139,6 +156,14 @@ class ScenarioResult:
     #: All devices' events causally merged (one shared clock).
     events: List[Dict]
     per_device_metrics: Dict[str, Dict] = field(default_factory=dict)
+    #: The world's edge-sampled time series (shares, queue depths,
+    #: active flows, sessions in flight), exported.
+    timeline: Dict[str, List[List[float]]] = field(default_factory=dict)
+    #: First submission to last completion across all sessions.
+    makespan: float = 0.0
+    #: device name -> fraction of the makespan it hosted a migration
+    #: (held its admission resource).
+    device_utilization: Dict[str, float] = field(default_factory=dict)
 
     @property
     def reports(self) -> Dict[str, MigrationReport]:
@@ -165,22 +190,46 @@ class ScenarioWorld:
         self.spec = spec
         self.clock = SimClock()
         self.rng_factory = RngFactory(spec.seed)
+        #: One shared time-series plane for the whole world — samples
+        #: from every device, link, resource and the scheduler land on
+        #: one coherent virtual timeline.
+        self.timeline = Timeline(clock=self.clock,
+                                 enabled=timeline_enabled())
+        #: World-level flight recorder for events that belong to no one
+        #: device (admission queueing happens *between* devices).  A
+        #: separate stream keeps per-device event sequences — and their
+        #: byte-identity contracts — untouched.
+        self.events = FlightRecorder(
+            clock=self.clock, device="world",
+            enabled=os.environ.get(EVENTS_ENV, "1") != "0")
         self.devices: "OrderedDict[str, Device]" = OrderedDict(
-            (name, Device(profile, self.clock, self.rng_factory, name=name))
+            (name, Device(profile, self.clock, self.rng_factory, name=name,
+                          timeline=self.timeline))
             for name, profile in spec.devices)
-        self.scheduler = Scheduler(self.clock)
-        self.medium = Medium(self.clock) if spec.shared_medium else None
-        self._resources = {name: Resource(name) for name in self.devices}
+        self.scheduler = Scheduler(self.clock, timeline=self.timeline)
+        self.medium = (Medium(self.clock, timeline=self.timeline)
+                       if spec.shared_medium else None)
+        self._resources = {name: Resource(name, clock=self.clock,
+                                          timeline=self.timeline,
+                                          events=self.events)
+                           for name in self.devices}
 
     def resource(self, device_name: str) -> Resource:
         return self._resources[device_name]
+
+    def device_utilization(self, makespan: float) -> Dict[str, float]:
+        if makespan <= 0:
+            return {name: 0.0 for name in self.devices}
+        return {name: self._resources[name].held_seconds / makespan
+                for name in self.devices}
 
     def link_for(self, home: Device, guest: Device) -> Link:
         """A fresh link per migration, exactly as the service default
         builds one (same RNG stream: streams restart per derivation),
         attached to the world's shared medium."""
         link = link_between(home.profile, guest.profile, home.rng_factory,
-                            metrics=home.metrics, events=home.events)
+                            metrics=home.metrics, events=home.events,
+                            timeline=self.timeline)
         link.medium = self.medium
         return link
 
@@ -211,27 +260,122 @@ def run_scenario(spec: ScenarioSpec) -> ScenarioResult:
     outcomes = [SessionOutcome(spec=session,
                                submitted=base + session.start)
                 for session in ordered]
-    for outcome in outcomes:
-        world.scheduler.spawn(
-            _session(world, outcome),
-            name=f"{outcome.spec.home}->{outcome.spec.guest}:"
-                 f"{outcome.spec.package}",
-            at=outcome.submitted)
+    handles = [world.scheduler.spawn(
+        _session(world, outcome),
+        name=f"{outcome.spec.home}->{outcome.spec.guest}:"
+             f"{outcome.spec.package}",
+        at=outcome.submitted) for outcome in outcomes]
     world.scheduler.run()
 
     for session_handle in world.scheduler.sessions:
         if session_handle.error is not None:
             raise session_handle.error
 
+    for outcome, handle in zip(outcomes, handles):
+        _attribute_wait(world, outcome, handle)
+
     names = list(world.devices)
     per_device = {name: device.metrics.snapshot()
                   for name, device in world.devices.items()}
     metrics = merge_snapshots(per_device[name] for name in names)
     events = merge_streams(*(device.events.export()
-                             for device in world.devices.values()))
+                             for device in world.devices.values()),
+                           world.events.export())
+    finished = [o.finished for o in outcomes if o.finished is not None]
+    makespan = (max(finished) - min(o.submitted for o in outcomes)
+                if finished else 0.0)
     return ScenarioResult(device_names=names, sessions=outcomes,
                           metrics=metrics, events=events,
-                          per_device_metrics=per_device)
+                          per_device_metrics=per_device,
+                          timeline=world.timeline.export(),
+                          makespan=makespan,
+                          device_utilization=world.device_utilization(
+                              makespan))
+
+
+def _attribute_wait(world: ScenarioWorld, outcome: SessionOutcome,
+                    handle: Session) -> None:
+    """Decompose the session's wall time from the measured ledgers.
+
+    Every term is a *measurement*, not a residual: admission queueing is
+    the scheduler's blocked-on-resource time, dilation is the medium's
+    per-session stretch attribution, and active time is the session's
+    runnable time plus the solo (undilated) share of its flow waits —
+    so the four terms sum to the wall interval exactly (modulo float
+    addition order), which the contention experiment asserts.
+    """
+    if outcome.finished is None:
+        return
+    wall = outcome.finished - outcome.submitted
+    admission = handle.blocked.get("resource", 0.0)
+    blocked_flow = handle.blocked.get("flow", 0.0)
+    blocked_other = sum(seconds for kind, seconds in handle.blocked.items()
+                        if kind not in ("resource", "flow"))
+    dilation = (world.medium.dilation_for(outcome.session)
+                if world.medium is not None and outcome.session else 0.0)
+    profile = {
+        "wall_s": wall,
+        "admission_queue_s": admission,
+        # Post-admission resource stalls; sessions today only queue on
+        # device resources before starting, so this is structurally 0.0
+        # (kept as its own term so the decomposition names every state
+        # the ledger distinguishes).
+        "resource_wait_s": 0.0,
+        "link_dilation_s": dilation,
+        "active_s": handle.working_s + (blocked_flow - dilation)
+        + blocked_other,
+    }
+    outcome.wait_profile = profile
+    if outcome.report is not None:
+        outcome.report.wait_profile = dict(profile)
+
+
+def scenario_trace_document(result: ScenarioResult) -> List[Dict]:
+    """Chrome-trace view of a scenario: one track per session, stage
+    spans from the causal event log, admission instants, and a counter
+    track per timeline series (shares, queue depths, active flows).
+
+    Rebuilt entirely from the result's event log and timeline — the
+    same sources ``flux-sim explain`` reads — so the trace and the
+    blame breakdown can never disagree.
+    """
+    doc: List[Dict] = []
+    tids: Dict[str, int] = {}
+    for index, outcome in enumerate(result.sessions, start=1):
+        who = (f"{outcome.spec.home}->{outcome.spec.guest}:"
+               f"{outcome.spec.package}")
+        tids[who] = index
+        if outcome.session:
+            tids[outcome.session] = index
+        doc.append({"name": "thread_name", "ph": "M", "pid": 1,
+                    "tid": index,
+                    "args": {"name": outcome.session or f"({outcome.status}) "
+                             f"{who}"}})
+    open_stages: Dict[Tuple[str, str], float] = {}
+    for event in result.events:
+        attrs = event.get("attrs", {})
+        kind = event["kind"]
+        session = attrs.get("session")
+        if kind == "stage.start" and session in tids:
+            open_stages[(session, attrs.get("stage", "?"))] = event["t"]
+        elif kind == "stage.end" and session in tids:
+            stage = attrs.get("stage", "?")
+            start = open_stages.pop((session, stage), None)
+            if start is not None:
+                doc.append({"name": stage, "cat": "stage", "ph": "X",
+                            "pid": 1, "tid": tids[session],
+                            "ts": round(start * 1e6, 3),
+                            "dur": round((event["t"] - start) * 1e6, 3),
+                            "args": {"session": session}})
+        elif kind in ("resource.enqueue", "resource.grant"):
+            who = attrs.get("who")
+            if who in tids:
+                doc.append({"name": kind, "cat": "admission", "ph": "i",
+                            "pid": 1, "tid": tids[who], "s": "t",
+                            "ts": round(event["t"] * 1e6, 3),
+                            "args": dict(attrs)})
+    doc.extend(chrome_counter_events(result.timeline))
+    return doc
 
 
 def _session(world: ScenarioWorld, outcome: SessionOutcome):

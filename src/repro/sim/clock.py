@@ -68,11 +68,26 @@ class SimClock:
         self._timers: List[_Timer] = []
         self._seq = itertools.count()
         self._cancelled = 0
+        self._dispatch_seq = 0
+        self._dispatch = 0
 
     @property
     def now(self) -> float:
         """Current virtual time in seconds."""
         return self._now
+
+    @property
+    def dispatch_token(self) -> int:
+        """Identity of the innermost timer callback currently running.
+
+        0 outside any dispatch.  Each fired timer gets a fresh token for
+        the duration of its callback; nested advances push new tokens
+        and restore the old one when they return.  Observers (the
+        scheduler's time ledger) use this to tell whether a piece of
+        code was reached synchronously from a given frame — same token
+        — or through a timer callback that fired in between.
+        """
+        return self._dispatch
 
     def advance(self, seconds: float) -> None:
         """Move time forward by ``seconds``, firing due timers in order."""
@@ -101,7 +116,13 @@ class SimClock:
                 self._cancelled -= 1
                 continue
             self._now = max(self._now, timer.deadline)
-            timer.callback()
+            outer = self._dispatch
+            self._dispatch_seq += 1
+            self._dispatch = self._dispatch_seq
+            try:
+                timer.callback()
+            finally:
+                self._dispatch = outer
         self._now = max(self._now, deadline)
         self._compact()
 

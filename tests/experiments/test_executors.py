@@ -41,6 +41,7 @@ def _fingerprint(sweep: SweepResult) -> bytes:
                      in sorted(sweep.refusals.items())},
         "metrics": sweep.merged_metrics(),
         "events": sweep.merged_events(),
+        "timelines": sweep.merged_timelines(),
     }
     return json.dumps(doc, sort_keys=True, default=str).encode()
 
@@ -106,6 +107,7 @@ class TestEnvForwarding:
         assert "FLUX_METRICS" in harness.FORWARDED_ENV
         assert "FLUX_EVENTS" in harness.FORWARDED_ENV
         assert "FLUX_EVENTS_CAP" in harness.FORWARDED_ENV
+        assert "FLUX_TIMELINE" in harness.FORWARDED_ENV
 
     def test_pair_worker_applies_env(self, monkeypatch):
         monkeypatch.setenv("FLUX_EVENTS", "stale")

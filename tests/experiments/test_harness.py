@@ -15,8 +15,8 @@ from repro.experiments.harness import (
 class TestRunPair:
     def test_deterministic_across_runs(self):
         apps = [app_by_title("ZEDGE"), app_by_title("eBay")]
-        first, _, _, _ = run_pair(NEXUS_4, NEXUS_7_2013, apps, seed=5)
-        second, _, _, _ = run_pair(NEXUS_4, NEXUS_7_2013, apps, seed=5)
+        first = run_pair(NEXUS_4, NEXUS_7_2013, apps, seed=5).reports
+        second = run_pair(NEXUS_4, NEXUS_7_2013, apps, seed=5).reports
         for package in first:
             assert first[package].total_seconds == \
                 second[package].total_seconds
@@ -25,10 +25,10 @@ class TestRunPair:
 
     def test_seed_changes_timings(self):
         apps = [app_by_title("ZEDGE")]
-        a, _, _, _ = run_pair(NEXUS_4, NEXUS_7_2013, apps, seed=1)
-        b, _, _, _ = run_pair(NEXUS_4, NEXUS_7_2013, apps, seed=2)
-        (ra,) = a.values()
-        (rb,) = b.values()
+        a = run_pair(NEXUS_4, NEXUS_7_2013, apps, seed=1)
+        b = run_pair(NEXUS_4, NEXUS_7_2013, apps, seed=2)
+        (ra,) = a.reports.values()
+        (rb,) = b.reports.values()
         # Link jitter differs, non-transfer stages are identical.
         assert ra.stages["transfer"] != rb.stages["transfer"]
         assert ra.stages["checkpoint"] == rb.stages["checkpoint"]
@@ -38,10 +38,10 @@ class TestRunPair:
         apps = [app_by_title("Facebook")]
         with pytest.raises(MigrationError):
             run_pair(NEXUS_4, NEXUS_7_2013, apps, seed=1)
-        reports, refusals, _, _ = run_pair(NEXUS_4, NEXUS_7_2013, apps, seed=1,
-                                        include_failures=True)
-        assert reports == {}
-        assert len(refusals) == 1
+        outcome = run_pair(NEXUS_4, NEXUS_7_2013, apps, seed=1,
+                           include_failures=True)
+        assert outcome.reports == {}
+        assert len(outcome.refusals) == 1
 
 
 class TestSweepCache:

@@ -22,9 +22,12 @@ HOME_P, GUEST_P = PAPER_DEVICE_PAIRS[0]
 APPS = MIGRATABLE_APPS[:3]
 
 
-def _reports_json(reports):
-    return json.dumps({k: dataclasses.asdict(v) for k, v in reports.items()},
-                      sort_keys=True, default=str)
+def _reports_json(reports, strip=()):
+    as_dicts = {k: dataclasses.asdict(v) for k, v in reports.items()}
+    for report in as_dicts.values():
+        for key in strip:
+            report.pop(key, None)
+    return json.dumps(as_dicts, sort_keys=True, default=str)
 
 
 def _pair_world(sessions, **kwargs):
@@ -51,10 +54,17 @@ class TestByteIdentity:
         scenario = run_scenario(_pair_world(
             SessionSpec("home", "guest", app.package, start=i * 1e-6)
             for i, app in enumerate(APPS)))
-        assert _reports_json(scenario.reports) == _reports_json(pair.reports)
+        # wait_profile is scenario-layer enrichment (run_pair has no
+        # admission queue to decompose); everything else is bit-equal.
+        assert _reports_json(scenario.reports, strip=("wait_profile",)) \
+            == _reports_json(pair.reports, strip=("wait_profile",))
         assert json.dumps(scenario.metrics, sort_keys=True) == \
             json.dumps(pair.metrics, sort_keys=True)
-        assert json.dumps(scenario.events, sort_keys=True) == \
+        # Admission events live on the world-level recorder, leaving the
+        # per-device streams byte-identical to the synchronous pair run.
+        device_events = [e for e in scenario.events
+                         if e["device"] != "world"]
+        assert json.dumps(device_events, sort_keys=True) == \
             json.dumps(pair.events, sort_keys=True)
 
     def test_single_session_outcome_shape(self):

@@ -276,3 +276,90 @@ class TestScheduler:
         scheduler.run()
         assert handle.result == sync_result == 3.0
         assert sync_clock.now == sched_clock.now
+
+
+class TestTimeLedger:
+    def test_charges_land_in_working_seconds(self):
+        clock = SimClock()
+        scheduler = Scheduler(clock)
+
+        def session():
+            yield Charge(1.5)
+            yield 0.5
+
+        handle = scheduler.spawn(session())
+        scheduler.run()
+        assert handle.working_s == pytest.approx(2.0)
+        assert handle.blocked == {}
+        assert handle.finished_at - handle.started_at == pytest.approx(2.0)
+
+    def test_resource_wait_lands_under_the_resource_kind(self):
+        clock = SimClock()
+        scheduler = Scheduler(clock)
+        resource = Resource("dev", clock=clock)
+
+        def holder():
+            yield resource.acquire("holder")
+            yield Charge(3.0)
+            resource.release()
+
+        def waiter_session():
+            yield resource.acquire("waiter")
+            resource.release()
+
+        scheduler.spawn(holder())
+        handle = scheduler.spawn(waiter_session())
+        scheduler.run()
+        assert handle.blocked["resource"] == pytest.approx(3.0)
+        assert handle.working_s == pytest.approx(0.0)
+
+    def test_inline_handoff_time_stays_off_the_releasers_ledger(self):
+        """A release resumes its next waiter synchronously; the resumed
+        session's inline work must not inflate the releaser's ledger."""
+        clock = SimClock()
+        scheduler = Scheduler(clock)
+        resource = Resource("dev", clock=clock)
+
+        def first():
+            yield resource.acquire("first")
+            yield Charge(1.0)
+            resource.release()  # second runs 2.0s inline, right here
+
+        def second():
+            yield resource.acquire("second")
+            clock.advance(2.0)
+            resource.release()
+
+        first_handle = scheduler.spawn(first())
+        second_handle = scheduler.spawn(second())
+        scheduler.run()
+        assert first_handle.working_s == pytest.approx(1.0)
+        assert second_handle.working_s == pytest.approx(2.0)
+        assert second_handle.blocked["resource"] == pytest.approx(1.0)
+
+    def test_reentrant_advance_time_is_kept_by_both_sessions(self):
+        """Two sessions advancing the clock inline at the same instant
+        overlap in virtual time: each keeps its own elapsed interval."""
+        clock = SimClock()
+        scheduler = Scheduler(clock)
+
+        def session():
+            yield Charge(0.0)
+            clock.advance(2.0)
+
+        a = scheduler.spawn(session())
+        b = scheduler.spawn(session())
+        scheduler.run()
+        # b's advance runs nested inside a's (re-entrant timers) and
+        # moves time for both; each session still claims its elapsed.
+        assert a.working_s + b.working_s >= 2.0
+        for handle in (a, b):
+            assert handle.working_s == pytest.approx(
+                handle.finished_at - handle.started_at)
+
+    def test_waiter_kind_defaults_and_resource_kind(self):
+        assert Waiter("w").kind == "wait"
+        clock = SimClock()
+        resource = Resource("dev", clock=clock)
+        resource.try_acquire("x")
+        assert resource.acquire("y").kind == "resource"

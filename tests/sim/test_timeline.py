@@ -1,0 +1,126 @@
+"""The edge-sampled time-series plane: deterministic, associative,
+killable (``FLUX_TIMELINE=0``), and exportable as Chrome counters."""
+
+import json
+
+import pytest
+
+from repro.sim import SimClock
+from repro.sim.timeline import (
+    TIMELINE_ENV,
+    Timeline,
+    chrome_counter_events,
+    merge_timelines,
+    read_timeline,
+    series_key,
+    split_series_key,
+    timeline_enabled,
+    write_timeline,
+)
+
+
+class TestSampling:
+    def test_samples_land_on_the_virtual_clock_edge(self):
+        clock = SimClock()
+        timeline = Timeline(clock=clock)
+        timeline.sample("q/depth", 1, resource="guest")
+        clock.advance(2.5)
+        timeline.sample("q/depth", 0, resource="guest")
+        export = timeline.export()
+        assert export == {"q/depth{resource=guest}": [[0.0, 1.0], [2.5, 0.0]]}
+
+    def test_same_timestamp_coalesces_last_wins(self):
+        timeline = Timeline(clock=SimClock())
+        timeline.sample("n", 1)
+        timeline.sample("n", 2)
+        timeline.sample("n", 3)
+        assert timeline.export() == {"n": [[0.0, 3.0]]}
+
+    def test_sampling_never_advances_the_clock(self):
+        clock = SimClock()
+        fired = []
+        clock.call_after(0.0, lambda: fired.append(True))
+        Timeline(clock=clock).sample("n", 1)
+        assert clock.now == 0.0
+        assert not fired
+
+    def test_labels_sort_into_a_stable_key(self):
+        timeline = Timeline(clock=SimClock())
+        timeline.sample("s", 1, b="2", a="1")
+        assert list(timeline.export()) == ["s{a=1,b=2}"]
+
+    def test_disabled_timeline_collects_nothing(self):
+        timeline = Timeline(clock=SimClock(), enabled=False)
+        timeline.sample("n", 1)
+        assert len(timeline) == 0
+        assert timeline.export() == {}
+
+
+class TestSeriesKey:
+    def test_roundtrip(self):
+        key = series_key("link/share", {"medium": "m", "session": "s@0"})
+        assert split_series_key(key) == (
+            "link/share", {"medium": "m", "session": "s@0"})
+
+    def test_bare_name_roundtrip(self):
+        assert split_series_key(series_key("n", {})) == ("n", {})
+
+
+class TestKillSwitch:
+    def test_env_zero_disables(self, monkeypatch):
+        monkeypatch.setenv(TIMELINE_ENV, "0")
+        assert not timeline_enabled()
+
+    def test_default_is_enabled(self, monkeypatch):
+        monkeypatch.delenv(TIMELINE_ENV, raising=False)
+        assert timeline_enabled()
+
+
+class TestMerge:
+    def _tl(self, offset):
+        clock = SimClock(start=offset)
+        timeline = Timeline(clock=clock)
+        timeline.sample("n", offset)
+        return timeline.export()
+
+    def test_merge_is_associative(self):
+        a, b, c = self._tl(1.0), self._tl(2.0), self._tl(3.0)
+        left = merge_timelines(merge_timelines(a, b), c)
+        right = merge_timelines(a, merge_timelines(b, c))
+        assert left == right == merge_timelines(a, b, c)
+
+    def test_merge_sorts_by_time_stably(self):
+        early, late = self._tl(1.0), self._tl(5.0)
+        merged = merge_timelines(late, early)
+        assert merged["n"] == [[1.0, 1.0], [5.0, 5.0]]
+
+    def test_merge_of_nothing_is_empty(self):
+        assert merge_timelines() == {}
+
+
+class TestExports:
+    def test_chrome_counter_events_shape(self):
+        timeline = Timeline(clock=SimClock())
+        timeline.sample("medium/active_flows", 2, medium="m")
+        (event,) = chrome_counter_events(timeline.export())
+        assert event["ph"] == "C"
+        assert event["name"] == "medium/active_flows{medium=m}"
+        assert event["ts"] == 0.0
+        assert event["args"] == {"value": 2.0}
+
+    def test_write_read_roundtrip(self, tmp_path):
+        timeline = Timeline(clock=SimClock())
+        timeline.sample("a", 1)
+        timeline.sample("b", 2, k="v")
+        path = tmp_path / "tl.json"
+        count = write_timeline(path, timeline.export(), meta={"seed": 0})
+        assert count == 2
+        document = json.loads(path.read_text())
+        assert document["schema"] == 1
+        assert read_timeline(path) == timeline.export()
+
+    def test_export_keys_are_sorted(self):
+        timeline = Timeline(clock=SimClock())
+        for name in ("z", "a", "m"):
+            timeline.sample(name, 1)
+        assert list(timeline.export()) == ["a", "m", "z"]
