@@ -9,8 +9,9 @@ Subcommands::
     flux-sim sweep                         the paper's 4-pair x 16-app sweep
     flux-sim experiments [NAME ...]        regenerate tables/figures
     flux-sim bench-check [--update]        gate sweep metrics vs BENCH_sweep.json
-    flux-sim explain EVENTS_JSONL          post-mortem a migration's event log
+    flux-sim explain EVENTS_JSONL|BUNDLE   post-mortem a migration's event log
     flux-sim scenario                      concurrent migrations on one clock
+    flux-sim diff A B                      compare two run bundles
 
 ``migrate`` and ``sweep`` take ``--metrics-out PATH`` to dump the
 per-subsystem metrics registry as JSON and ``--events-out PATH`` to dump
@@ -20,6 +21,15 @@ instants in the Chrome trace.  ``scenario`` adds ``--timeline-out``
 (the edge-sampled time-series plane) and ``--trace-out`` (one track per
 session plus counter tracks); ``explain --why LABEL`` ranks where a
 session's wall time went, from the event log alone.
+
+``migrate``, ``sweep`` and ``scenario`` all take ``--bundle-out PATH``
+to capture *every* plane the run produced — plus a config/env
+fingerprint and a digest manifest — as one self-describing run bundle
+(a directory, or ``.tar.gz``).  ``flux-sim explain BUNDLE`` post-mortems
+straight from a bundle, ``flux-sim bench-check --bundle PATH`` gates
+one without re-running the sweep, and ``flux-sim diff A B`` compares
+two bundles plane by plane, ranking regression suspects (exit 0
+identical, 1 within tolerance, 2 regressed).
 
 Installed as a console script (``pip install -e .``), or run with
 ``python -m repro.cli``.
@@ -117,6 +127,51 @@ def _write_events(path: str, home, guest) -> None:
     print(f"wrote {count} events to {path} (flux-sim explain {path})")
 
 
+def _migrate_fingerprint(args, package: str):
+    from repro.sim.bundle import collect_fingerprint
+    return collect_fingerprint(
+        "migrate",
+        workload=[package],
+        pairs=[f"{args.home}->{args.guest}"],
+        seed=args.seed,
+        extra={
+            "extensions": args.extensions or "",
+            "drop_link_after_bytes": args.drop_link_after_bytes,
+            "fail_restore_after": args.fail_restore_after,
+        })
+
+
+def _write_migrate_outputs(args, home, guest, report) -> None:
+    """The migrate artifacts (--trace/metrics/events/bundle-out), shared
+    by the success and the fault/refusal exits — a failed run's bundle
+    is the one a post-mortem needs most."""
+    merged_events = _merged_events(home, guest)
+    if args.trace_out:
+        home.tracer.write_chrome_trace(args.trace_out, metrics=home.metrics,
+                                       events=merged_events)
+        print(f"wrote Chrome trace to {args.trace_out}")
+    if args.metrics_out:
+        _write_migrate_metrics(args.metrics_out, home, guest, report)
+        print(f"wrote metrics to {args.metrics_out}")
+    if args.events_out:
+        _write_events(args.events_out, home, guest)
+    if args.bundle_out:
+        from repro.sim.bundle import write_bundle
+        from repro.sim.timeline import merge_timelines
+        write_bundle(
+            args.bundle_out,
+            kind="migrate",
+            fingerprint=_migrate_fingerprint(args, report.package),
+            metrics=_migrate_metrics_document(home, guest, report),
+            events=merged_events,
+            timeline=merge_timelines(home.timeline.export(),
+                                     guest.timeline.export()),
+            trace=home.tracer.chrome_trace(metrics=home.metrics,
+                                           events=merged_events))
+        print(f"wrote run bundle to {args.bundle_out} "
+              f"(flux-sim diff {args.bundle_out} OTHER)")
+
+
 def cmd_migrate(args) -> int:
     try:
         spec = app_by_title(args.app)
@@ -163,16 +218,7 @@ def cmd_migrate(args) -> int:
             print(f"REFUSED: {error}")
         if error.reason.value in ("multi-process", "preserved-egl-context"):
             print("hint: retry with --extensions all")
-        if args.trace_out:
-            home.tracer.write_chrome_trace(args.trace_out,
-                                           metrics=home.metrics,
-                                           events=_merged_events(home, guest))
-            print(f"wrote Chrome trace to {args.trace_out}")
-        if args.metrics_out:
-            _write_migrate_metrics(args.metrics_out, home, guest, failed)
-            print(f"wrote metrics to {args.metrics_out}")
-        if args.events_out:
-            _write_events(args.events_out, home, guest)
+        _write_migrate_outputs(args, home, guest, failed)
         return 1
     print(f"migrated {spec.title}: {home.profile.model} -> "
           f"{guest.profile.model}")
@@ -202,26 +248,16 @@ def cmd_migrate(args) -> int:
         from repro.core.migration.timeline import render_timeline
         print()
         print(render_timeline(report))
-    if args.trace_out:
-        home.tracer.write_chrome_trace(args.trace_out, metrics=home.metrics,
-                                       events=_merged_events(home, guest))
-        print(f"wrote Chrome trace to {args.trace_out}")
-    if args.metrics_out:
-        _write_migrate_metrics(args.metrics_out, home, guest, report)
-        print(f"wrote metrics to {args.metrics_out}")
-    if args.events_out:
-        _write_events(args.events_out, home, guest)
+    _write_migrate_outputs(args, home, guest, report)
     return 0
 
 
-def _write_migrate_metrics(path: str, home, guest, report) -> None:
-    """One migration's merged metrics + critical path, as JSON."""
-    import json
-
+def _migrate_metrics_document(home, guest, report) -> dict:
+    """One migration's merged metrics + critical path, JSON-ready."""
     from repro.sim.metrics import merge_snapshots, rollup_counters
     merged = merge_snapshots([home.metrics.snapshot(),
                               guest.metrics.snapshot()])
-    document = {
+    return {
         "schema": 1,
         "migration": {
             "package": report.package,
@@ -233,12 +269,20 @@ def _write_migrate_metrics(path: str, home, guest, report) -> None:
             "critical_path": report.critical_path,
             "transferred_bytes": report.transferred_bytes,
             "chunk_hit_rate": round(report.chunk_hit_rate, 4),
+            "wait_profile": ({k: round(v, 6) for k, v in
+                              sorted(report.wait_profile.items())}
+                             if report.wait_profile else None),
         },
         "metrics": merged,
         "rollup": rollup_counters(merged),
     }
+
+
+def _write_migrate_metrics(path: str, home, guest, report) -> None:
+    import json
     with open(path, "w", encoding="utf-8") as handle:
-        json.dump(document, handle, indent=1)
+        json.dump(_migrate_metrics_document(home, guest, report), handle,
+                  indent=1)
 
 
 def cmd_interface(args) -> int:
@@ -298,13 +342,44 @@ def cmd_sweep(args) -> int:
         count = write_jsonl(args.events_out, run_sweep().merged_events())
         print(f"wrote {count} events to {args.events_out} "
               f"(flux-sim explain {args.events_out})")
+    profile_report = None
     if args.profile_out:
         from repro.experiments.profiling import top_offenders, write_profile
-        report = write_profile(args.profile_out)
-        offenders = top_offenders(report)
+        profile_report = write_profile(args.profile_out)
+        offenders = top_offenders(profile_report)
         print(f"\nwrote per-pair cProfile report to {args.profile_out}")
         if offenders:
             print("top offenders: " + ", ".join(offenders))
+    if args.bundle_out:
+        from repro.android.hardware.profiles import PAPER_DEVICE_PAIRS
+        from repro.apps.catalog import MIGRATABLE_APPS
+        from repro.experiments.harness import (
+            _resolve_executor,
+            _resolve_workers,
+            pair_label,
+            run_sweep,
+            sweep_metrics_document,
+            sweep_timeline_series,
+        )
+        from repro.sim.bundle import collect_fingerprint, write_bundle
+        sweep = run_sweep()
+        workers = _resolve_workers(args.workers, len(PAPER_DEVICE_PAIRS))
+        fingerprint = collect_fingerprint(
+            "sweep",
+            workload=[a.package for a in MIGRATABLE_APPS],
+            pairs=[pair_label(h, g) for h, g in PAPER_DEVICE_PAIRS],
+            seed=0,
+            executor=_resolve_executor(args.executor, workers),
+            workers=workers)
+        write_bundle(args.bundle_out,
+                     kind="sweep",
+                     fingerprint=fingerprint,
+                     metrics=sweep_metrics_document(sweep),
+                     events=sweep.merged_events(),
+                     timeline=sweep_timeline_series(sweep),
+                     profile=profile_report)
+        print(f"\nwrote run bundle to {args.bundle_out} "
+              f"(flux-sim diff {args.bundle_out} OTHER)")
     return 0
 
 
@@ -314,7 +389,8 @@ def cmd_bench_check(args) -> int:
                  else args.tolerance)
     code, text = bench.run_check(baseline_path=args.baseline,
                                  update=args.update,
-                                 tolerance=tolerance)
+                                 tolerance=tolerance,
+                                 bundle=args.bundle)
     print(text)
     return code
 
@@ -327,14 +403,28 @@ def cmd_explain(args) -> int:
         build_blame,
         build_postmortem,
         critical_path_from_metrics,
+        postmortem_from_bundle,
         render_blame,
         render_postmortem,
     )
-    from repro.sim.events import read_jsonl
-    try:
-        events = read_jsonl(args.events)
-    except OSError as error:
-        raise SystemExit(f"cannot read {args.events!r}: {error}")
+    from repro.sim.bundle import BundleError, RunBundle, is_bundle_path
+    from repro.sim.events import EventsError, read_jsonl
+    bundle = None
+    if is_bundle_path(args.events):
+        # A run bundle: the events (and, unless --metrics overrides,
+        # the critical path) come from the bundle alone.
+        try:
+            bundle = RunBundle.load(args.events)
+            events = bundle.events()
+        except (BundleError, EventsError) as error:
+            raise SystemExit(str(error))
+    else:
+        try:
+            events = read_jsonl(args.events)
+        except OSError as error:
+            raise SystemExit(f"cannot read {args.events!r}: {error}")
+        except EventsError as error:
+            raise SystemExit(str(error))
     if args.why:
         # Blame mode: rank where the session's wall time went, resolved
         # from the event log alone (no live scheduler state needed).
@@ -353,14 +443,51 @@ def cmd_explain(args) -> int:
             raise SystemExit(f"cannot read {args.metrics!r}: {error}")
         critical_path = critical_path_from_metrics(document, args.package)
     try:
-        postmortem = build_postmortem(events, package=args.package,
-                                      last=args.last,
-                                      critical_path=critical_path,
-                                      session=args.session)
+        if bundle is not None and critical_path is None:
+            postmortem = postmortem_from_bundle(bundle,
+                                                package=args.package,
+                                                last=args.last,
+                                                session=args.session)
+        else:
+            postmortem = build_postmortem(events, package=args.package,
+                                          last=args.last,
+                                          critical_path=critical_path,
+                                          session=args.session)
     except PostmortemError as error:
         raise SystemExit(f"{args.events}: {error}")
     print(render_postmortem(postmortem))
     return 0
+
+
+def cmd_diff(args) -> int:
+    import json
+
+    from repro.sim.bundle import BundleError, RunBundle
+    from repro.sim.diffing import (
+        DEFAULT_CONTEXT,
+        DEFAULT_TOLERANCE,
+        DiffError,
+        diff_bundles,
+        exit_code,
+        render_diff,
+    )
+    tolerance = (DEFAULT_TOLERANCE if args.tolerance is None
+                 else args.tolerance)
+    context = DEFAULT_CONTEXT if args.context is None else args.context
+    try:
+        bundle_a = RunBundle.load(args.a)
+        bundle_b = RunBundle.load(args.b)
+        document = diff_bundles(bundle_a, bundle_b,
+                                tolerance=tolerance,
+                                context=context)
+    except (BundleError, DiffError) as error:
+        raise SystemExit(str(error))
+    print(render_diff(document, limit=args.limit))
+    if args.json_out:
+        with open(args.json_out, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, indent=1, sort_keys=True)
+        print(f"wrote diff document to {args.json_out}")
+    return exit_code(document)
 
 
 def _resolve_package(name: str) -> str:
@@ -458,7 +585,12 @@ def cmd_scenario(args) -> int:
             outcome.refusal.value if outcome.refusal else "")
         print(f"  {outcome.spec.package}: {outcome.status} ({detail})")
     if args.metrics_out:
-        _write_scenario_metrics(args.metrics_out, spec, result)
+        import json
+
+        from repro.experiments.scenario import scenario_metrics_document
+        with open(args.metrics_out, "w", encoding="utf-8") as handle:
+            json.dump(scenario_metrics_document(spec, result), handle,
+                      indent=1)
         print(f"wrote metrics to {args.metrics_out}")
     if args.events_out:
         from repro.sim.events import write_jsonl
@@ -480,52 +612,36 @@ def cmd_scenario(args) -> int:
             json.dump(document, handle, indent=1)
         print(f"wrote Chrome trace to {args.trace_out} "
               f"(chrome://tracing / Perfetto)")
+    if args.bundle_out:
+        from repro.experiments.scenario import (
+            scenario_metrics_document,
+            scenario_trace_document,
+        )
+        from repro.sim.bundle import collect_fingerprint, write_bundle
+        fingerprint = collect_fingerprint(
+            "scenario",
+            workload=[s.package for s in sessions],
+            pairs=[f"{s.home}->{s.guest}" for s in
+                   sorted(sessions, key=lambda s: s.canonical_key)],
+            seed=args.seed,
+            extra={
+                "admission": args.admission,
+                "devices": [f"{name}={profile.name}"
+                            for name, profile in devices],
+                "sessions": sorted(
+                    f"{s.home}:{s.guest}:{s.package}@{s.start:g}"
+                    for s in sessions),
+            })
+        write_bundle(args.bundle_out,
+                     kind="scenario",
+                     fingerprint=fingerprint,
+                     metrics=scenario_metrics_document(spec, result),
+                     events=result.events,
+                     timeline=result.timeline,
+                     trace=scenario_trace_document(result))
+        print(f"wrote run bundle to {args.bundle_out} "
+              f"(flux-sim diff {args.bundle_out} OTHER)")
     return 0 if not failures else 1
-
-
-def _write_scenario_metrics(path: str, spec, result) -> None:
-    """The scenario's merged metrics + per-session outcomes, as JSON."""
-    import json
-
-    from repro.sim.metrics import rollup_counters
-    sessions = []
-    for outcome in result.sessions:
-        report = outcome.report
-        sessions.append({
-            "home": outcome.spec.home,
-            "guest": outcome.spec.guest,
-            "package": outcome.spec.package,
-            "status": outcome.status,
-            "session": outcome.session or None,
-            "refusal": outcome.refusal.value if outcome.refusal else None,
-            "submitted": round(outcome.submitted, 6),
-            "queued_seconds": round(outcome.queued_seconds, 6),
-            "wait_profile": ({k: round(v, 6) for k, v
-                              in sorted(outcome.wait_profile.items())}
-                             if outcome.wait_profile else None),
-            "stages": ({s: round(v, 6) for s, v in report.stages.items()}
-                       if report is not None else {}),
-            "total_seconds": (round(report.total_seconds, 6)
-                              if report is not None else None),
-            "transferred_bytes": (report.transferred_bytes
-                                  if report is not None else 0),
-        })
-    document = {
-        "schema": 1,
-        "scenario": {
-            "devices": [name for name, _ in spec.devices],
-            "admission": spec.admission,
-            "seed": spec.seed,
-            "makespan": round(result.makespan, 6),
-            "device_utilization": {d: round(u, 6) for d, u in
-                                   sorted(result.device_utilization.items())},
-            "sessions": sessions,
-        },
-        "metrics": result.metrics,
-        "rollup": rollup_counters(result.metrics),
-    }
-    with open(path, "w", encoding="utf-8") as handle:
-        json.dump(document, handle, indent=1)
 
 
 def cmd_experiments(args) -> int:
@@ -581,6 +697,11 @@ def build_parser() -> argparse.ArgumentParser:
     migrate.add_argument("--events-out", metavar="PATH", default=None,
                          help="write the merged home+guest causal event "
                               "log as JSONL (input to flux-sim explain)")
+    migrate.add_argument("--bundle-out", metavar="PATH", default=None,
+                         help="write a self-describing run bundle (all "
+                              "telemetry planes + config fingerprint) as "
+                              "a directory, or .tar.gz if PATH ends in "
+                              ".tar.gz/.tgz (input to flux-sim diff)")
     migrate.set_defaults(func=cmd_migrate)
 
     interface = sub.add_parser(
@@ -610,6 +731,11 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--events-out", metavar="PATH", default=None,
                        help="write every pair's causal event stream, "
                             "pair-labeled, as JSONL")
+    sweep.add_argument("--bundle-out", metavar="PATH", default=None,
+                       help="write a self-describing run bundle (all "
+                            "telemetry planes + config fingerprint) as a "
+                            "directory, or .tar.gz if PATH ends in "
+                            ".tar.gz/.tgz (input to flux-sim diff)")
     sweep.set_defaults(func=cmd_sweep)
 
     bench_check = sub.add_parser(
@@ -625,6 +751,10 @@ def build_parser() -> argparse.ArgumentParser:
     bench_check.add_argument("--tolerance", type=float, default=None,
                              help="relative drift band for simulated "
                                   "quantities (default 0.02)")
+    bench_check.add_argument("--bundle", metavar="PATH", default=None,
+                             help="gate a previously captured sweep "
+                                  "bundle (from sweep --bundle-out) "
+                                  "instead of regenerating the sweep")
     bench_check.set_defaults(func=cmd_bench_check)
 
     explain = sub.add_parser(
@@ -691,7 +821,37 @@ def build_parser() -> argparse.ArgumentParser:
     scenario.add_argument("--trace-out", metavar="PATH", default=None,
                           help="write a Chrome trace with one track per "
                                "session plus timeline counter tracks")
+    scenario.add_argument("--bundle-out", metavar="PATH", default=None,
+                          help="write a self-describing run bundle (all "
+                               "telemetry planes + config fingerprint) "
+                               "as a directory, or .tar.gz if PATH ends "
+                               "in .tar.gz/.tgz (input to flux-sim diff)")
     scenario.set_defaults(func=cmd_scenario)
+
+    diff = sub.add_parser(
+        "diff",
+        help="compare two run bundles: per-counter/histogram deltas with "
+             "tolerance bands, per-migration critical-path diffs, wait "
+             "profile deltas, first event divergence, ranked suspects")
+    diff.add_argument("a", metavar="BUNDLE_A",
+                      help="baseline bundle (directory or .tar.gz from "
+                           "--bundle-out)")
+    diff.add_argument("b", metavar="BUNDLE_B",
+                      help="candidate bundle to compare against the "
+                           "baseline")
+    diff.add_argument("--tolerance", type=float, default=None,
+                      help="relative drift band before a delta counts "
+                           "as a regression (default 0.02)")
+    diff.add_argument("--context", type=int, default=None, metavar="N",
+                      help="events of flight-recorder context around "
+                           "the first divergence (default 5)")
+    diff.add_argument("--limit", type=int, default=10, metavar="N",
+                      help="suspects shown in the ranked table "
+                           "(default 10)")
+    diff.add_argument("--json-out", metavar="PATH", default=None,
+                      help="also write the full machine-readable diff "
+                           "document as JSON")
+    diff.set_defaults(func=cmd_diff)
 
     experiments = sub.add_parser("experiments",
                                  help="regenerate tables/figures")

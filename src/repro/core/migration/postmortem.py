@@ -316,24 +316,61 @@ def build_blame(events: List[Dict[str, Any]], session: str
 
 
 def critical_path_from_metrics(document: Dict[str, Any],
-                               package: Optional[str] = None
+                               package: Optional[str] = None,
+                               session: Optional[str] = None
                                ) -> Optional[List[Dict[str, Any]]]:
     """Pull a critical path out of a ``--metrics-out`` document.
 
-    Understands both shapes: a single migration's document
-    (``{"migration": {...}}``, from ``flux-sim migrate``) and a sweep
-    document (``{"migrations": [...]}``); for the latter, ``package``
-    selects the row (else the first row wins).
+    Understands all three shapes: a single migration's document
+    (``{"migration": {...}}``, from ``flux-sim migrate``), a sweep
+    document (``{"migrations": [...]}``), and a scenario document
+    (``{"scenario": {"sessions": [...]}}``).  For the multi-row shapes,
+    ``session`` (exact label) or ``package`` selects the row; else the
+    first row wins.
     """
     migration = document.get("migration")
     if isinstance(migration, dict):
         return migration.get("critical_path") or None
-    rows = document.get("migrations")
-    if isinstance(rows, list):
+
+    def _pick(rows: List[Dict[str, Any]]) -> Optional[List[Dict[str, Any]]]:
         for row in rows:
+            if session is not None:
+                if row.get("session") == session:
+                    return row.get("critical_path") or None
+                continue
             if package is None or row.get("package") == package:
                 return row.get("critical_path") or None
+        return None
+
+    rows = document.get("migrations")
+    if isinstance(rows, list):
+        return _pick(rows)
+    scenario = document.get("scenario")
+    if isinstance(scenario, dict):
+        return _pick(scenario.get("sessions") or [])
     return None
+
+
+def postmortem_from_bundle(bundle, package: Optional[str] = None,
+                           last: int = 10,
+                           session: Optional[str] = None
+                           ) -> Dict[str, Any]:
+    """Post-mortem straight from a run bundle — no side files needed.
+
+    The bundle carries both planes the post-mortem wants: the causal
+    event log and (via the metrics document) the critical path.  The
+    path is looked up for the migration the post-mortem actually
+    selected — not for the caller's (possibly absent) filter — so the
+    annotation always belongs to the explained attempt.  ``bundle`` is
+    any object with ``events()`` and ``metrics_document()`` (duck-typed
+    so this core module never imports the sim layer).
+    """
+    pm = build_postmortem(bundle.events(), package=package, last=last,
+                          session=session)
+    pm["critical_path"] = critical_path_from_metrics(
+        bundle.metrics_document(), package=pm.get("package"),
+        session=pm.get("session")) or []
+    return pm
 
 
 # -- rendering ---------------------------------------------------------------

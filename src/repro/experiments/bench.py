@@ -183,13 +183,16 @@ def check(current: Dict, baseline: Dict,
         problems.append(f"sweep cells changed: {baseline.get('cells')} "
                         f"-> {current.get('cells')}")
 
+    # One formatter for every drift message, shared with flux-sim diff:
+    # the gate and the diff engine describe the same delta in the same
+    # words, band edges included.
+    from repro.sim.diffing import format_delta
     for field in ("avg_total_seconds", "avg_perceived_seconds",
                   "avg_non_transfer_seconds"):
         drift = _relative_drift(sim[field], base_sim.get(field, 0))
         if drift > tolerance:
-            problems.append(
-                f"{field}: {base_sim.get(field)} -> {sim[field]} "
-                f"({drift:+.1%} > {tolerance:.0%} band)")
+            problems.append(format_delta(field, base_sim.get(field, 0),
+                                         sim[field], tolerance))
 
     base_counters = base_sim.get("counters", {})
     for key, value in sim["counters"].items():
@@ -197,9 +200,9 @@ def check(current: Dict, baseline: Dict,
             continue            # counter added since the baseline: fine
         drift = _relative_drift(value, base_counters[key])
         if drift > tolerance:
-            problems.append(
-                f"counter {key}: {base_counters[key]} -> {value} "
-                f"({drift:+.1%} > {tolerance:.0%} band)")
+            problems.append(format_delta(f"counter {key}",
+                                         base_counters[key], value,
+                                         tolerance))
 
     if sim.get("dominant_stages") != base_sim.get("dominant_stages"):
         problems.append(
@@ -213,15 +216,20 @@ def format_report(current: Dict, baseline: Dict,
     lines = []
     wall = current.get("wall", {})
     base_wall = baseline.get("wall", {})
-    lines.append(
-        f"sweep wall clock ({current.get('cpu_count', '?')} cpu): "
-        f"serial {wall.get('serial_s')}s, "
-        f"thread({current.get('workers')}) {wall.get('thread_s')}s "
-        f"(x{wall.get('thread_speedup')}), "
-        f"process({current.get('workers')}) {wall.get('process_s')}s "
-        f"(x{wall.get('process_speedup')}) "
-        f"(baseline serial {base_wall.get('serial_s', '?')}s; "
-        "absolute walls informational)")
+    if wall:
+        lines.append(
+            f"sweep wall clock ({current.get('cpu_count', '?')} cpu): "
+            f"serial {wall.get('serial_s')}s, "
+            f"thread({current.get('workers')}) {wall.get('thread_s')}s "
+            f"(x{wall.get('thread_speedup')}), "
+            f"process({current.get('workers')}) {wall.get('process_s')}s "
+            f"(x{wall.get('process_speedup')}) "
+            f"(baseline serial {base_wall.get('serial_s', '?')}s; "
+            "absolute walls informational)")
+    else:
+        # Bundles capture no wall clock; only the sim aggregates gate.
+        lines.append("sweep wall clock: not captured (run bundle; "
+                     "sim aggregates gated only)")
     if problems:
         lines.append(f"BENCH CHECK FAILED ({len(problems)} problem(s)):")
         lines.extend(f"  - {p}" for p in problems)
@@ -235,11 +243,87 @@ def format_report(current: Dict, baseline: Dict,
     return "\n".join(lines)
 
 
+def sim_payload_from_bundle(bundle) -> Dict:
+    """A gateable payload rebuilt from a sweep run bundle.
+
+    The bundle's metrics document carries everything the ``sim``
+    section gates on: per-migration stage maps (for the averages and
+    the dominant-stage mix) and the counter rollup.  Wall clock was
+    *not* captured — bundles are wall-free by design — so the ``wall``
+    section is empty and ``cpu_count`` is pinned to 1, which skips the
+    process-speedup gate.
+    """
+    document = bundle.metrics_document()
+    rows = document.get("migrations") or []
+    totals: List[float] = []
+    perceived: List[float] = []
+    non_transfer: List[float] = []
+    dominant: Dict[str, int] = {}
+    for row in rows:
+        stages = row.get("stages") or {}
+        total = float(row.get("total_seconds") or 0.0)
+        hidden = (stages.get("preparation", 0.0)
+                  + stages.get("checkpoint", 0.0))
+        totals.append(total)
+        perceived.append(total - hidden)
+        non_transfer.append(total - hidden - stages.get("transfer", 0.0))
+        stage = row.get("dominant_stage") or "?"
+        dominant[stage] = dominant.get(stage, 0) + 1
+
+    def _avg(values: List[float]) -> float:
+        return sum(values) / len(values) if values else 0.0
+
+    rollup = document.get("rollup") or rollup_counters(bundle.snapshot())
+    return {
+        "benchmark": "fig12_sweep_wall_clock",
+        "schema": SCHEMA_VERSION,
+        "workers": bundle.fingerprint.get("workers"),
+        "executor": bundle.fingerprint.get("executor"),
+        "cpu_count": 1,
+        "cells": len(rows),
+        "wall": {},
+        "sim": {
+            "avg_total_seconds": round(_avg(totals), 4),
+            "avg_perceived_seconds": round(_avg(perceived), 4),
+            "avg_non_transfer_seconds": round(_avg(non_transfer), 4),
+            "dominant_stages": dict(sorted(dominant.items())),
+            "counters": {key: rollup.get(key, 0) for key in GATED_COUNTERS},
+        },
+    }
+
+
 def run_check(baseline_path: Optional[Path] = None, update: bool = False,
               tolerance: float = SIM_TOLERANCE,
-              workers: int = WORKERS) -> Tuple[int, str]:
-    """Drive a full bench check (or baseline refresh); (exit, text)."""
+              workers: int = WORKERS,
+              bundle: Optional[str] = None) -> Tuple[int, str]:
+    """Drive a full bench check (or baseline refresh); (exit, text).
+
+    With ``bundle`` set, the sweep is *not* regenerated: the gate runs
+    against the telemetry captured in that run bundle (from ``flux-sim
+    sweep --bundle-out``), so a post-mortem can re-gate a historical
+    run without its machine.
+    """
     path = Path(baseline_path) if baseline_path else BENCH_PATH
+    if bundle is not None:
+        from repro.sim.bundle import BundleError, RunBundle
+        try:
+            loaded = RunBundle.load(bundle)
+        except BundleError as error:
+            return 2, str(error)
+        if loaded.kind != "sweep":
+            return 2, (f"--bundle expects a sweep bundle; {bundle} is a "
+                       f"{loaded.kind!r} bundle")
+        if update:
+            return 2, ("--bundle cannot --update the baseline: bundles "
+                       "capture no wall clock")
+        if not path.exists():
+            return 2, (f"no baseline at {path}; run 'flux-sim bench-check "
+                       f"--update' first")
+        current = sim_payload_from_bundle(loaded)
+        baseline = json.loads(path.read_text())
+        problems = check(current, baseline, tolerance=tolerance)
+        return ((1 if problems else 0),
+                format_report(current, baseline, problems))
     sweep, per_pair, serial_s, thread_s, process_s = measure_sweep(
         workers=workers)
     current = build_payload(sweep, serial_s, thread_s, process_s,

@@ -330,6 +330,58 @@ def _attribute_wait(world: ScenarioWorld, outcome: SessionOutcome,
         outcome.report.wait_profile = dict(profile)
 
 
+def scenario_metrics_document(spec: ScenarioSpec,
+                              result: ScenarioResult) -> Dict:
+    """The scenario's merged metrics + per-session outcomes, JSON-ready.
+
+    This is what ``flux-sim scenario --metrics-out`` writes and what a
+    scenario run bundle stores as ``metrics.json``; the per-session
+    rows carry the wait profiles the diff engine attributes contention
+    regressions with.
+    """
+    from repro.sim.metrics import rollup_counters
+    sessions = []
+    for outcome in result.sessions:
+        report = outcome.report
+        sessions.append({
+            "home": outcome.spec.home,
+            "guest": outcome.spec.guest,
+            "package": outcome.spec.package,
+            "status": outcome.status,
+            "session": outcome.session or None,
+            "refusal": outcome.refusal.value if outcome.refusal else None,
+            "submitted": round(outcome.submitted, 6),
+            "queued_seconds": round(outcome.queued_seconds, 6),
+            "wait_profile": ({k: round(v, 6) for k, v
+                              in sorted(outcome.wait_profile.items())}
+                             if outcome.wait_profile else None),
+            "stages": ({s: round(v, 6) for s, v in report.stages.items()}
+                       if report is not None else {}),
+            "critical_path": (report.critical_path
+                              if report is not None else []),
+            "faulted_stage": (report.faulted_stage
+                              if report is not None else None),
+            "total_seconds": (round(report.total_seconds, 6)
+                              if report is not None else None),
+            "transferred_bytes": (report.transferred_bytes
+                                  if report is not None else 0),
+        })
+    return {
+        "schema": 1,
+        "scenario": {
+            "devices": [name for name, _ in spec.devices],
+            "admission": spec.admission,
+            "seed": spec.seed,
+            "makespan": round(result.makespan, 6),
+            "device_utilization": {d: round(u, 6) for d, u in
+                                   sorted(result.device_utilization.items())},
+            "sessions": sessions,
+        },
+        "metrics": result.metrics,
+        "rollup": rollup_counters(result.metrics),
+    }
+
+
 def scenario_trace_document(result: ScenarioResult) -> List[Dict]:
     """Chrome-trace view of a scenario: one track per session, stage
     spans from the causal event log, admission instants, and a counter

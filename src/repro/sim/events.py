@@ -232,12 +232,35 @@ def write_jsonl(path: str, events: Iterable[Dict[str, Any]]) -> int:
     return count
 
 
-def read_jsonl(path: str) -> List[Dict[str, Any]]:
-    """Load an ``--events-out`` artifact back into event dicts."""
+def parse_jsonl(lines: Iterable[str], source: str = "<events>"
+                ) -> List[Dict[str, Any]]:
+    """Parse JSONL event lines, locating malformed ones precisely.
+
+    A corrupt artifact raises :class:`EventsError` carrying the source
+    name and 1-based line number (instead of a bare
+    ``json.JSONDecodeError`` with no idea *which* of 50k lines broke).
+    """
     events: List[Dict[str, Any]] = []
-    with open(path, "r", encoding="utf-8") as handle:
-        for line in handle:
-            line = line.strip()
-            if line:
-                events.append(json.loads(line))
+    for lineno, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            event = json.loads(line)
+        except json.JSONDecodeError as error:
+            raise EventsError(
+                f"{source}:{lineno}: malformed event line "
+                f"({error.msg} at column {error.colno}): "
+                f"{line[:80]!r}") from error
+        events.append(event)
     return events
+
+
+def read_jsonl(path: str) -> List[Dict[str, Any]]:
+    """Load an ``--events-out`` artifact back into event dicts.
+
+    Malformed lines raise :class:`EventsError` with the file name and
+    line number (see :func:`parse_jsonl`).
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        return parse_jsonl(handle, source=path)

@@ -35,6 +35,14 @@ from typing import Any, Dict, List, Mapping, Optional, Tuple
 #: Set to ``0`` to disable the time-series plane process-wide.
 TIMELINE_ENV = "FLUX_TIMELINE"
 
+#: On-disk document version written by :func:`write_timeline`; readers
+#: reject any other value (forward-compat contract for run bundles).
+TIMELINE_SCHEMA = 1
+
+
+class TimelineError(Exception):
+    """Malformed or unsupported timeline artifacts."""
+
 
 def timeline_enabled() -> bool:
     """The env-gated default for new :class:`Timeline` instances."""
@@ -146,19 +154,53 @@ def chrome_counter_events(export: Dict[str, List[List[float]]]
     return events
 
 
+def timeline_document(export: Dict[str, List[List[float]]],
+                      meta: Optional[Dict[str, Any]] = None
+                      ) -> Dict[str, Any]:
+    """The versioned JSON document :func:`write_timeline` persists."""
+    document: Dict[str, Any] = {"schema": TIMELINE_SCHEMA, "series": export}
+    if meta:
+        document["meta"] = meta
+    return document
+
+
+def parse_timeline_document(document: Any,
+                            source: str = "timeline"
+                            ) -> Dict[str, List[List[float]]]:
+    """Validate a timeline document and return its series.
+
+    Rejects unknown schema versions with a clear error instead of
+    silently misreading a future format — run bundles may outlive the
+    code that wrote them.
+    """
+    if not isinstance(document, dict):
+        raise TimelineError(f"{source}: not a timeline document "
+                            f"(expected a JSON object, got "
+                            f"{type(document).__name__})")
+    schema = document.get("schema")
+    if schema != TIMELINE_SCHEMA:
+        raise TimelineError(
+            f"{source}: unsupported timeline schema {schema!r} "
+            f"(this build reads schema {TIMELINE_SCHEMA}); regenerate "
+            f"the artifact or upgrade")
+    return document.get("series", {})
+
+
 def write_timeline(path: str, export: Dict[str, List[List[float]]],
                    meta: Optional[Dict[str, Any]] = None) -> int:
     """Write an exported timeline as sorted-key JSON; returns series count."""
-    document = {"schema": 1, "series": export}
-    if meta:
-        document["meta"] = meta
     with open(path, "w", encoding="utf-8") as handle:
-        json.dump(document, handle, indent=1, sort_keys=True)
+        json.dump(timeline_document(export, meta), handle, indent=1,
+                  sort_keys=True)
     return len(export)
 
 
 def read_timeline(path: str) -> Dict[str, List[List[float]]]:
-    """Load a ``--timeline-out`` artifact's series back into a dict."""
+    """Load a ``--timeline-out`` artifact's series back into a dict.
+
+    Raises :class:`TimelineError` on unknown schema versions (see
+    :func:`parse_timeline_document`).
+    """
     with open(path, "r", encoding="utf-8") as handle:
         document = json.load(handle)
-    return document.get("series", {})
+    return parse_timeline_document(document, source=path)

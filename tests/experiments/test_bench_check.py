@@ -110,6 +110,113 @@ class TestCheck:
         assert bench.check(grown, baseline) != []
 
 
+class TestDeltaFormatter:
+    """The gate reuses the diff engine's formatter (one drift, one
+    wording everywhere) — failures name the band edge they broke."""
+
+    def test_timing_problem_names_the_band_edge(self):
+        current = _payload(sim={"avg_total_seconds": 11.0})
+        problems = bench.check(current, _payload(), tolerance=0.02)
+        (problem,) = [p for p in problems if "avg_total_seconds" in p]
+        assert problem == ("avg_total_seconds: 10 -> 11 "
+                           "(+10.0% outside the ±2% band [9.8, 10.2])")
+
+    def test_counter_problem_names_the_band_edge(self):
+        current = _payload(
+            sim={"counters": {"binder/transactions": 1500,
+                              "cria/pages": 5000}})
+        (problem,) = bench.check(current, _payload())
+        assert problem == ("counter binder/transactions: 1000 -> 1500 "
+                           "(+50.0% outside the ±2% band [980, 1020])")
+
+    def test_wording_matches_flux_sim_diff(self):
+        from repro.sim.diffing import format_delta
+        current = _payload(sim={"avg_total_seconds": 11.0})
+        (problem,) = [p for p in bench.check(current, _payload())
+                      if "avg_total_seconds" in p]
+        assert problem == format_delta("avg_total_seconds", 10.0, 11.0,
+                                       bench.SIM_TOLERANCE)
+
+
+def _sweep_bundle(tmp_path, transfer=2.0):
+    """A tiny synthetic sweep bundle whose sim payload is easy to gate."""
+    from repro.sim.bundle import collect_fingerprint, write_bundle
+    metrics = {
+        "schema": 1,
+        "totals": {"counters": {"link/bytes_total": 100}, "gauges": {},
+                   "histograms": {}},
+        "rollup": {"link/bytes_total": 100, "link/transfers": 2},
+        "migrations": [
+            {"pair": "a to b", "package": "com.one",
+             "dominant_stage": "transfer",
+             "stages": {"preparation": 3.0, "checkpoint": 3.0,
+                        "transfer": transfer, "restore": 2.0},
+             "total_seconds": 8.0 + transfer, "critical_path": []},
+        ],
+    }
+    return write_bundle(str(tmp_path / f"sweep_{transfer}"), kind="sweep",
+                        fingerprint=collect_fingerprint(
+                            "sweep", executor="serial", workers=1),
+                        metrics=metrics)
+
+
+class TestBundleGate:
+    def test_payload_from_bundle(self, tmp_path):
+        from repro.sim.bundle import RunBundle
+        payload = bench.sim_payload_from_bundle(
+            RunBundle.load(_sweep_bundle(tmp_path)))
+        assert payload["cells"] == 1
+        assert payload["cpu_count"] == 1      # skips the speedup gate
+        assert payload["wall"] == {}
+        sim = payload["sim"]
+        assert sim["avg_total_seconds"] == 10.0
+        assert sim["avg_perceived_seconds"] == 4.0    # total - prep - ckpt
+        assert sim["avg_non_transfer_seconds"] == 2.0
+        assert sim["dominant_stages"] == {"transfer": 1}
+        assert sim["counters"]["link/bytes_total"] == 100
+        assert sim["counters"]["binder/transactions"] == 0
+
+    def test_bundle_gates_against_a_baseline(self, tmp_path):
+        import json
+
+        from repro.sim.bundle import RunBundle
+        bundle = _sweep_bundle(tmp_path)
+        baseline = tmp_path / "BENCH_sweep.json"
+        baseline.write_text(json.dumps(
+            bench.sim_payload_from_bundle(RunBundle.load(bundle))))
+        code, text = bench.run_check(baseline_path=baseline, bundle=bundle)
+        assert code == 0
+        assert "bench check OK" in text
+
+        slow = _sweep_bundle(tmp_path, transfer=4.0)
+        code, text = bench.run_check(baseline_path=baseline, bundle=slow)
+        assert code == 1
+        assert "BENCH CHECK FAILED" in text
+        assert "avg_total_seconds" in text and "outside the ±2% band" in text
+
+    def test_bundle_must_be_a_sweep(self, tmp_path):
+        from repro.sim.bundle import collect_fingerprint, write_bundle
+        bundle = write_bundle(str(tmp_path / "m"), kind="migrate",
+                              fingerprint=collect_fingerprint("migrate"),
+                              metrics={"schema": 1})
+        code, text = bench.run_check(bundle=bundle)
+        assert code == 2
+        assert "expects a sweep bundle" in text
+
+    def test_bundle_cannot_update_the_baseline(self, tmp_path):
+        code, text = bench.run_check(bundle=_sweep_bundle(tmp_path),
+                                     update=True)
+        assert code == 2
+        assert "--update" in text
+
+    def test_bundle_without_a_baseline(self, tmp_path):
+        code, text = bench.run_check(
+            baseline_path=tmp_path / "absent.json",
+            bundle=_sweep_bundle(tmp_path))
+        assert code == 2
+        assert "no baseline" in text
+
+
 class TestFormatReport:
     def test_pass_report_mentions_counters(self):
         text = bench.format_report(_payload(), _payload(), [])

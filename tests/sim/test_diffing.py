@@ -1,0 +1,186 @@
+"""The telemetry diff engine's pure pieces: deltas, divergence, suspects."""
+
+import pytest
+
+from repro.sim.diffing import (
+    DEFAULT_TOLERANCE,
+    EXIT_IDENTICAL,
+    EXIT_REGRESSED,
+    EXIT_WITHIN_BAND,
+    build_suspects,
+    diff_counters,
+    diff_histograms,
+    diff_migrations,
+    diff_wait_profiles,
+    exit_code,
+    first_divergence,
+    format_delta,
+)
+
+
+class TestFormatDelta:
+    def test_names_the_band_edge_it_broke(self):
+        line = format_delta("counter link/bytes_total", 100, 150, 0.02)
+        assert line == ("counter link/bytes_total: 100 -> 150 "
+                        "(+50.0% outside the ±2% band [98, 102])")
+
+    def test_within_band(self):
+        line = format_delta("x", 100, 101, 0.02)
+        assert "within the ±2% band" in line
+        assert "100 -> 101" in line
+
+    def test_appearing_value_is_new(self):
+        assert "(new" in format_delta("x", 0, 5, 0.02)
+
+    def test_negative_drift_signed(self):
+        assert "-10.0%" in format_delta("x", 100, 90, 0.02)
+
+
+class TestCounterDiffs:
+    def test_equal_maps_are_empty(self):
+        assert diff_counters({"a": 1}, {"a": 1}, 0.02) == []
+
+    def test_missing_keys_count_as_zero(self):
+        (entry,) = diff_counters({"a": 4}, {}, 0.02)
+        assert (entry["a"], entry["b"], entry["delta"]) == (4.0, 0.0, -4.0)
+        assert not entry["within_band"]
+
+    def test_within_band_flag(self):
+        (entry,) = diff_counters({"a": 100}, {"a": 101}, 0.02)
+        assert entry["within_band"]
+
+    def test_histogram_count_and_sum(self):
+        entries = diff_histograms(
+            {"h": {"count": 2, "sum": 3.0}},
+            {"h": {"count": 2, "sum": 4.0}}, 0.02)
+        assert [e["key"] for e in entries] == ["h.sum"]
+
+
+def _row(key, outcome="migrated", stages=None, self_seconds=None,
+         faulted_stage=None, total=None):
+    stages = stages or {}
+    return {"key": key, "package": key, "outcome": outcome,
+            "faulted_stage": faulted_stage, "session": None,
+            "stages": stages, "self_seconds": self_seconds or {},
+            "total_seconds": (total if total is not None
+                              else sum(stages.values()))}
+
+
+class TestMigrationDiffs:
+    def test_identical_rows_yield_nothing(self):
+        rows = [_row("a", stages={"transfer": 1.0})]
+        assert diff_migrations(rows, rows, 0.02) == []
+
+    def test_outcome_flip_carries_the_faulted_stage(self):
+        a = [_row("a", stages={"transfer": 2.0})]
+        b = [_row("a", outcome="faulted", faulted_stage="transfer",
+                  stages={"transfer": 0.5})]
+        (entry,) = diff_migrations(a, b, 0.02)
+        assert entry["outcome_changed"]
+        assert (entry["outcome_a"], entry["outcome_b"]) == ("migrated",
+                                                            "faulted")
+        assert entry["faulted_stage"] == "transfer"
+
+    def test_attempt_on_one_side_only(self):
+        (entry,) = diff_migrations([_row("a")], [], 0.02)
+        assert entry["only_in"] == "A"
+        assert entry["outcome_changed"]
+
+    def test_self_seconds_diffed_when_present(self):
+        a = [_row("a", stages={"transfer": 1.0},
+                  self_seconds={"transfer": 0.9})]
+        b = [_row("a", stages={"transfer": 2.0},
+                  self_seconds={"transfer": 1.9})]
+        (entry,) = diff_migrations(a, b, 0.02)
+        (self_delta,) = entry["self_deltas"]
+        assert self_delta["delta"] == pytest.approx(1.0)
+
+
+class TestWaitProfileDiffs:
+    def test_only_differing_terms_appear(self):
+        a = {"s1": {"admission_queue_s": 1.0, "active_s": 2.0}}
+        b = {"s1": {"admission_queue_s": 3.0, "active_s": 2.0}}
+        (entry,) = diff_wait_profiles(a, b, 0.02)
+        (delta,) = entry["terms"]
+        assert delta["key"] == "admission_queue_s"
+
+    def test_identical_profiles_yield_nothing(self):
+        a = {"s1": {"active_s": 2.0}}
+        assert diff_wait_profiles(a, dict(a), 0.02) == []
+
+
+class TestFirstDivergence:
+    def _event(self, t, device, seq, kind="x"):
+        return {"t": t, "device": device, "seq": seq, "kind": kind}
+
+    def test_identical_streams_have_none(self):
+        events = [self._event(0.0, "home", 1)]
+        assert first_divergence(events, list(events)) is None
+
+    def test_first_disagreement_located_with_context(self):
+        a = [self._event(0.0, "home", 1), self._event(1.0, "home", 2),
+             self._event(2.0, "home", 3)]
+        b = [a[0], a[1], self._event(2.5, "home", 3)]
+        divergence = first_divergence(a, b, context=1)
+        assert divergence["index"] == 2
+        assert divergence["at_a"] == [2.0, "home", 3]
+        assert divergence["at_b"] == [2.5, "home", 3]
+        assert divergence["context"] == [a[1]]
+
+    def test_prefix_stream_diverges_at_its_end(self):
+        a = [self._event(0.0, "home", 1), self._event(1.0, "home", 2)]
+        divergence = first_divergence(a, a[:1])
+        assert divergence["index"] == 1
+        assert divergence["b"] is None
+        assert (divergence["a_total"], divergence["b_total"]) == (2, 1)
+
+
+class TestSuspects:
+    def test_outcome_flips_outrank_timing(self):
+        migrations = diff_migrations(
+            [_row("slow", stages={"transfer": 1.0}),
+             _row("flip", stages={"transfer": 2.0})],
+            [_row("slow", stages={"transfer": 9.0}),
+             _row("flip", outcome="faulted", faulted_stage="restore",
+                  stages={"transfer": 2.0})], 0.02)
+        suspects = build_suspects(migrations, [])
+        assert suspects[0]["kind"] == "outcome"
+        assert suspects[0]["subject"] == "flip"
+        assert "restore" in suspects[0]["detail"]
+
+    def test_ranking_stable_across_input_order(self):
+        a_rows = [_row("a", stages={"transfer": 1.0}),
+                  _row("b", stages={"transfer": 1.0})]
+        b_rows = [_row("a", stages={"transfer": 2.0}),
+                  _row("b", stages={"transfer": 2.0})]
+        forward = build_suspects(diff_migrations(a_rows, b_rows, 0.02), [])
+        backward = build_suspects(
+            diff_migrations(list(reversed(a_rows)),
+                            list(reversed(b_rows)), 0.02), [])
+        assert forward == backward
+        assert [s["rank"] for s in forward] == [1, 2]
+
+    def test_wall_s_is_never_a_suspect(self):
+        wait = diff_wait_profiles(
+            {"s": {"link_dilation_s": 0.0, "wall_s": 1.0}},
+            {"s": {"link_dilation_s": 2.0, "wall_s": 3.0}}, 0.02)
+        suspects = build_suspects([], wait)
+        assert [s["stage"] for s in suspects] == ["link_dilation_s"]
+        assert "link dilation" in suspects[0]["detail"]
+
+    def test_noise_floor_filters_float_dust(self):
+        migrations = diff_migrations(
+            [_row("a", stages={"transfer": 1.0})],
+            [_row("a", stages={"transfer": 1.0 + 1e-9})], 0.02)
+        assert build_suspects(migrations, []) == []
+
+
+class TestExitCodes:
+    def test_mapping(self):
+        assert exit_code({"verdict": "identical"}) == EXIT_IDENTICAL
+        assert exit_code({"verdict": "within-band"}) == EXIT_WITHIN_BAND
+        assert exit_code({"verdict": "regressed"}) == EXIT_REGRESSED
+
+    def test_default_tolerance_matches_the_bench_gate(self):
+        from repro.experiments.bench import SIM_TOLERANCE
+        assert DEFAULT_TOLERANCE == SIM_TOLERANCE

@@ -160,6 +160,33 @@ class TestExportAndJsonl:
         assert read_jsonl(str(path)) == recorder.export()
 
 
+class TestMalformedLines:
+    def test_error_names_the_file_and_line(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        path.write_text('{"seq": 1}\n{"seq": 2}\n{"seq": 3\n')
+        with pytest.raises(EventsError) as excinfo:
+            read_jsonl(str(path))
+        message = str(excinfo.value)
+        assert message.startswith(f"{path}:3: malformed event line")
+        assert '\'{"seq": 3\'' in message  # the offending snippet
+
+    def test_blank_lines_are_skipped_not_errors(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        path.write_text('{"seq": 1}\n\n{"seq": 2}\n')
+        assert [e["seq"] for e in read_jsonl(str(path))] == [1, 2]
+
+    def test_parse_jsonl_default_source(self):
+        from repro.sim.events import parse_jsonl
+        with pytest.raises(EventsError, match="<events>:1:"):
+            parse_jsonl(["not json"])
+
+    def test_long_lines_are_truncated_in_the_error(self, tmp_path):
+        from repro.sim.events import parse_jsonl
+        with pytest.raises(EventsError) as excinfo:
+            parse_jsonl(['{"pad": "' + "x" * 500], source="big.jsonl")
+        assert len(str(excinfo.value)) < 200
+
+
 class TestMergeStreams:
     def test_merge_is_a_causal_interleaving(self, clock):
         home = FlightRecorder(clock=clock, device="home")

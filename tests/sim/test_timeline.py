@@ -124,3 +124,36 @@ class TestExports:
         for name in ("z", "a", "m"):
             timeline.sample(name, 1)
         assert list(timeline.export()) == ["a", "m", "z"]
+
+
+class TestSchemaVersioning:
+    def test_unknown_schema_is_rejected_with_the_version(self, tmp_path):
+        from repro.sim.timeline import TimelineError
+        path = tmp_path / "future.json"
+        path.write_text(json.dumps({"schema": 99, "series": {}}))
+        with pytest.raises(TimelineError,
+                           match="unsupported timeline schema 99"):
+            read_timeline(path)
+
+    def test_schemaless_legacy_export_is_rejected(self, tmp_path):
+        from repro.sim.timeline import TimelineError
+        path = tmp_path / "legacy.json"
+        path.write_text(json.dumps({"a": [[0.0, 1.0]]}))
+        with pytest.raises(TimelineError, match="unsupported timeline "
+                                                "schema None"):
+            read_timeline(path)
+
+    def test_non_object_document_is_rejected(self, tmp_path):
+        from repro.sim.timeline import TimelineError
+        path = tmp_path / "list.json"
+        path.write_text(json.dumps([1, 2, 3]))
+        with pytest.raises(TimelineError, match="not a timeline document"):
+            read_timeline(path)
+
+    def test_meta_rides_along(self, tmp_path):
+        from repro.sim.timeline import parse_timeline_document
+        path = tmp_path / "tl.json"
+        write_timeline(path, {"a": [[0.0, 1.0]]}, meta={"seed": 7})
+        document = json.loads(path.read_text())
+        assert document["meta"] == {"seed": 7}
+        assert parse_timeline_document(document) == {"a": [[0.0, 1.0]]}
