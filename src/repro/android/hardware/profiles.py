@@ -130,8 +130,47 @@ ALL_PROFILES: Tuple[DeviceProfile, ...] = (
     NEXUS_4, NEXUS_7_2012, NEXUS_7_2013, NEXUS_5)
 
 
+# -- fleet-population variants ------------------------------------------------
+#
+# The placement engine only has interesting work to do when surfaces
+# differ in *capability*, not just speed.  These variants model two
+# multi-surface deployments the paper motivates (§1: surfaces around
+# the user) without inventing new hardware: the same testbed devices,
+# mounted or pocketed differently.
+
+#: A Nexus 7 (2013) mounted as a wall display: motion sensors and
+#: location are meaningless on a fixed surface (and the vibration motor
+#: is disconnected), so apps that recorded those needs cannot land here.
+NEXUS_7_WALL = replace(
+    NEXUS_7_2013,
+    name="nexus7_wall",
+    model="Nexus 7 (2013) wall display",
+    sensors=tuple(s for s in _STANDARD_SENSORS
+                  if s.sensor_type in ("light", "proximity")),
+    location_providers=(),
+    has_vibrator=False,
+)
+
+#: A pocket-sized companion built from Nexus 4 internals: tiny screen
+#: (full sensor suite, so motion apps fit — but big-screen apps do not).
+NEXUS_4_POCKET = replace(
+    NEXUS_4,
+    name="nexus4_pocket",
+    model="Nexus 4 pocket companion",
+    screen=ScreenConfig(480, 800, 233),
+    wifi_effective_mbps=12.0,
+)
+
+#: The population cycle fleet worlds draw devices from (experiments/
+#: fleet.py assigns profile ``FLEET_PROFILE_CYCLE[i % len]`` to device
+#: ``i``): the four testbed devices plus the two capability variants.
+FLEET_PROFILE_CYCLE: Tuple[DeviceProfile, ...] = (
+    NEXUS_4, NEXUS_7_2013, NEXUS_7_2012, NEXUS_5,
+    NEXUS_7_WALL, NEXUS_4_POCKET)
+
+
 def profile_by_name(name: str) -> DeviceProfile:
-    for profile in ALL_PROFILES:
+    for profile in ALL_PROFILES + FLEET_PROFILE_CYCLE:
         if profile.name == name:
             return profile
     raise KeyError(f"no device profile {name!r}")

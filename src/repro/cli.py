@@ -11,6 +11,7 @@ Subcommands::
     flux-sim bench-check [--update]        gate sweep metrics vs BENCH_sweep.json
     flux-sim explain EVENTS_JSONL|BUNDLE   post-mortem a migration's event log
     flux-sim scenario                      concurrent migrations on one clock
+    flux-sim fleet                         seeded demand + placement at scale
     flux-sim diff A B                      compare two run bundles
 
 ``migrate`` and ``sweep`` take ``--metrics-out PATH`` to dump the
@@ -22,7 +23,13 @@ instants in the Chrome trace.  ``scenario`` adds ``--timeline-out``
 session plus counter tracks); ``explain --why LABEL`` ranks where a
 session's wall time went, from the event log alone.
 
-``migrate``, ``sweep`` and ``scenario`` all take ``--bundle-out PATH``
+``fleet`` scales the scenario layer to a seeded device population:
+demands from a seeded arrival process are routed by a placement policy
+(``--policy capability|least-loaded|cost-model``), executed per site,
+and reported as fleet SLOs (p50/p95/p99, refusal/shed rate, per-device
+and per-medium utilization); ``--shard K/N`` runs a deterministic
+slice.  ``migrate``, ``sweep``, ``scenario`` and ``fleet`` all take
+``--bundle-out PATH``
 to capture *every* plane the run produced — plus a config/env
 fingerprint and a digest manifest — as one self-describing run bundle
 (a directory, or ``.tar.gz``).  ``flux-sim explain BUNDLE`` post-mortems
@@ -644,6 +651,99 @@ def cmd_scenario(args) -> int:
     return 0 if not failures else 1
 
 
+def _parse_shard(raw: Optional[str]):
+    """``K/N`` -> partial shard (k, n); plain ``N`` -> run all N groups."""
+    if raw is None:
+        return None, None
+    if "/" in raw:
+        k_raw, _, n_raw = raw.partition("/")
+        try:
+            k, n = int(k_raw), int(n_raw)
+        except ValueError:
+            raise SystemExit(f"bad --shard {raw!r}; expected K/N or N")
+        if n < 1 or not 0 <= k < n:
+            raise SystemExit(f"bad --shard {raw!r}: need 0 <= K < N")
+        return (k, n), None
+    try:
+        n = int(raw)
+    except ValueError:
+        raise SystemExit(f"bad --shard {raw!r}; expected K/N or N")
+    if n < 1:
+        raise SystemExit(f"bad --shard {raw!r}: need N >= 1")
+    return None, n
+
+
+def cmd_fleet(args) -> int:
+    from repro.experiments.fleet import (
+        FleetError,
+        FleetSpec,
+        fleet_metrics_document,
+        render_fleet,
+        run_fleet,
+    )
+    shard, shard_count = _parse_shard(args.shard)
+    try:
+        spec = FleetSpec(devices=args.devices, arrivals=args.arrivals,
+                         seed=args.seed, policy=args.policy,
+                         site_size=args.site_size,
+                         admission=args.admission,
+                         shed_depth=args.shed_depth)
+        result = run_fleet(spec, shard=shard, shard_count=shard_count,
+                           workers=args.workers, executor=args.executor)
+    except FleetError as error:
+        raise SystemExit(str(error))
+
+    print(render_fleet(result))
+    shard_label = (f"{shard[0]}/{shard[1]}" if shard is not None else None)
+    document = fleet_metrics_document(spec, result, shard=shard_label)
+    if args.metrics_out:
+        import json
+        with open(args.metrics_out, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, indent=1)
+        print(f"wrote metrics to {args.metrics_out}")
+    if args.events_out:
+        from repro.sim.events import write_jsonl
+        count = write_jsonl(args.events_out, result.events)
+        print(f"wrote {count} events to {args.events_out} "
+              f"(flux-sim explain {args.events_out})")
+    if args.timeline_out:
+        from repro.sim.timeline import write_timeline
+        count = write_timeline(args.timeline_out, result.timeline,
+                               meta={"sites": result.sites,
+                                     "seed": spec.seed})
+        print(f"wrote {count} timeline series to {args.timeline_out}")
+    if args.bundle_out:
+        from repro.sim.bundle import collect_fingerprint, write_bundle
+        # Executor/workers/shard-count are deliberately absent from the
+        # fingerprint: a full fleet run's bundle must be byte-identical
+        # however it was parallelized.  A *partial* run (--shard K/N)
+        # covers different sites, so it does record its shard.
+        extra = {
+            "policy": spec.policy,
+            "devices": spec.devices,
+            "arrivals": spec.arrivals,
+            "site_size": spec.site_size,
+            "admission": spec.admission,
+        }
+        if shard_label is not None:
+            extra["shard"] = shard_label
+        fingerprint = collect_fingerprint(
+            "fleet",
+            workload=sorted({row["package"] for row in result.rows}),
+            pairs=result.sites,
+            seed=spec.seed,
+            extra=extra)
+        write_bundle(args.bundle_out,
+                     kind="fleet",
+                     fingerprint=fingerprint,
+                     metrics=document,
+                     events=result.events,
+                     timeline=result.timeline)
+        print(f"wrote run bundle to {args.bundle_out} "
+              f"(flux-sim diff {args.bundle_out} OTHER)")
+    return 0
+
+
 def cmd_experiments(args) -> int:
     from repro.experiments.__main__ import main as experiments_main
     return experiments_main(args.names)
@@ -827,6 +927,67 @@ def build_parser() -> argparse.ArgumentParser:
                                "as a directory, or .tar.gz if PATH ends "
                                "in .tar.gz/.tgz (input to flux-sim diff)")
     scenario.set_defaults(func=cmd_scenario)
+
+    fleet = sub.add_parser(
+        "fleet",
+        help="seeded fleet: generate demand over a device population, "
+             "place each migration with a pluggable policy, run every "
+             "site on the scheduler, report fleet SLOs")
+    fleet.add_argument("--devices", type=int, default=12, metavar="N",
+                       help="population size; profiles cycle through the "
+                            "fleet variants (default 12)")
+    fleet.add_argument("--arrivals", type=int, default=40, metavar="M",
+                       help="total migration demands across the fleet "
+                            "(default 40)")
+    fleet.add_argument("--seed", type=int, default=0,
+                       help="root seed for arrivals, app mixes and "
+                            "per-site scenario worlds (default 0)")
+    fleet.add_argument("--policy", default="cost-model",
+                       choices=("capability", "least-loaded",
+                                "cost-model"),
+                       help="placement engine routing each demand to a "
+                            "guest surface (default cost-model)")
+    fleet.add_argument("--site-size", type=int, default=4, metavar="D",
+                       help="devices per site; each site is a sealed "
+                            "world with its own shared WiFi medium "
+                            "(default 4)")
+    fleet.add_argument("--admission", default="queue",
+                       choices=("queue", "refuse", "shed"),
+                       help="busy-endpoint policy: queue FIFO, refuse, "
+                            "or shed at placement time once the "
+                            "projected queue hits --shed-depth")
+    fleet.add_argument("--shed-depth", type=int, default=4, metavar="Q",
+                       help="projected queue depth that sheds a demand "
+                            "under --admission shed (default 4)")
+    fleet.add_argument("--workers", default=None, metavar="N",
+                       help="run sites on N workers, or 'auto' for one "
+                            "per core (results identical to serial)")
+    fleet.add_argument("--executor", default=None,
+                       choices=("serial", "thread", "process"),
+                       help="how parallel sites run (default: process "
+                            "when --workers > 1, else serial)")
+    fleet.add_argument("--shard", default=None, metavar="K/N",
+                       help="K/N runs only sites with index %% N == K "
+                            "(a partial fleet for distributed runs); a "
+                            "plain N runs all N shard groups and merges "
+                            "— byte-identical to the unsharded run")
+    fleet.add_argument("--metrics-out", metavar="PATH", default=None,
+                       help="write merged fleet metrics, SLO summary "
+                            "and per-demand rows (placement decisions, "
+                            "wait profiles) as JSON")
+    fleet.add_argument("--events-out", metavar="PATH", default=None,
+                       help="write every site's causal event stream, "
+                            "site-labeled, as JSONL (input to flux-sim "
+                            "explain --why)")
+    fleet.add_argument("--timeline-out", metavar="PATH", default=None,
+                       help="write the edge-sampled time-series plane "
+                            "of every site, site-labeled, as JSON")
+    fleet.add_argument("--bundle-out", metavar="PATH", default=None,
+                       help="write a self-describing run bundle (all "
+                            "telemetry planes + config fingerprint) as "
+                            "a directory, or .tar.gz if PATH ends in "
+                            ".tar.gz/.tgz (input to flux-sim diff)")
+    fleet.set_defaults(func=cmd_fleet)
 
     diff = sub.add_parser(
         "diff",

@@ -24,6 +24,10 @@ class MigrationRefusal(enum.Enum):
     # already hosting a migration and the admission policy is "refuse"
     # rather than "queue".
     DEVICE_BUSY = "device-busy"
+    # Admission control (placement layer): no surface in the population
+    # satisfies the app's recorded needs (screen, sensors, location,
+    # vibrator) — the demand is refused before any session is compiled.
+    NO_FEASIBLE_GUEST = "no-feasible-guest"
     # Runtime faults (as opposed to static app-shape refusals): the
     # migration started and was aborted by the stage pipeline, which
     # rolled the app back to the home device.

@@ -1,0 +1,429 @@
+"""Placement: choosing the guest surface for a migration demand.
+
+The paper's migration lifecycle begins with *target selection* — the
+user picks a guest from a menu of paired surfaces.  At fleet scale the
+system makes that choice: every demand (``at t, device H wants to move
+package P somewhere``) is routed through a :class:`PlacementEngine`,
+which filters the population down to the surfaces that can actually
+host the app and then ranks the feasible ones by policy.
+
+Feasibility is *capability matching* against the app's **recorded
+needs** — the system services its Table 3 workload actually touched
+(sensor listeners, location updates, vibration) plus its GL usage and a
+minimum screen budget.  The needs table is static and derived from the
+workload implementations in :mod:`repro.apps`, mirroring how Flux's
+record layer would know, at migration time, which services the app has
+live state in.
+
+Three policies ship:
+
+* ``capability``  — the most capable feasible surface (largest screen,
+  fastest CPU as tie-break); load-blind.
+* ``least-loaded`` — fewest projected queued migrations, then least
+  cumulative busy time (the ``Resource.held_seconds`` signal); blind to
+  how *slow* the chosen surface is.
+* ``cost-model``  — smallest predicted end-to-end latency: projected
+  queue wait plus the migration-cost model of
+  :mod:`repro.core.migration.costs` (checkpoint/restore scaled by the
+  endpoints' ``cpu_factor``) plus transfer time on the shared medium,
+  dilated by the currently projected concurrent flows.
+
+Everything here is pure and deterministic: engines score
+:class:`CandidateView` snapshots produced by a :class:`LoadLedger`
+(the compile-time projection of site load), never live simulation
+state, so the same demand stream always compiles to the same
+assignments — which is what makes sharded fleet runs byte-identical.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.android.hardware.profiles import DeviceProfile
+from repro.apps.common import AppSpec
+from repro.core.cria.errors import MigrationRefusal
+from repro.core.migration import costs
+from repro.sim import units
+
+
+class PlacementError(Exception):
+    pass
+
+
+# -- recorded needs ----------------------------------------------------------
+
+#: Minimum guest screen area, as a fraction of the home screen's, for
+#: an app to remain usable after landing (GL apps render full-screen
+#: scenes and need more glass than list UIs).
+SCREEN_FRACTION = 0.25
+GL_SCREEN_FRACTION = 0.5
+
+#: Static service-usage table derived from the Table 3 workloads in
+#: :mod:`repro.apps` — exactly the state the record layer would hold at
+#: migration time.  Packages not listed recorded no capability-relevant
+#: service usage (audio/alarm/notification exist on every profile).
+RECORDED_SERVICE_NEEDS: Dict[str, Dict[str, object]] = {
+    "com.king.bubblewitch": {"vibrator": True},
+    "com.dotgears.flappybird": {"sensors": ("accelerometer",),
+                                "vibrator": True},
+    "com.whatsapp": {"vibrator": True},
+    "com.instagram.android": {"location": True},
+    "com.groupon": {"location": True},
+}
+
+
+@dataclass(frozen=True)
+class AppNeeds:
+    """What an app's recorded state requires of a guest surface."""
+
+    package: str
+    uses_gl: bool = False
+    sensor_types: Tuple[str, ...] = ()
+    needs_location: bool = False
+    needs_vibrator: bool = False
+    min_screen_fraction: float = SCREEN_FRACTION
+
+
+def recorded_needs(spec: AppSpec) -> AppNeeds:
+    recorded = RECORDED_SERVICE_NEEDS.get(spec.package, {})
+    uses_gl = bool(getattr(spec.activity_cls, "USES_GL", False))
+    return AppNeeds(
+        package=spec.package,
+        uses_gl=uses_gl,
+        sensor_types=tuple(recorded.get("sensors", ())),
+        needs_location=bool(recorded.get("location", False)),
+        needs_vibrator=bool(recorded.get("vibrator", False)),
+        min_screen_fraction=(GL_SCREEN_FRACTION if uses_gl
+                             else SCREEN_FRACTION),
+    )
+
+
+def infeasibility(needs: AppNeeds, home: DeviceProfile,
+                  guest: DeviceProfile) -> Optional[str]:
+    """Why ``guest`` cannot host the app, or ``None`` when it can."""
+    guest_sensors = {s.sensor_type for s in guest.sensors}
+    for sensor_type in needs.sensor_types:
+        if sensor_type not in guest_sensors:
+            return f"no {sensor_type} sensor"
+    if needs.needs_location and not guest.location_providers:
+        return "no location provider"
+    if needs.needs_vibrator and not guest.has_vibrator:
+        return "no vibrator"
+    budget = needs.min_screen_fraction * home.screen.pixels
+    if guest.screen.pixels < budget:
+        return (f"screen {guest.screen} below "
+                f"{needs.min_screen_fraction:g} of home's")
+    return None
+
+
+# -- predicted migration cost ------------------------------------------------
+
+#: Nominal congestion factor the prediction uses in place of the link's
+#: seeded jitter draw (the model predicts, the simulation measures).
+NOMINAL_CONGESTION = 0.85
+LINK_LATENCY_S = 0.004
+#: Replayed-call budget assumed for the reintegration estimate.
+ESTIMATED_REPLAYED_CALLS = 24
+
+
+def estimated_image_bytes(spec: AppSpec) -> int:
+    """Checkpoint-image size estimate: heap plus GL texture state."""
+    image = units.mb(spec.heap_mb)
+    if getattr(spec.activity_cls, "USES_GL", False):
+        image += units.mb(getattr(spec.activity_cls, "GL_TEXTURE_MB", 0.0))
+    return image
+
+
+def predict_migration_seconds(spec: AppSpec, home: DeviceProfile,
+                              guest: DeviceProfile,
+                              active_flows: int = 0) -> Dict[str, float]:
+    """Stage-by-stage latency prediction for one candidate route.
+
+    Uses the same cost model the stage pipeline charges
+    (:mod:`repro.core.migration.costs`), the link layer's
+    min-of-endpoints goodput, and processor-sharing dilation for the
+    transfer: with ``active_flows`` other flows projected on the
+    medium, the wire time stretches by ``1 + active_flows``.
+    """
+    image = estimated_image_bytes(spec)
+    view_count = getattr(spec.activity_cls, "VIEW_COUNT", 12)
+    context_count = 1 if getattr(spec.activity_cls, "USES_GL", False) else 0
+    goodput = units.mbps(min(home.wifi_effective_mbps,
+                             guest.wifi_effective_mbps)) * NOMINAL_CONGESTION
+    transfer = (LINK_LATENCY_S
+                + units.transfer_seconds(image, goodput)
+                * (1 + max(0, active_flows)))
+    prediction = {
+        "preparation": costs.preparation_cost(view_count, context_count,
+                                              home.cpu_factor),
+        "checkpoint": costs.checkpoint_cost(image, home.cpu_factor),
+        "transfer": transfer,
+        "restore": costs.restore_cost(image, guest.cpu_factor),
+        "reintegration": costs.reintegration_cost(ESTIMATED_REPLAYED_CALLS,
+                                                  guest.cpu_factor),
+    }
+    prediction["total"] = sum(prediction.values())
+    return prediction
+
+
+# -- demand / decision -------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Demand:
+    """One placement request: at ``arrival``, ``home`` wants to move
+    ``package`` somewhere."""
+
+    arrival: float
+    home: str
+    package: str
+
+
+@dataclass(frozen=True)
+class PlacementDecision:
+    """What an engine decided for one demand, self-describing.
+
+    ``attrs()`` is the JSON-able, frozen key/value view carried on the
+    compiled :class:`~repro.experiments.scenario.SessionSpec` and
+    emitted as the ``placement.decision`` flight-recorder event — the
+    record ``flux-sim explain --why`` answers "why this guest?" from.
+    """
+
+    demand: Demand
+    policy: str
+    guest: Optional[str]
+    refusal: Optional[MigrationRefusal] = None
+    detail: str = ""
+    predicted_s: Optional[float] = None
+    considered: int = 0
+    feasible: int = 0
+    runner_up: Optional[str] = None
+
+    def attrs(self) -> Tuple[Tuple[str, object], ...]:
+        items: List[Tuple[str, object]] = [
+            ("policy", self.policy),
+            ("guest", self.guest or ""),
+            ("considered", self.considered),
+            ("feasible", self.feasible),
+        ]
+        if self.predicted_s is not None:
+            items.append(("predicted_s", round(self.predicted_s, 6)))
+        if self.runner_up:
+            items.append(("runner_up", self.runner_up))
+        if self.detail:
+            items.append(("detail", self.detail))
+        return tuple(items)
+
+
+@dataclass(frozen=True)
+class CandidateView:
+    """A device's projected load, snapshotted at a demand's arrival.
+
+    Produced by :class:`LoadLedger`; what engines score.  ``queue_depth``
+    and ``held_seconds`` mirror the admission ``Resource``'s live
+    ``queued``/``held_seconds`` signals, projected forward;
+    ``queue_wait_s`` is how long a new session would wait for the device
+    to free up; ``active_flows`` is the projected transfer concurrency
+    on the site medium at this instant.
+    """
+
+    name: str
+    profile: DeviceProfile
+    queue_depth: int = 0
+    held_seconds: float = 0.0
+    queue_wait_s: float = 0.0
+    active_flows: int = 0
+
+
+class LoadLedger:
+    """Compile-time projection of site load, per placed assignment.
+
+    The ledger records, for every committed placement, the predicted
+    busy window of both endpoints and the predicted transfer window on
+    the shared medium; :meth:`view` folds those into the load signals a
+    :class:`CandidateView` carries.  It is a *model* of the load the
+    compiled scenario will create — deliberately the same shape as the
+    live ``Resource``/``Medium`` ledgers, but pure, so placement stays
+    deterministic and shard-independent.
+    """
+
+    _EPS = 1e-9
+
+    def __init__(self) -> None:
+        self._windows: Dict[str, List[Tuple[float, float]]] = {}
+        self._transfers: List[Tuple[float, float]] = []
+
+    def view(self, name: str, profile: DeviceProfile,
+             now: float) -> CandidateView:
+        windows = self._windows.get(name, [])
+        depth = sum(1 for _, end in windows if end > now + self._EPS)
+        held = sum(min(end, now) - start for start, end in windows
+                   if start < now)
+        busy_until = max((end for _, end in windows), default=now)
+        flows = sum(1 for start, end in self._transfers
+                    if start <= now + self._EPS and end > now + self._EPS)
+        return CandidateView(name=name, profile=profile, queue_depth=depth,
+                             held_seconds=held,
+                             queue_wait_s=max(0.0, busy_until - now),
+                             active_flows=flows)
+
+    def busy_until(self, name: str, now: float) -> float:
+        return max((end for _, end in self._windows.get(name, [])),
+                   default=now)
+
+    def commit(self, home: str, guest: str, now: float,
+               prediction: Dict[str, float]) -> Tuple[float, float]:
+        """Record a placed assignment's projected windows; returns the
+        session's projected ``(start, end)``."""
+        start = max(now, self.busy_until(home, now),
+                    self.busy_until(guest, now))
+        end = start + prediction["total"]
+        for device in (home, guest):
+            self._windows.setdefault(device, []).append((start, end))
+        transfer_start = (start + prediction["preparation"]
+                          + prediction["checkpoint"])
+        self._transfers.append((transfer_start,
+                                transfer_start + prediction["transfer"]))
+        return start, end
+
+
+# -- the engines -------------------------------------------------------------
+
+
+class PlacementEngine(ABC):
+    """Policy interface: rank feasible candidates for one demand.
+
+    :meth:`choose` owns the policy-independent parts — capability
+    filtering and the ``NO_FEASIBLE_GUEST`` refusal — and delegates the
+    ranking to :meth:`score` (ascending; ties broken by the device name
+    inside the score tuple, so every policy is totally deterministic).
+    """
+
+    name = "?"
+
+    @abstractmethod
+    def score(self, spec: AppSpec, home: CandidateView,
+              candidate: CandidateView) -> Tuple:
+        """Sort key for ``candidate`` (lower is better)."""
+
+    def reason(self, spec: AppSpec, home: CandidateView,
+               chosen: CandidateView) -> str:
+        """One human-readable line saying why ``chosen`` won."""
+        return ""
+
+    def predicted_seconds(self, spec: AppSpec, home: CandidateView,
+                          chosen: CandidateView) -> Optional[float]:
+        """End-to-end latency estimate for the chosen route, if the
+        policy computes one (the cost model does; the others are
+        blind to it by design)."""
+        return None
+
+    def choose(self, demand: Demand, spec: AppSpec, home: CandidateView,
+               candidates: Sequence[CandidateView]) -> PlacementDecision:
+        reasons: List[str] = []
+        feasible: List[CandidateView] = []
+        needs = recorded_needs(spec)
+        for candidate in candidates:
+            why = infeasibility(needs, home.profile, candidate.profile)
+            if why is None:
+                feasible.append(candidate)
+            else:
+                reasons.append(f"{candidate.name}: {why}")
+        if not feasible:
+            return PlacementDecision(
+                demand=demand, policy=self.name, guest=None,
+                refusal=MigrationRefusal.NO_FEASIBLE_GUEST,
+                detail="; ".join(reasons) or "empty candidate set",
+                considered=len(candidates), feasible=0)
+        ranked = sorted(feasible,
+                        key=lambda c: self.score(spec, home, c))
+        best = ranked[0]
+        return PlacementDecision(
+            demand=demand, policy=self.name, guest=best.name,
+            detail=self.reason(spec, home, best),
+            predicted_s=self.predicted_seconds(spec, home, best),
+            considered=len(candidates), feasible=len(feasible),
+            runner_up=(ranked[1].name if len(ranked) > 1 else None))
+
+
+class CapabilityEngine(PlacementEngine):
+    """Most capable feasible surface: largest screen, then fastest CPU."""
+
+    name = "capability"
+
+    def score(self, spec: AppSpec, home: CandidateView,
+              candidate: CandidateView) -> Tuple:
+        return (-candidate.profile.screen.pixels,
+                -candidate.profile.cpu_factor, candidate.name)
+
+    def reason(self, spec: AppSpec, home: CandidateView,
+               chosen: CandidateView) -> str:
+        return (f"largest feasible surface "
+                f"({chosen.profile.screen.pixels} px)")
+
+
+class LeastLoadedEngine(PlacementEngine):
+    """Fewest projected queued migrations, then least cumulative busy
+    time — the live ``Resource.queued``/``held_seconds`` signals,
+    projected.  Blind to how slow the chosen surface is."""
+
+    name = "least-loaded"
+
+    def score(self, spec: AppSpec, home: CandidateView,
+              candidate: CandidateView) -> Tuple:
+        return (candidate.queue_depth, round(candidate.held_seconds, 9),
+                candidate.name)
+
+    def reason(self, spec: AppSpec, home: CandidateView,
+               chosen: CandidateView) -> str:
+        return (f"depth {chosen.queue_depth}, "
+                f"held {chosen.held_seconds:.3f}s")
+
+
+class CostModelEngine(PlacementEngine):
+    """Smallest predicted end-to-end latency: projected queue wait plus
+    the stage cost model plus contention-dilated transfer time."""
+
+    name = "cost-model"
+
+    def _predict(self, spec: AppSpec, home: CandidateView,
+                 candidate: CandidateView) -> float:
+        wait = max(home.queue_wait_s, candidate.queue_wait_s)
+        prediction = predict_migration_seconds(
+            spec, home.profile, candidate.profile,
+            active_flows=candidate.active_flows)
+        return wait + prediction["total"]
+
+    def score(self, spec: AppSpec, home: CandidateView,
+              candidate: CandidateView) -> Tuple:
+        return (round(self._predict(spec, home, candidate), 9),
+                candidate.name)
+
+    def predicted_seconds(self, spec: AppSpec, home: CandidateView,
+                          chosen: CandidateView) -> Optional[float]:
+        return self._predict(spec, home, chosen)
+
+    def reason(self, spec: AppSpec, home: CandidateView,
+               chosen: CandidateView) -> str:
+        wait = max(home.queue_wait_s, chosen.queue_wait_s)
+        return (f"predicted {self._predict(spec, home, chosen):.3f}s "
+                f"(queue {wait:.3f}s, {chosen.active_flows} projected "
+                f"flow(s))")
+
+
+PLACEMENT_POLICIES: Tuple[str, ...] = ("capability", "least-loaded",
+                                       "cost-model")
+
+_ENGINES = {engine.name: engine for engine in
+            (CapabilityEngine(), LeastLoadedEngine(), CostModelEngine())}
+
+
+def engine_for(policy: str) -> PlacementEngine:
+    try:
+        return _ENGINES[policy]
+    except KeyError:
+        raise PlacementError(
+            f"unknown placement policy {policy!r}; "
+            f"choose from {PLACEMENT_POLICIES}") from None

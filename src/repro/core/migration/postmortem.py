@@ -304,6 +304,17 @@ def build_blame(events: List[Dict[str, Any]], session: str
         {"kind": "own work", "seconds": own, "detail": ""},
     ]
     entries.sort(key=lambda entry: -entry["seconds"])
+
+    # Fleet sessions carry a placement decision: the world recorder
+    # emitted one ``placement.decision`` per session at submit time
+    # (keyed by route, like the grants), so the blame can say not just
+    # where the time went, but why the migration landed *here* at all.
+    placements = [e for e in events
+                  if e.get("kind") == "placement.decision"
+                  and e.get("attrs", {}).get("who") == who
+                  and e.get("t", 0.0) <= end_t + 1e-9]
+    placement = dict(placements[-1]["attrs"]) if placements else None
+
     return {
         "session": session,
         "package": segment["package"],
@@ -312,6 +323,7 @@ def build_blame(events: List[Dict[str, Any]], session: str
         "outcome": segment["outcome"],
         "wall_s": end_t - submit_t,
         "entries": entries,
+        "placement": placement,
     }
 
 
@@ -348,6 +360,9 @@ def critical_path_from_metrics(document: Dict[str, Any],
     scenario = document.get("scenario")
     if isinstance(scenario, dict):
         return _pick(scenario.get("sessions") or [])
+    fleet = document.get("fleet")
+    if isinstance(fleet, dict):
+        return _pick(fleet.get("sessions") or [])
     return None
 
 
@@ -469,4 +484,16 @@ def render_blame(blame: Dict[str, Any]) -> str:
         detail = f" {entry['detail']}" if entry["detail"] else ""
         lines.append(f"  {entry['seconds']:8.3f}s  "
                      f"{entry['kind']}{detail}")
+    placement = blame.get("placement")
+    if placement:
+        parts = [f"policy {placement.get('policy', '?')} chose "
+                 f"{placement.get('guest') or blame['guest']}"]
+        if placement.get("feasible") is not None:
+            parts.append(f"{placement['feasible']}/"
+                         f"{placement.get('considered', '?')} feasible")
+        if placement.get("runner_up"):
+            parts.append(f"over {placement['runner_up']}")
+        if placement.get("detail"):
+            parts.append(str(placement["detail"]))
+        lines.append(f"  placement: {'; '.join(parts)}")
     return "\n".join(lines)

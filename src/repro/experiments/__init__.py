@@ -11,6 +11,7 @@ from repro.experiments import (
     fig16,
     fig17,
     pairing_cost,
+    placement_ablation,
     table1,
     table2,
     table3,
@@ -41,12 +42,13 @@ ALL_EXPERIMENTS = {
     "transfer_ablation": transfer_ablation,
     "fault_ablation": fault_ablation,
     "contention": contention,
+    "placement_ablation": placement_ablation,
 }
 
 __all__ = [
     "ALL_EXPERIMENTS", "PairOutcome", "SweepResult", "format_table",
     "pair_label", "run_pair", "run_sweep", "sweep_metrics_document",
     "app_support", "contention", "fault_ablation", "fig12", "fig13", "fig14", "fig15",
-    "fig16", "fig17", "pairing_cost", "table1", "table2", "table3",
-    "transfer_ablation",
+    "fig16", "fig17", "pairing_cost", "placement_ablation", "table1",
+    "table2", "table3", "transfer_ablation",
 ]

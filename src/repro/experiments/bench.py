@@ -1,7 +1,12 @@
 """Sweep benchmark payloads and the ``bench-check`` regression gate.
 
 ``BENCH_sweep.json`` (repo root) records what regenerating the Figure 12
-sweep costs and produces.  Schema 3 splits the record in two:
+sweep costs and produces.  Schema 3 split the record in two; schema 4
+adds a third, **non-gating** ``fleet`` section — the pinned fleet run's
+wall clock, simulated makespan, tail latency and refusal rate — so the
+fleet layer's cost is tracked run over run without making the gate
+flaky (the row is informational, like the wall section: :func:`check`
+never compares it).
 
 * ``wall`` — real wall-clock seconds for the sweep in all three
   executor modes (serial, thread pool, process pool) plus per-pair
@@ -41,9 +46,14 @@ from repro.experiments.harness import (SweepResult, merge_pair_outcomes,
 from repro.sim.metrics import rollup_counters
 
 
-SCHEMA_VERSION = 3
+SCHEMA_VERSION = 4
 BENCH_PATH = Path(__file__).resolve().parents[3] / "BENCH_sweep.json"
 WORKERS = 4
+
+#: The pinned fleet configuration the non-gating ``fleet`` row records
+#: (matches the CI fleet smoke job and the placement ablation).
+FLEET_BENCH = {"devices": 12, "arrivals": 40, "seed": 7,
+               "policy": "cost-model"}
 
 #: Relative drift allowed on gated simulation quantities.  The sweep is
 #: deterministic, so in principle this could be zero; 2% absorbs
@@ -106,11 +116,33 @@ def measure_sweep(workers: int = WORKERS
     return sweep, per_pair, serial_s, thread_s, process_s
 
 
+def measure_fleet() -> Dict:
+    """The non-gating fleet row: run the pinned fleet, record its cost.
+
+    ``wall_s`` is machine-dependent (informational, like the wall
+    section); ``sim_makespan_s``, ``p95_s`` and ``refusal_rate`` are
+    deterministic for the pinned seed but still not gated — the fleet
+    byte-identity tests and the CI smoke job own that contract.
+    """
+    from repro.experiments.fleet import FleetSpec, run_fleet
+    start = time.perf_counter()
+    result = run_fleet(FleetSpec(**FLEET_BENCH))
+    wall_s = time.perf_counter() - start
+    return {
+        **FLEET_BENCH,
+        "wall_s": round(wall_s, 4),
+        "sim_makespan_s": round(result.makespan, 4),
+        "p95_s": result.slo["p95_s"],
+        "refusal_rate": result.slo["refusal_rate"],
+    }
+
+
 def build_payload(sweep: SweepResult, serial_s: float, thread_s: float,
                   process_s: float,
                   per_pair_serial_s: Optional[Dict[str, float]] = None,
-                  workers: int = WORKERS) -> Dict:
-    """The schema-3 ``BENCH_sweep.json`` document for one sweep run."""
+                  workers: int = WORKERS,
+                  fleet_row: Optional[Dict] = None) -> Dict:
+    """The schema-4 ``BENCH_sweep.json`` document for one sweep run."""
     rollup = rollup_counters(sweep.merged_metrics())
     dominant: Dict[str, int] = {}
     for report in sweep.all_reports():
@@ -143,6 +175,8 @@ def build_payload(sweep: SweepResult, serial_s: float, thread_s: float,
             "dominant_stages": dict(sorted(dominant.items())),
             "counters": {key: rollup.get(key, 0) for key in GATED_COUNTERS},
         },
+        # Informational only — check() never compares this section.
+        "fleet": fleet_row or {},
     }
 
 
@@ -230,6 +264,15 @@ def format_report(current: Dict, baseline: Dict,
         # Bundles capture no wall clock; only the sim aggregates gate.
         lines.append("sweep wall clock: not captured (run bundle; "
                      "sim aggregates gated only)")
+    fleet = current.get("fleet") or {}
+    if fleet:
+        lines.append(
+            f"fleet row (informational): {fleet.get('devices')} devices / "
+            f"{fleet.get('arrivals')} arrivals, seed {fleet.get('seed')}, "
+            f"{fleet.get('policy')}: wall {fleet.get('wall_s')}s, sim "
+            f"makespan {fleet.get('sim_makespan_s')}s, p95 "
+            f"{fleet.get('p95_s')}s, refusal rate "
+            f"{fleet.get('refusal_rate')}")
     if problems:
         lines.append(f"BENCH CHECK FAILED ({len(problems)} problem(s)):")
         lines.extend(f"  - {p}" for p in problems)
@@ -289,6 +332,7 @@ def sim_payload_from_bundle(bundle) -> Dict:
             "dominant_stages": dict(sorted(dominant.items())),
             "counters": {key: rollup.get(key, 0) for key in GATED_COUNTERS},
         },
+        "fleet": {},
     }
 
 
@@ -327,7 +371,8 @@ def run_check(baseline_path: Optional[Path] = None, update: bool = False,
     sweep, per_pair, serial_s, thread_s, process_s = measure_sweep(
         workers=workers)
     current = build_payload(sweep, serial_s, thread_s, process_s,
-                            per_pair_serial_s=per_pair, workers=workers)
+                            per_pair_serial_s=per_pair, workers=workers,
+                            fleet_row=measure_fleet())
 
     if update or not path.exists():
         path.write_text(json.dumps(current, indent=2) + "\n")

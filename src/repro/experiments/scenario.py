@@ -68,6 +68,12 @@ class SessionSpec:
     package: str
     start: float = 0.0
     extensions: Optional[FluxExtensions] = None
+    #: Frozen, JSON-able key/values describing the placement decision
+    #: that chose this route (``PlacementDecision.attrs()``); when set,
+    #: the session emits a ``placement.decision`` event on the world
+    #: recorder at submit time, so ``flux-sim explain --why`` can say
+    #: why the migration landed where it did.
+    placement: Optional[Tuple[Tuple[str, object], ...]] = None
 
     @property
     def canonical_key(self) -> Tuple[float, str, str, str]:
@@ -106,6 +112,20 @@ class ScenarioSpec:
             if session.start < 0:
                 raise ScenarioError(
                     f"negative start time {session.start!r}")
+        # A device launches-and-migrates each package at most once per
+        # scenario: a second (home, package) session would re-migrate an
+        # app that already left the device.  Catch it here, with names,
+        # instead of as a confusing late scheduler-time failure.
+        routes = [(s.home, s.package) for s in self.sessions]
+        duplicates = sorted({route for route in routes
+                             if routes.count(route) > 1})
+        if duplicates:
+            listed = ", ".join(f"{home}:{package}"
+                               for home, package in duplicates)
+            raise ScenarioError(
+                f"duplicate (home, package) sessions: {listed} — a "
+                f"device can launch and migrate each package once per "
+                f"scenario")
 
 
 @dataclass
@@ -441,6 +461,12 @@ def _session(world: ScenarioWorld, outcome: SessionOutcome):
     spec = outcome.spec
     home, guest = world.devices[spec.home], world.devices[spec.guest]
     who = f"{spec.home}->{spec.guest}:{spec.package}"
+    if spec.placement is not None:
+        # The decision that routed this demand here, on the world
+        # recorder at submit time (before any queueing), keyed by the
+        # same ``who`` the admission events carry.
+        world.events.emit("placement.decision", who=who,
+                          **dict(spec.placement))
     first, second = sorted((spec.home, spec.guest))
     if world.spec.admission == "refuse":
         if world.resource(first).busy or world.resource(second).busy:

@@ -20,7 +20,7 @@ Layout (all members optional except the manifest)::
     trace.json       the Chrome trace (--trace-out)
     profile.txt      per-pair cProfile rows (--profile-out), when taken
 
-``flux-sim migrate/sweep/scenario --bundle-out PATH`` writes one;
+``flux-sim migrate/sweep/scenario/fleet --bundle-out PATH`` writes one;
 ``flux-sim explain`` and ``flux-sim bench-check`` read one back, so a
 post-mortem or a regression gate runs from the bundle alone — no access
 to the run that produced it, no re-simulation.  ``flux-sim diff A B``
@@ -54,7 +54,7 @@ BUNDLE_SCHEMA = 1
 MANIFEST_NAME = "manifest.json"
 
 #: The run kinds a bundle can describe (what produced it).
-BUNDLE_KINDS = ("migrate", "sweep", "scenario")
+BUNDLE_KINDS = ("migrate", "sweep", "scenario", "fleet")
 
 #: Suffixes that select the single-file tarball representation.
 _TAR_SUFFIXES = (".tar.gz", ".tgz")
@@ -411,6 +411,14 @@ class RunBundle:
                        f"{session.get('guest', '?')}:"
                        f"{session.get('package', '?')}")
                 rows.append(self._normalize_row(key=key, source=session))
+        fleet = document.get("fleet")
+        if isinstance(fleet, dict):             # flux-sim fleet
+            for session in fleet.get("sessions", []):
+                key = (f"{session.get('site', '?')}/"
+                       f"{session.get('home', '?')}->"
+                       f"{session.get('guest') or '-'}:"
+                       f"{session.get('package', '?')}")
+                rows.append(self._normalize_row(key=key, source=session))
         return rows
 
     @staticmethod
@@ -458,6 +466,18 @@ class RunBundle:
                     label = (session.get("session")
                              or f"{session.get('home', '?')}->"
                                 f"{session.get('guest', '?')}:"
+                                f"{session.get('package', '?')}")
+                    profiles[label] = {k: float(v)
+                                       for k, v in profile.items()}
+        fleet = document.get("fleet")
+        if isinstance(fleet, dict):
+            for session in fleet.get("sessions", []):
+                profile = session.get("wait_profile")
+                if profile:
+                    label = (session.get("session")
+                             or f"{session.get('site', '?')}/"
+                                f"{session.get('home', '?')}->"
+                                f"{session.get('guest') or '-'}:"
                                 f"{session.get('package', '?')}")
                     profiles[label] = {k: float(v)
                                        for k, v in profile.items()}

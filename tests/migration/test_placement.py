@@ -1,0 +1,247 @@
+"""Placement engine: recorded needs, feasibility, ledger, policies."""
+
+import pytest
+
+from repro.android.hardware.profiles import (
+    NEXUS_4,
+    NEXUS_4_POCKET,
+    NEXUS_5,
+    NEXUS_7_2012,
+    NEXUS_7_2013,
+    NEXUS_7_WALL,
+    profile_by_name,
+)
+from repro.apps.catalog import app_by_package
+from repro.core.cria.errors import MigrationRefusal
+from repro.core.migration.placement import (
+    CandidateView,
+    Demand,
+    LoadLedger,
+    PLACEMENT_POLICIES,
+    PlacementError,
+    engine_for,
+    infeasibility,
+    predict_migration_seconds,
+    recorded_needs,
+)
+
+BUBBLEWITCH = app_by_package("com.king.bubblewitch")
+FLAPPYBIRD = app_by_package("com.dotgears.flappybird")
+INSTAGRAM = app_by_package("com.instagram.android")
+TWITTER = app_by_package("com.twitter.android")
+
+
+def _view(name, profile, **kwargs):
+    return CandidateView(name=name, profile=profile, **kwargs)
+
+
+class TestRecordedNeeds:
+    def test_flappybird_needs_accelerometer_and_vibrator(self):
+        needs = recorded_needs(FLAPPYBIRD)
+        assert needs.sensor_types == ("accelerometer",)
+        assert needs.needs_vibrator
+        assert needs.uses_gl
+
+    def test_gl_apps_need_more_screen_than_list_uis(self):
+        assert (recorded_needs(BUBBLEWITCH).min_screen_fraction
+                > recorded_needs(TWITTER).min_screen_fraction)
+
+    def test_unlisted_app_records_no_service_needs(self):
+        needs = recorded_needs(TWITTER)
+        assert needs.sensor_types == ()
+        assert not needs.needs_location
+        assert not needs.needs_vibrator
+
+
+class TestInfeasibility:
+    def test_wall_display_cannot_host_vibrator_apps(self):
+        why = infeasibility(recorded_needs(BUBBLEWITCH), NEXUS_4,
+                            NEXUS_7_WALL)
+        assert why == "no vibrator"
+
+    def test_wall_display_cannot_host_motion_apps(self):
+        why = infeasibility(recorded_needs(FLAPPYBIRD), NEXUS_4,
+                            NEXUS_7_WALL)
+        assert "accelerometer" in why
+
+    def test_wall_display_cannot_host_location_apps(self):
+        why = infeasibility(recorded_needs(INSTAGRAM), NEXUS_4,
+                            NEXUS_7_WALL)
+        assert why == "no location provider"
+
+    def test_pocket_screen_too_small_for_gl_from_large_home(self):
+        why = infeasibility(recorded_needs(BUBBLEWITCH), NEXUS_7_2013,
+                            NEXUS_4_POCKET)
+        assert "screen" in why
+
+    def test_standard_route_is_feasible(self):
+        assert infeasibility(recorded_needs(TWITTER), NEXUS_4,
+                             NEXUS_7_2013) is None
+
+    def test_home_can_always_host_its_own_apps(self):
+        # The fleet demand generator relies on this: a device never
+        # demands a package it could not itself launch.
+        for profile in (NEXUS_4, NEXUS_7_2013, NEXUS_7_WALL,
+                        NEXUS_4_POCKET):
+            for app in (TWITTER, BUBBLEWITCH, FLAPPYBIRD, INSTAGRAM):
+                why = infeasibility(recorded_needs(app), profile, profile)
+                if why is not None:
+                    # infeasible at home -> the generator filters it out;
+                    # the screen check must never be the reason (1.0x).
+                    assert "screen" not in why
+
+
+class TestPrediction:
+    def test_prediction_stages_positive_and_sum(self):
+        prediction = predict_migration_seconds(TWITTER, NEXUS_4,
+                                               NEXUS_7_2013)
+        for stage in ("preparation", "checkpoint", "transfer", "restore",
+                      "reintegration"):
+            assert prediction[stage] > 0.0
+        assert prediction["total"] == pytest.approx(
+            sum(v for k, v in prediction.items() if k != "total"))
+
+    def test_contending_flows_dilate_the_transfer_only(self):
+        solo = predict_migration_seconds(TWITTER, NEXUS_4, NEXUS_7_2013)
+        contended = predict_migration_seconds(TWITTER, NEXUS_4,
+                                              NEXUS_7_2013,
+                                              active_flows=2)
+        assert contended["transfer"] > solo["transfer"]
+        assert contended["restore"] == solo["restore"]
+
+    def test_slow_link_predicts_slower_transfer(self):
+        fast = predict_migration_seconds(TWITTER, NEXUS_5, NEXUS_7_2013)
+        slow = predict_migration_seconds(TWITTER, NEXUS_5, NEXUS_7_2012)
+        assert slow["transfer"] > fast["transfer"]
+
+
+class TestLoadLedger:
+    def test_fresh_ledger_shows_idle_devices(self):
+        view = LoadLedger().view("a", NEXUS_4, now=5.0)
+        assert view.queue_depth == 0
+        assert view.held_seconds == 0.0
+        assert view.queue_wait_s == 0.0
+        assert view.active_flows == 0
+
+    def test_commit_projects_windows_on_both_endpoints(self):
+        ledger = LoadLedger()
+        prediction = {"preparation": 1.0, "checkpoint": 1.0,
+                      "transfer": 4.0, "restore": 1.0,
+                      "reintegration": 1.0, "total": 8.0}
+        start, end = ledger.commit("a", "b", now=0.0,
+                                   prediction=prediction)
+        assert (start, end) == (0.0, 8.0)
+        for device in ("a", "b"):
+            view = ledger.view(device, NEXUS_4, now=4.0)
+            assert view.queue_depth == 1
+            assert view.held_seconds == pytest.approx(4.0)
+            assert view.queue_wait_s == pytest.approx(4.0)
+
+    def test_second_commit_serializes_behind_the_first(self):
+        ledger = LoadLedger()
+        prediction = {"preparation": 1.0, "checkpoint": 1.0,
+                      "transfer": 4.0, "restore": 1.0,
+                      "reintegration": 1.0, "total": 8.0}
+        ledger.commit("a", "b", now=0.0, prediction=prediction)
+        start, end = ledger.commit("b", "c", now=2.0,
+                                   prediction=prediction)
+        assert start == pytest.approx(8.0)
+        assert end == pytest.approx(16.0)
+
+    def test_transfer_window_counts_as_an_active_flow(self):
+        ledger = LoadLedger()
+        prediction = {"preparation": 1.0, "checkpoint": 1.0,
+                      "transfer": 4.0, "restore": 1.0,
+                      "reintegration": 1.0, "total": 8.0}
+        ledger.commit("a", "b", now=0.0, prediction=prediction)
+        # Transfer projected on [2.0, 6.0).
+        assert ledger.view("c", NEXUS_4, now=3.0).active_flows == 1
+        assert ledger.view("c", NEXUS_4, now=7.0).active_flows == 0
+
+
+class TestEngines:
+    DEMAND = Demand(arrival=0.0, home="home", package=TWITTER.package)
+
+    def test_every_policy_resolves(self):
+        for policy in PLACEMENT_POLICIES:
+            assert engine_for(policy).name == policy
+
+    def test_unknown_policy_raises(self):
+        with pytest.raises(PlacementError, match="unknown placement"):
+            engine_for("round-robin")
+
+    def test_no_feasible_guest_refusal_names_every_reason(self):
+        home = _view("home", NEXUS_7_2013)
+        candidates = [_view("wall", NEXUS_7_WALL),
+                      _view("pocket", NEXUS_4_POCKET)]
+        decision = engine_for("capability").choose(
+            Demand(0.0, "home", BUBBLEWITCH.package), BUBBLEWITCH,
+            home, candidates)
+        assert decision.guest is None
+        assert decision.refusal is MigrationRefusal.NO_FEASIBLE_GUEST
+        assert "wall: no vibrator" in decision.detail
+        assert "pocket: screen" in decision.detail
+
+    def test_capability_prefers_the_largest_screen(self):
+        home = _view("home", NEXUS_4)
+        candidates = [_view("small", NEXUS_4_POCKET),
+                      _view("big", NEXUS_7_2013)]
+        decision = engine_for("capability").choose(
+            self.DEMAND, TWITTER, home, candidates)
+        assert decision.guest == "big"
+        assert decision.runner_up == "small"
+
+    def test_least_loaded_prefers_the_idle_device(self):
+        home = _view("home", NEXUS_4)
+        candidates = [_view("busy", NEXUS_7_2013, queue_depth=2,
+                            held_seconds=30.0),
+                      _view("idle", NEXUS_7_2012)]
+        decision = engine_for("least-loaded").choose(
+            self.DEMAND, TWITTER, home, candidates)
+        assert decision.guest == "idle"
+
+    def test_cost_model_trades_queue_against_link_speed(self):
+        # An idle device on a slow radio vs a briefly-busy device on a
+        # fast one: least-loaded picks the idle one, the cost model
+        # picks the fast one once the wait is shorter than the saved
+        # transfer time.
+        home = _view("home", NEXUS_5)
+        slow_idle = _view("slow", NEXUS_7_2012)
+        fast_busy = _view("fast", NEXUS_5, queue_depth=1,
+                          queue_wait_s=2.0, held_seconds=2.0)
+        loaded = engine_for("least-loaded").choose(
+            self.DEMAND, TWITTER, home, [slow_idle, fast_busy])
+        cost = engine_for("cost-model").choose(
+            self.DEMAND, TWITTER, home, [slow_idle, fast_busy])
+        assert loaded.guest == "slow"
+        assert cost.guest == "fast"
+        assert cost.predicted_s is not None
+
+    def test_choose_is_deterministic(self):
+        home = _view("home", NEXUS_4)
+        candidates = [_view("a", NEXUS_7_2013), _view("b", NEXUS_7_2012),
+                      _view("c", NEXUS_5)]
+        for policy in PLACEMENT_POLICIES:
+            engine = engine_for(policy)
+            first = engine.choose(self.DEMAND, TWITTER, home, candidates)
+            again = engine.choose(self.DEMAND, TWITTER, home, candidates)
+            assert first == again
+
+    def test_decision_attrs_are_json_able_pairs(self):
+        import json
+        home = _view("home", NEXUS_4)
+        decision = engine_for("cost-model").choose(
+            self.DEMAND, TWITTER, home, [_view("a", NEXUS_7_2013)])
+        attrs = dict(decision.attrs())
+        json.dumps(attrs)
+        assert attrs["policy"] == "cost-model"
+        assert attrs["guest"] == "a"
+        assert attrs["feasible"] == 1
+
+
+def test_fleet_profiles_resolve_by_name():
+    assert profile_by_name("nexus7_wall") is NEXUS_7_WALL
+    assert profile_by_name("nexus4_pocket") is NEXUS_4_POCKET
+    assert not NEXUS_7_WALL.has_vibrator
+    assert NEXUS_7_WALL.location_providers == ()
+    assert NEXUS_4_POCKET.screen.pixels < NEXUS_4.screen.pixels
